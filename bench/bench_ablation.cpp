@@ -1,0 +1,149 @@
+// Ablation study over OptChain's design choices (DESIGN.md §4):
+//   - L2S weight: 0 (pure T2S) vs 0.01 (paper) vs 0.1
+//   - T2S divisor policy: current spenders (paper-literal) vs declared outputs
+//   - Greedy tie-break: first-shard (paper-literal) vs smallest-shard
+//   - Cross-shard protocol: OmniLedger client-driven vs RapidChain yanking
+//   - LeastLoaded strawman: temporal balance without affinity
+// Each row reports cross-TX fraction, avg/max latency, and throughput under
+// the Fig. 3 simulation at a stressed operating point.
+#include <cstdio>
+#include <functional>
+
+#include "bench_common.hpp"
+#include "placement/greedy_placer.hpp"
+#include "placement/least_loaded_placer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace optchain;
+  const Flags flags(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const auto rate = static_cast<double>(flags.get_int("rate", 4000));
+  const auto k = static_cast<std::uint32_t>(flags.get_int("k", 8));
+  const std::size_t n = bench::stream_size(flags, rate, 60.0);
+
+  bench::print_header(
+      "Ablation — OptChain design choices",
+      "DESIGN.md §4 (not a paper figure)",
+      "rate x issue window (--issue_seconds, default 60 s; or --txs=N)");
+  std::printf("operating point: %u shards, %.0f tps\n\n", k, rate);
+
+  const auto txs = bench::make_stream(n, seed);
+  const std::span<const tx::Transaction> all(txs);
+
+  struct Variant {
+    std::string label;
+    std::function<bench::Method()> make;
+    sim::ProtocolMode protocol = sim::ProtocolMode::kOmniLedger;
+  };
+
+  const auto outputs_of = [&all](tx::TxIndex index) -> std::uint32_t {
+    return static_cast<std::uint32_t>(all[index].outputs.size());
+  };
+
+  std::vector<Variant> variants;
+  variants.push_back({"OptChain (weight 0.01, paper)", [&] {
+                        bench::Method m;
+                        m.name = "OptChain";
+                        m.placer = std::make_unique<core::OptChainPlacer>(
+                            m.dag, core::OptChainConfig{});
+                        return m;
+                      }});
+  variants.push_back({"T2S only (weight 0)", [&] {
+                        bench::Method m;
+                        m.name = "T2S";
+                        core::OptChainConfig config;
+                        config.l2s_weight = 0.0;
+                        config.expected_txs = all.size();
+                        m.placer = std::make_unique<core::OptChainPlacer>(
+                            m.dag, config, "T2S");
+                        return m;
+                      }});
+  variants.push_back({"OptChain (weight 0.1)", [&] {
+                        bench::Method m;
+                        m.name = "OptChain-w0.1";
+                        core::OptChainConfig config;
+                        config.l2s_weight = 0.1;
+                        m.placer = std::make_unique<core::OptChainPlacer>(
+                            m.dag, config, "OptChain-w0.1");
+                        return m;
+                      }});
+  variants.push_back({"OptChain (declared-outputs divisor)", [&] {
+                        bench::Method m;
+                        m.name = "OptChain-outdiv";
+                        core::OptChainConfig config;
+                        config.t2s.divisor =
+                            core::DivisorPolicy::kDeclaredOutputs;
+                        m.placer = std::make_unique<core::OptChainPlacer>(
+                            m.dag, config, "OptChain-outdiv", outputs_of);
+                        return m;
+                      }});
+  variants.push_back({"OptChain over RapidChain yanking",
+                      [&] {
+                        bench::Method m;
+                        m.name = "OptChain";
+                        m.placer = std::make_unique<core::OptChainPlacer>(
+                            m.dag, core::OptChainConfig{});
+                        return m;
+                      },
+                      sim::ProtocolMode::kRapidChain});
+  variants.push_back({"Greedy (first-shard ties, paper)", [&] {
+                        bench::Method m;
+                        m.name = "Greedy";
+                        m.placer = std::make_unique<placement::GreedyPlacer>(
+                            all.size());
+                        return m;
+                      }});
+  variants.push_back({"Greedy (smallest-shard ties)", [&] {
+                        bench::Method m;
+                        m.name = "Greedy-smallest";
+                        m.placer = std::make_unique<placement::GreedyPlacer>(
+                            all.size(), 0.1,
+                            placement::GreedyTieBreak::kSmallestShard);
+                        return m;
+                      }});
+  variants.push_back({"LeastLoaded (balance only)", [&] {
+                        bench::Method m;
+                        m.name = "LeastLoaded";
+                        m.placer =
+                            std::make_unique<placement::LeastLoadedPlacer>();
+                        return m;
+                      }});
+
+  TextTable table({"variant", "cross-TX", "avg latency(s)", "max latency(s)",
+                   "throughput(tps)"});
+  for (auto& variant : variants) {
+    bench::Method method = variant.make();
+    const auto result = bench::run_sim(all, method, k, rate, variant.protocol);
+    table.add_row({variant.label,
+                   TextTable::fmt_percent(result.cross_fraction(), 1),
+                   TextTable::fmt(result.avg_latency_s, 1),
+                   TextTable::fmt(result.max_latency_s, 1),
+                   TextTable::fmt(result.throughput_tps, 0)});
+  }
+  table.print();
+  bench::maybe_save_csv(flags, "ablation", table);
+
+  // Fault injection: a chronically slow shard, with and without OptChain's
+  // L2S routing (hash placement cannot react).
+  std::printf("\n-- failure injection: shard 0 running 6x slow --\n");
+  TextTable fault_table({"variant", "share of txs in slow shard",
+                         "avg latency(s)", "throughput(tps)"});
+  for (const char* name : {"OptChain", "OmniLedger"}) {
+    bench::Method method = bench::make_method(name, all, k, seed);
+    sim::SimConfig config;
+    config.num_shards = k;
+    config.tx_rate_tps = rate;
+    config.shard_slowdown = {6.0};
+    sim::Simulation simulation(config);
+    const auto result = simulation.run(all, *method.placer, method.dag);
+    const double share =
+        static_cast<double>(result.final_shard_sizes[0]) /
+        static_cast<double>(all.size());
+    fault_table.add_row({name, TextTable::fmt_percent(share, 1),
+                         TextTable::fmt(result.avg_latency_s, 1),
+                         TextTable::fmt(result.throughput_tps, 0)});
+  }
+  fault_table.print();
+  std::printf("(uniform share would be %.1f %%)\n", 100.0 / k);
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Account-model (Ethereum-style) placement study — extension beyond the
+// paper's UTXO evaluation, motivated by its related-work discussion of
+// Ethereum 2.0 ("each transaction in the account model has only one input
+// and one output", §II).
+//
+// Under the account model the TaN degenerates toward per-account chains, so
+// transaction placement faces a different regime: chains never merge, and
+// the only cross-pressure comes from transfers between accounts placed in
+// different shards. This bench reports Table-I-style cross-TX percentages
+// plus a simulation comparison at one operating point.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "placement/greedy_placer.hpp"
+#include "placement/random_placer.hpp"
+#include "workload/account_workload.hpp"
+
+namespace {
+
+using namespace optchain;
+
+double run_account_placement(std::span<const tx::Transaction> txs,
+                             placement::Placer& placer, graph::TanDag& dag,
+                             std::uint32_t k) {
+  placement::ShardAssignment assignment(k);
+  std::uint64_t total = 0, cross = 0;
+  for (const auto& t : txs) {
+    const auto inputs = t.distinct_input_txs();
+    dag.add_node(inputs);
+    placement::PlacementRequest request;
+    request.index = t.index;
+    request.input_txs = inputs;
+    request.hash64 = t.txid().low64();
+    const auto shard = placer.choose(request, assignment);
+    assignment.record(t.index, shard);
+    placer.notify_placed(request, shard);
+    if (!t.inputs.empty()) {
+      ++total;
+      cross += assignment.is_cross_shard(inputs, shard);
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(cross) / static_cast<double>(total);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace optchain;
+  const Flags flags(argc, argv);
+  const auto n = static_cast<std::size_t>(flags.get_int("txs", 200000));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const auto shard_counts = flags.get_int_list("shards", {4, 8, 16, 32, 64});
+  const bool both_deps = flags.get_bool("receiver_dep", false);
+
+  bench::print_header(
+      "Account model — cross-TX under Ethereum-style transfers",
+      "extension (paper §II related work); Table-I methodology on the "
+      "account model",
+      std::to_string(n) + " transfers — override with --txs=N");
+
+  workload::AccountWorkloadConfig workload_config;
+  if (both_deps) {
+    workload_config.dependency =
+        workload::AccountDependency::kSenderAndReceiver;
+  }
+  workload::AccountWorkloadGenerator generator(workload_config, seed);
+  const auto txs = generator.generate(n);
+
+  TextTable table({"k", "OptChain(T2S)", "Greedy", "Omniledger"});
+  for (const auto k_value : shard_counts) {
+    const auto k = static_cast<std::uint32_t>(k_value);
+    std::vector<std::string> row{std::to_string(k)};
+
+    {
+      graph::TanDag dag;
+      core::OptChainConfig config;
+      config.l2s_weight = 0.0;
+      config.expected_txs = txs.size();
+      core::OptChainPlacer placer(dag, config, "T2S");
+      row.push_back(
+          TextTable::fmt_percent(run_account_placement(txs, placer, dag, k)));
+    }
+    {
+      graph::TanDag dag;
+      placement::GreedyPlacer placer(txs.size());
+      row.push_back(
+          TextTable::fmt_percent(run_account_placement(txs, placer, dag, k)));
+    }
+    {
+      graph::TanDag dag;
+      placement::RandomPlacer placer;
+      row.push_back(
+          TextTable::fmt_percent(run_account_placement(txs, placer, dag, k)));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  bench::maybe_save_csv(flags, "account_model", table);
+
+  // One simulated operating point.
+  std::printf("\n-- simulation at 8 shards, 3000 tps --\n");
+  TextTable sim_table(
+      {"method", "cross-TX", "avg latency(s)", "throughput(tps)"});
+  for (const char* name : {"OptChain", "OmniLedger"}) {
+    bench::Method method = bench::make_method(name, txs, 8, seed);
+    const auto result = bench::run_sim(txs, method, 8, 3000.0);
+    sim_table.add_row({name, TextTable::fmt_percent(result.cross_fraction()),
+                       TextTable::fmt(result.avg_latency_s, 1),
+                       TextTable::fmt(result.throughput_tps, 0)});
+  }
+  sim_table.print();
+  return 0;
+}

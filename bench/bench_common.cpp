@@ -1,0 +1,124 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+#include "common/assert.hpp"
+#include "placement/greedy_placer.hpp"
+#include "placement/least_loaded_placer.hpp"
+#include "placement/random_placer.hpp"
+#include "placement/static_placer.hpp"
+#include "workload/tan_builder.hpp"
+
+namespace optchain::bench {
+
+std::vector<tx::Transaction> make_stream(std::size_t n, std::uint64_t seed,
+                                         workload::WorkloadConfig config) {
+  workload::BitcoinLikeGenerator generator(config, seed);
+  return generator.generate(n);
+}
+
+std::size_t stream_size(const Flags& flags, double rate_tps,
+                        double default_issue_seconds) {
+  const std::int64_t fixed = flags.get_int("txs", 0);
+  if (fixed > 0) return static_cast<std::size_t>(fixed);
+  const double issue_seconds =
+      flags.get_double("issue_seconds", default_issue_seconds);
+  return static_cast<std::size_t>(rate_tps * issue_seconds);
+}
+
+Method make_method(const std::string& name,
+                   std::span<const tx::Transaction> txs, std::uint32_t k,
+                   std::uint64_t seed) {
+  Method method;
+  method.name = name;
+  if (name == "OptChain") {
+    core::OptChainConfig config;  // paper defaults: α=0.5, weight 0.01
+    method.placer = std::make_unique<core::OptChainPlacer>(method.dag, config,
+                                                           "OptChain");
+  } else if (name == "T2S") {
+    core::OptChainConfig config;
+    config.l2s_weight = 0.0;
+    config.expected_txs = txs.size();  // ε-capped like Greedy (paper §IV.B)
+    method.placer =
+        std::make_unique<core::OptChainPlacer>(method.dag, config, "T2S");
+  } else if (name == "OmniLedger") {
+    method.placer = std::make_unique<placement::RandomPlacer>();
+  } else if (name == "Greedy") {
+    method.placer = std::make_unique<placement::GreedyPlacer>(txs.size());
+  } else if (name == "LeastLoaded") {
+    method.placer = std::make_unique<placement::LeastLoadedPlacer>();
+  } else if (name == "Metis") {
+    const graph::TanDag full = workload::build_tan(txs);
+    metis::PartitionConfig config;
+    config.k = k;
+    config.seed = seed;
+    method.placer = std::make_unique<placement::StaticPlacer>(
+        metis::partition_kway(full.to_undirected(), config), "Metis");
+  } else {
+    std::fprintf(stderr, "unknown method: %s\n", name.c_str());
+    std::abort();
+  }
+  return method;
+}
+
+PlacementOutcome run_placement(std::span<const tx::Transaction> txs,
+                               Method& method, std::uint32_t k,
+                               std::span<const std::uint32_t> warm_parts) {
+  placement::ShardAssignment assignment(k);
+  PlacementOutcome outcome;
+  for (const auto& transaction : txs) {
+    const auto inputs = transaction.distinct_input_txs();
+    method.dag.add_node(inputs);
+
+    placement::PlacementRequest request;
+    request.index = transaction.index;
+    request.input_txs = inputs;
+    request.hash64 = transaction.txid().low64();
+
+    // choose() always runs so stateful placers build their score vectors;
+    // warm-start transactions then get the precomputed partition.
+    placement::ShardId shard = method.placer->choose(request, assignment);
+    const bool warm = transaction.index < warm_parts.size();
+    if (warm) shard = warm_parts[transaction.index];
+    assignment.record(transaction.index, shard);
+    method.placer->notify_placed(request, shard);
+
+    if (!warm && !transaction.is_coinbase()) {
+      ++outcome.total;
+      if (assignment.is_cross_shard(inputs, shard)) ++outcome.cross;
+    }
+  }
+  outcome.shard_sizes = assignment.sizes();
+  return outcome;
+}
+
+sim::SimResult run_sim(std::span<const tx::Transaction> txs, Method& method,
+                       std::uint32_t k, double rate_tps,
+                       sim::ProtocolMode protocol, double commit_window_s) {
+  sim::SimConfig config;
+  config.num_shards = k;
+  config.tx_rate_tps = rate_tps;
+  config.protocol = protocol;
+  config.commit_window_s = commit_window_s;
+  sim::Simulation simulation(config);
+  return simulation.run(txs, *method.placer, method.dag);
+}
+
+void print_header(const std::string& title, const std::string& paper_ref,
+                  const std::string& scale_note) {
+  std::printf("== %s ==\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("scale: %s (paper: 10,000,000 transactions)\n\n",
+              scale_note.c_str());
+}
+
+void maybe_save_csv(const Flags& flags, const std::string& name,
+                    const TextTable& table) {
+  const std::string dir = flags.get_string("csv_dir", "");
+  if (dir.empty()) return;
+  const std::string path = dir + "/" + name + ".csv";
+  table.save_csv(path);
+  std::printf("(wrote %s)\n", path.c_str());
+}
+
+}  // namespace optchain::bench

@@ -1,0 +1,56 @@
+// Fig. 3: "Impact of different transactions rates and number of shards on
+// the latency and throughput" — the full (method × rate × #shards) grid.
+//
+// Paper shape: every method improves with more shards; OptChain is the only
+// method whose throughput tracks the input rate across the board (e.g.
+// healthy at 2000 tps with ≥6 shards, 6000 tps with 16 shards), while
+// OmniLedger needs ≥16 shards for 3000 tps and Metis never keeps up.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace optchain;
+  const Flags flags(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const auto rates = flags.get_int_list("rates", {2000, 4000, 6000});
+  const auto shard_counts = flags.get_int_list("shards", {4, 8, 12, 16});
+
+  bench::print_header(
+      "Fig. 3 — latency & throughput grid",
+      "Fig. 3a-3d of the paper (§V.B); paper grid: rates 2000-6000, shards "
+      "4-16 (full grid via --rates=2000,3000,4000,5000,6000 "
+      "--shards=4,6,8,10,12,14,16)",
+      "rate x issue window (--issue_seconds, default 60 s; or --txs=N)");
+
+  for (const char* name : bench::kMethods) {
+    std::printf("-- %s --\n", name);
+    TextTable table({"rate(tps)", "shards", "avg latency(s)", "max latency(s)",
+                     "throughput(tps)", "healthy"});
+    for (const auto rate : rates) {
+      const std::size_t n =
+          bench::stream_size(flags, static_cast<double>(rate), 60.0);
+      const auto txs = bench::make_stream(n, seed);
+      for (const auto k_value : shard_counts) {
+        const auto k = static_cast<std::uint32_t>(k_value);
+        bench::Method method = bench::make_method(name, txs, k, seed);
+        const auto result =
+            bench::run_sim(txs, method, k, static_cast<double>(rate));
+        // "Healthy" = the system keeps up with the input rate: everything
+        // drains shortly after the last transaction is issued.
+        const double issue_window =
+            static_cast<double>(n) / static_cast<double>(rate);
+        const bool healthy =
+            result.completed && result.duration_s <= issue_window + 30.0;
+        table.add_row({TextTable::fmt_int(rate), std::to_string(k),
+                       TextTable::fmt(result.avg_latency_s, 1),
+                       TextTable::fmt(result.max_latency_s, 1),
+                       TextTable::fmt(result.throughput_tps, 0),
+                       healthy ? "yes" : "no"});
+      }
+    }
+    table.print();
+    std::printf("\n");
+  }
+  return 0;
+}

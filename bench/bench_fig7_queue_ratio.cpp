@@ -1,0 +1,58 @@
+// Fig. 7: "Queue size ratio" — max/min shard queue size over time at 6000
+// tps, 16 shards. The paper's point: Metis and Greedy are orders of
+// magnitude out of balance; OptChain and OmniLedger stay near 1.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace optchain;
+  const Flags flags(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const auto rate = static_cast<double>(flags.get_int("rate", 6000));
+  const auto k = static_cast<std::uint32_t>(flags.get_int("k", 16));
+  const std::size_t n = bench::stream_size(flags, rate, 90.0);
+
+  bench::print_header(
+      "Fig. 7 — max/min queue-size ratio over time",
+      "Fig. 7 of the paper (§V.B.1); 6000 tps, 16 shards (min clamped to 1 "
+      "to keep the ratio finite)",
+      "rate x issue window (--issue_seconds, default 90 s; or --txs=N)");
+
+  const auto txs = bench::make_stream(n, seed);
+
+  std::vector<std::vector<stats::QueueSnapshot>> series;
+  std::vector<double> worst;
+  std::size_t max_len = 0;
+  for (const char* name : bench::kMethods) {
+    bench::Method method = bench::make_method(name, txs, k, seed);
+    const auto result = bench::run_sim(txs, method, k, rate);
+    series.push_back(result.queue_tracker.snapshots());
+    worst.push_back(result.queue_tracker.worst_ratio());
+    max_len = std::max(max_len, series.back().size());
+  }
+
+  TextTable table({"time(s)", "OptChain", "OmniLedger", "Metis", "Greedy"});
+  const std::size_t step = std::max<std::size_t>(1, max_len / 20);
+  for (std::size_t i = 0; i < max_len; i += step) {
+    std::vector<std::string> row;
+    row.push_back(
+        TextTable::fmt(i < series[0].size() ? series[0][i].time
+                                            : static_cast<double>(i), 0));
+    for (const auto& snapshots : series) {
+      row.push_back(i < snapshots.size()
+                        ? TextTable::fmt(snapshots[i].ratio(), 1)
+                        : "-");
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+
+  std::printf("\nworst ratio:  ");
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::printf("%s=%.1f  ", bench::kMethods[i], worst[i]);
+  }
+  std::printf("\npaper shape: Metis and Greedy orders of magnitude above "
+              "OptChain/OmniLedger\n");
+  return 0;
+}

@@ -1,0 +1,193 @@
+// Micro-benchmarks (google-benchmark): per-operation costs of the hot paths.
+// The paper's practicality argument (§IV.B) rests on the O(k·|Nin|) T2S
+// update being cheap enough for wallet software; these benchmarks quantify
+// it, along with the substrate costs.
+#include <benchmark/benchmark.h>
+
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "core/optchain_placer.hpp"
+#include "latency/l2s_model.hpp"
+#include "metis/kway_partitioner.hpp"
+#include "placement/random_placer.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulation.hpp"
+#include "sim/tree_gossip.hpp"
+#include "workload/bitcoin_like_generator.hpp"
+#include "workload/tan_builder.hpp"
+
+namespace {
+
+using namespace optchain;
+
+void BM_Sha256_512B(benchmark::State& state) {
+  std::vector<std::uint8_t> data(512, 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::digest(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 512);
+}
+BENCHMARK(BM_Sha256_512B);
+
+void BM_WorkloadGenerator(benchmark::State& state) {
+  workload::BitcoinLikeGenerator generator({}, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator.next());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WorkloadGenerator);
+
+/// Full OptChain placement step (T2S scoring + argmax + commit), per
+/// transaction, across shard counts. The paper's average cost is O(k).
+/// The placer is stateful; when the prepared stream runs out, state resets
+/// outside the timed region.
+void BM_OptChainPlacement(benchmark::State& state) {
+  const auto k = static_cast<std::uint32_t>(state.range(0));
+  workload::BitcoinLikeGenerator generator({}, 2);
+  const auto txs = generator.generate(200000);
+
+  struct Run {
+    graph::TanDag dag;
+    core::OptChainPlacer placer;
+    placement::ShardAssignment assignment;
+    explicit Run(std::uint32_t shards)
+        : placer(dag,
+                 [] {
+                   core::OptChainConfig config;
+                   config.l2s_weight = 0.0;
+                   return config;
+                 }()),
+          assignment(shards) {}
+  };
+
+  auto run = std::make_unique<Run>(k);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    if (i >= txs.size()) {
+      state.PauseTiming();
+      run = std::make_unique<Run>(k);
+      i = 0;
+      state.ResumeTiming();
+    }
+    const auto& transaction = txs[i];
+    const auto inputs = transaction.distinct_input_txs();
+    run->dag.add_node(inputs);
+    placement::PlacementRequest request;
+    request.index = transaction.index;
+    request.input_txs = inputs;
+    const auto shard = run->placer.choose(request, run->assignment);
+    run->assignment.record(transaction.index, shard);
+    run->placer.notify_placed(request, shard);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_OptChainPlacement)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_L2sScoreAll(benchmark::State& state) {
+  const auto k = static_cast<std::uint32_t>(state.range(0));
+  std::vector<latency::ShardTiming> timings(k);
+  Rng rng(3);
+  for (auto& timing : timings) {
+    timing.mean_comm = rng.uniform(0.05, 0.3);
+    timing.mean_verify = rng.uniform(0.5, 8.0);
+  }
+  const std::vector<std::uint32_t> inputs{0, 1 % k, 2 % k};
+  latency::L2sEstimator estimator;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.score_all(timings, inputs));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_L2sScoreAll)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_EventQueue(benchmark::State& state) {
+  sim::EventQueue queue;
+  double t = 0.0;
+  for (auto _ : state) {
+    queue.schedule(t + 1.0, [] {});
+    queue.run_one();
+    t += 1.0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventQueue);
+
+void BM_MetisPartition(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  workload::BitcoinLikeGenerator generator({}, 4);
+  const auto txs = generator.generate(n);
+  const graph::Csr undirected = workload::build_tan(txs).to_undirected();
+  for (auto _ : state) {
+    metis::PartitionConfig config;
+    config.k = 16;
+    benchmark::DoNotOptimize(metis::partition_kway(undirected, config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MetisPartition)->Arg(10000)->Arg(50000)->Unit(benchmark::kMillisecond);
+
+/// The O(k(|V|+|E|)) full recomputation the paper rejects (§IV.B), per
+/// transaction — contrast with BM_OptChainPlacement's incremental O(k·|Nin|).
+void BM_OfflineT2sRecompute(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  workload::BitcoinLikeGenerator generator({}, 6);
+  const auto txs = generator.generate(n);
+  const graph::TanDag dag = workload::build_tan(txs);
+  placement::ShardAssignment assignment(16);
+  Rng rng(7);
+  for (std::size_t i = 0; i < n; ++i) {
+    assignment.record(static_cast<tx::TxIndex>(i),
+                      static_cast<placement::ShardId>(rng.below(16)));
+  }
+  core::T2sConfig config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::recompute_all_scores_dense(dag, assignment, config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_OfflineT2sRecompute)->Arg(10000)->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
+/// Message-level tree-gossip consensus round vs the closed-form model.
+void BM_TreeGossipRound(benchmark::State& state) {
+  const auto committee = static_cast<std::uint32_t>(state.range(0));
+  sim::NetworkModel network;
+  const sim::Position leader{0.5, 0.5};
+  sim::ConsensusConfig consensus;
+  consensus.committee_size = committee;
+  for (auto _ : state) {
+    Rng rng(9);
+    benchmark::DoNotOptimize(sim::simulate_tree_gossip_round(
+        network, leader, consensus, 2000, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TreeGossipRound)->Arg(64)->Arg(400)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SimulationEndToEnd(benchmark::State& state) {
+  workload::BitcoinLikeGenerator generator({}, 5);
+  const auto txs = generator.generate(20000);
+  for (auto _ : state) {
+    sim::SimConfig config;
+    config.num_shards = 8;
+    config.tx_rate_tps = 2000.0;
+    placement::RandomPlacer placer;
+    graph::TanDag dag;
+    sim::Simulation simulation(config);
+    benchmark::DoNotOptimize(simulation.run(txs, placer, dag));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(txs.size()));
+  state.SetLabel("20k txs / iteration");
+}
+BENCHMARK(BM_SimulationEndToEnd)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// Table I: "Percentage of cross-TXs when running from scratch".
+//
+// Paper values (10M Bitcoin txs):
+//   k   Metis    Greedy   Omniledger  T2S-based
+//   4   1.66 %   24.62 %  80.82 %      9.28 %
+//   8   3.09 %   27.02 %  90.33 %     12.52 %
+//   16  4.70 %   28.14 %  94.87 %     15.73 %
+//   32  6.91 %   28.69 %  97.09 %     18.94 %
+//   64  9.91 %   28.97 %  98.18 %     21.65 %
+//
+// Expected shape on the synthetic stream: Metis < T2S < Greedy < OmniLedger
+// at every k, with the random baseline rising toward 1 − 1/k and all methods
+// degrading slowly in k.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace optchain;
+  const Flags flags(argc, argv);
+  const auto n = static_cast<std::size_t>(flags.get_int("txs", 200000));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const auto shard_counts = flags.get_int_list("shards", {4, 8, 16, 32, 64});
+
+  bench::print_header("Table I — cross-TX percentage, from scratch",
+                      "Table I of the paper (§IV.B)",
+                      std::to_string(n) + " transactions — override with "
+                      "--txs=N");
+
+  const auto txs = bench::make_stream(n, seed);
+
+  TextTable table({"k", "Metis", "Greedy", "Omniledger", "T2S-based"});
+  for (const auto k_value : shard_counts) {
+    const auto k = static_cast<std::uint32_t>(k_value);
+    std::vector<std::string> row{std::to_string(k)};
+    for (const char* name : {"Metis", "Greedy", "OmniLedger", "T2S"}) {
+      bench::Method method = bench::make_method(name, txs, k, seed);
+      const auto outcome = bench::run_placement(txs, method, k);
+      row.push_back(TextTable::fmt_percent(outcome.fraction()));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  bench::maybe_save_csv(flags, "table1_cross_shard", table);
+  return 0;
+}

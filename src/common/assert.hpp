@@ -1,0 +1,34 @@
+// Lightweight contract macros in the spirit of the C++ Core Guidelines'
+// Expects()/Ensures() (I.6, I.8). Violations indicate a programming error and
+// terminate; they are enabled in all build types because the library's
+// correctness arguments (DAG-ness, UTXO single-spend, event-time monotonicity)
+// rely on them.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace optchain::detail {
+
+[[noreturn]] inline void contract_violation(const char* kind, const char* expr,
+                                            const char* file, int line) {
+  std::fprintf(stderr, "%s violation: %s at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace optchain::detail
+
+#define OPTCHAIN_EXPECTS(cond)                                              \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::optchain::detail::contract_violation("Precondition", #cond,   \
+                                                   __FILE__, __LINE__))
+
+#define OPTCHAIN_ENSURES(cond)                                              \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::optchain::detail::contract_violation("Postcondition", #cond,  \
+                                                   __FILE__, __LINE__))
+
+#define OPTCHAIN_ASSERT(cond)                                               \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::optchain::detail::contract_violation("Invariant", #cond,      \
+                                                   __FILE__, __LINE__))

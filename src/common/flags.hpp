@@ -1,0 +1,35 @@
+// Minimal `--name=value` command-line flag parsing for the bench/example
+// binaries. Unknown flags starting with "--benchmark" are ignored so the
+// same argv can be shared with google-benchmark binaries.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace optchain {
+
+class Flags {
+ public:
+  /// Parses argv. Throws std::invalid_argument on a malformed flag
+  /// (non "--name[=value]" token).
+  Flags(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const noexcept;
+
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Comma-separated integer list, e.g. --shards=4,8,16.
+  std::vector<std::int64_t> get_int_list(
+      const std::string& name, std::vector<std::int64_t> fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace optchain

@@ -1,0 +1,99 @@
+// Hashing primitives.
+//
+// - Sha256: a from-scratch FIPS 180-4 SHA-256 implementation. Transaction ids
+//   are SHA-256 digests of the transaction's canonical encoding, mirroring
+//   Bitcoin's txid construction (single pass; the double hash adds nothing for
+//   the experiments here). OmniLedger-style random placement is
+//   "hash of txid mod k", so a real cryptographic hash keeps that baseline
+//   faithful to the paper.
+// - mix64: a cheap statistically-strong 64-bit finalizer for hash tables and
+//   for deriving per-entity sub-seeds.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace optchain {
+
+/// 256-bit digest.
+struct Digest256 {
+  std::array<std::uint8_t, 32> bytes{};
+
+  friend bool operator==(const Digest256&, const Digest256&) = default;
+
+  /// First 8 bytes interpreted little-endian; convenient uniform 64-bit view.
+  std::uint64_t low64() const noexcept {
+    std::uint64_t v = 0;
+    std::memcpy(&v, bytes.data(), sizeof(v));
+    return v;
+  }
+
+  std::string hex() const;
+};
+
+/// Incremental SHA-256 (FIPS 180-4).
+class Sha256 {
+ public:
+  Sha256() noexcept { reset(); }
+
+  void reset() noexcept;
+  void update(std::span<const std::uint8_t> data) noexcept;
+  void update(std::string_view text) noexcept {
+    update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+  }
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void update_value(const T& value) noexcept {
+    std::array<std::uint8_t, sizeof(T)> raw;
+    std::memcpy(raw.data(), &value, sizeof(T));
+    update(std::span<const std::uint8_t>(raw));
+  }
+
+  /// Finalizes and returns the digest. The object must be reset() before reuse.
+  Digest256 finish() noexcept;
+
+  /// One-shot convenience.
+  static Digest256 digest(std::span<const std::uint8_t> data) noexcept {
+    Sha256 h;
+    h.update(data);
+    return h.finish();
+  }
+  static Digest256 digest(std::string_view text) noexcept {
+    Sha256 h;
+    h.update(text);
+    return h.finish();
+  }
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+/// Fast 64-bit mixing finalizer (splitmix64 finalizer). Suitable for hash
+/// tables and seed derivation; not cryptographic.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over a byte span; for cheap non-adversarial content hashing.
+constexpr std::uint64_t fnv1a(std::span<const std::uint8_t> data) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace optchain

@@ -1,0 +1,104 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace optchain {
+
+void IntHistogram::add(std::uint64_t value, std::uint64_t count) {
+  counts_[value] += count;
+  total_ += count;
+}
+
+std::uint64_t IntHistogram::count_of(std::uint64_t value) const noexcept {
+  const auto it = counts_.find(value);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::uint64_t IntHistogram::max_value() const noexcept {
+  return counts_.empty() ? 0 : counts_.rbegin()->first;
+}
+
+double IntHistogram::fraction_below(std::uint64_t bound) const noexcept {
+  if (total_ == 0) return 0.0;
+  std::uint64_t below = 0;
+  for (const auto& [value, count] : counts_) {
+    if (value >= bound) break;
+    below += count;
+  }
+  return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> IntHistogram::sorted()
+    const {
+  return {counts_.begin(), counts_.end()};
+}
+
+std::vector<std::pair<std::uint64_t, double>> IntHistogram::cumulative() const {
+  std::vector<std::pair<std::uint64_t, double>> out;
+  out.reserve(counts_.size());
+  std::uint64_t running = 0;
+  for (const auto& [value, count] : counts_) {
+    running += count;
+    out.emplace_back(value,
+                     static_cast<double>(running) / static_cast<double>(total_));
+  }
+  return out;
+}
+
+void SampleStats::add(double value) {
+  samples_.push_back(value);
+  sum_ += value;
+  sorted_valid_ = false;
+}
+
+double SampleStats::mean() const noexcept {
+  return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+}
+
+double SampleStats::min() const noexcept {
+  if (samples_.empty()) return 0.0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::max() const noexcept {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+void SampleStats::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double SampleStats::quantile(double q) const {
+  OPTCHAIN_EXPECTS(q >= 0.0 && q <= 1.0);
+  OPTCHAIN_EXPECTS(!samples_.empty());
+  ensure_sorted();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted_.size())));
+  const std::size_t index = rank == 0 ? 0 : rank - 1;
+  return sorted_[std::min(index, sorted_.size() - 1)];
+}
+
+std::vector<double> SampleStats::cdf_at(
+    const std::vector<double>& thresholds) const {
+  ensure_sorted();
+  std::vector<double> out;
+  out.reserve(thresholds.size());
+  for (const double t : thresholds) {
+    const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), t);
+    const auto below = static_cast<double>(it - sorted_.begin());
+    out.push_back(sorted_.empty() ? 0.0
+                                  : below / static_cast<double>(sorted_.size()));
+  }
+  return out;
+}
+
+}  // namespace optchain

@@ -1,0 +1,66 @@
+// Histogram / empirical-distribution helpers used by the TaN statistics
+// (Fig. 2), latency CDFs (Fig. 10), and queue-size tracking (Figs. 6-7).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace optchain {
+
+/// Exact integer-valued histogram (counts per value). Suited to degree
+/// distributions where the support is small relative to the sample count.
+class IntHistogram {
+ public:
+  void add(std::uint64_t value, std::uint64_t count = 1);
+
+  std::uint64_t count_of(std::uint64_t value) const noexcept;
+  std::uint64_t total() const noexcept { return total_; }
+  std::uint64_t max_value() const noexcept;
+
+  /// Fraction of samples with value < bound (used for the "93.1% of nodes
+  /// have in-degree lower than 3" style statements in Fig. 2b).
+  double fraction_below(std::uint64_t bound) const noexcept;
+
+  /// (value, count) pairs sorted by value.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> sorted() const;
+
+  /// Cumulative distribution: (value, P[X <= value]) sorted by value.
+  std::vector<std::pair<std::uint64_t, double>> cumulative() const;
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Streaming summary for real-valued samples: mean/min/max plus exact
+/// quantiles (stores all samples; fine for per-experiment sample counts).
+class SampleStats {
+ public:
+  void add(double value);
+
+  std::size_t count() const noexcept { return samples_.size(); }
+  double mean() const noexcept;
+  double min() const noexcept;
+  double max() const noexcept;
+  double sum() const noexcept { return sum_; }
+
+  /// Quantile in [0, 1] by nearest-rank on the sorted samples.
+  double quantile(double q) const;
+
+  /// Empirical CDF evaluated at the given thresholds:
+  /// returns P[X <= t] for each t.
+  std::vector<double> cdf_at(const std::vector<double>& thresholds) const;
+
+  const std::vector<double>& samples() const noexcept { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  double sum_ = 0.0;
+};
+
+}  // namespace optchain

@@ -1,0 +1,177 @@
+// Deterministic, seedable random number generation.
+//
+// All stochastic components of the library (workload generation, placement
+// tie-breaking, the discrete-event simulator) draw from Rng so that every
+// experiment is reproducible from a single 64-bit seed. The generator is
+// xoshiro256** seeded via splitmix64 — fast, high quality, and stable across
+// platforms (unlike std::mt19937 + std:: distributions, whose outputs are not
+// specified bit-for-bit across standard library implementations).
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace optchain {
+
+/// splitmix64 step; used for seeding and as a cheap stateless mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eedULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = std::rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = std::rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0. Uses Lemire's
+  /// multiply-shift rejection method (unbiased).
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    OPTCHAIN_EXPECTS(bound > 0);
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    OPTCHAIN_EXPECTS(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(span == 0 ? (*this)() : below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept { return uniform01() < p; }
+
+  /// Exponential with rate lambda (> 0); mean 1/lambda.
+  double exponential(double lambda) noexcept {
+    OPTCHAIN_EXPECTS(lambda > 0.0);
+    // 1 - uniform01() is in (0, 1], so log() is finite.
+    return -std::log(1.0 - uniform01()) / lambda;
+  }
+
+  /// Standard normal via Box–Muller (no cached second value: determinism over
+  /// micro-efficiency).
+  double normal(double mean = 0.0, double stddev = 1.0) noexcept {
+    const double u1 = 1.0 - uniform01();
+    const double u2 = uniform01();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * radius * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Geometric: number of Bernoulli(p) failures before the first success.
+  std::uint64_t geometric(double p) noexcept {
+    OPTCHAIN_EXPECTS(p > 0.0 && p <= 1.0);
+    if (p >= 1.0) return 0;
+    return static_cast<std::uint64_t>(
+        std::floor(std::log(1.0 - uniform01()) / std::log(1.0 - p)));
+  }
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Samples from a bounded discrete power law: P(X = x) ∝ x^(-alpha) for
+/// x in [1, xmax]. Used for TaN in/out-degree draws (Fig. 2a exhibits a
+/// power-law degree distribution with small mean).
+class ZipfSampler {
+ public:
+  ZipfSampler(double alpha, std::uint32_t xmax) : alpha_(alpha), xmax_(xmax) {
+    OPTCHAIN_EXPECTS(xmax >= 1);
+    cdf_.reserve(xmax);
+    double total = 0.0;
+    for (std::uint32_t x = 1; x <= xmax; ++x) {
+      total += std::pow(static_cast<double>(x), -alpha);
+      cdf_.push_back(total);
+    }
+    for (auto& c : cdf_) c /= total;
+  }
+
+  std::uint32_t sample(Rng& rng) const noexcept {
+    const double u = rng.uniform01();
+    // cdf_ is sorted; binary search for the first entry >= u.
+    std::size_t lo = 0;
+    std::size_t hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    return static_cast<std::uint32_t>(lo + 1);
+  }
+
+  double alpha() const noexcept { return alpha_; }
+  std::uint32_t xmax() const noexcept { return xmax_; }
+
+  /// Mean of the distribution (exact, from the normalized pmf).
+  double mean() const noexcept {
+    double mu = 0.0;
+    double prev = 0.0;
+    for (std::size_t i = 0; i < cdf_.size(); ++i) {
+      mu += static_cast<double>(i + 1) * (cdf_[i] - prev);
+      prev = cdf_[i];
+    }
+    return mu;
+  }
+
+ private:
+  double alpha_;
+  std::uint32_t xmax_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace optchain

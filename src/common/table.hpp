@@ -1,0 +1,41 @@
+// Aligned plain-text table printer. The benchmark harnesses print
+// paper-style rows (Table I/II and the figure series) with it, so the bench
+// output is directly comparable against the paper.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace optchain {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience cell formatters.
+  static std::string fmt(double value, int precision = 2);
+  static std::string fmt_percent(double fraction, int precision = 2);
+  static std::string fmt_int(long long value);
+
+  /// Renders with column alignment and a header rule.
+  std::string to_string() const;
+  void print(std::FILE* out = stdout) const;
+
+  /// RFC-4180-style CSV (quotes cells containing commas/quotes/newlines),
+  /// header row included — for feeding the bench outputs into plotting
+  /// tools.
+  std::string to_csv() const;
+  void save_csv(const std::string& path) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace optchain

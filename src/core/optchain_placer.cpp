@@ -1,0 +1,69 @@
+#include "core/optchain_placer.hpp"
+
+#include <algorithm>
+
+namespace optchain::core {
+
+OptChainPlacer::OptChainPlacer(
+    const graph::TanDag& dag, OptChainConfig config, std::string_view label,
+    std::function<std::uint32_t(tx::TxIndex)> declared_outputs)
+    : dag_(dag),
+      config_(config),
+      label_(label),
+      scorer_(config.t2s, std::move(declared_outputs)),
+      l2s_(config.l2s) {
+  OPTCHAIN_EXPECTS(config_.l2s_weight >= 0.0);
+}
+
+placement::ShardId OptChainPlacer::choose(
+    const placement::PlacementRequest& request,
+    const placement::ShardAssignment& assignment) {
+  const std::uint32_t k = assignment.k();
+  OPTCHAIN_EXPECTS(request.index < dag_.num_nodes());
+
+  // Step 1-2: normalized T2S scores (all-zero for coinbase).
+  last_scores_ = scorer_.score(dag_, request.index, assignment);
+
+  // Step 3: subtract the weighted L2S expectation when timing data exists.
+  if (!request.timings.empty() && config_.l2s_weight > 0.0) {
+    OPTCHAIN_EXPECTS(request.timings.size() == k);
+    const std::vector<placement::ShardId> input_shards =
+        assignment.input_shards(request.input_txs);
+    const std::vector<double> l2s =
+        l2s_.score_all(request.timings, input_shards);
+    for (std::uint32_t j = 0; j < k; ++j) {
+      last_scores_[j] -= config_.l2s_weight * l2s[j];
+    }
+  }
+
+  // Optional capacity cap (T2S-based variant): full shards are ineligible.
+  const std::uint64_t cap =
+      config_.expected_txs == 0
+          ? std::numeric_limits<std::uint64_t>::max()
+          : static_cast<std::uint64_t>(
+                (1.0 + config_.epsilon) *
+                static_cast<double>(config_.expected_txs / k));
+
+  // Step 4: argmax of temporal fitness. Ties (typically all-zero coinbase
+  // scores without timing data) go to the smaller shard, keeping startup
+  // placement balanced; final tie on the lower shard id for determinism.
+  placement::ShardId best = placement::kUnplaced;
+  for (std::uint32_t j = 0; j < k; ++j) {
+    if (assignment.size_of(j) >= cap) continue;
+    if (best == placement::kUnplaced ||
+        last_scores_[j] > last_scores_[best] ||
+        (last_scores_[j] == last_scores_[best] &&
+         assignment.size_of(j) < assignment.size_of(best))) {
+      best = j;
+    }
+  }
+  return best == placement::kUnplaced ? assignment.least_loaded() : best;
+}
+
+void OptChainPlacer::notify_placed(const placement::PlacementRequest& request,
+                                   placement::ShardId shard) {
+  // Step 5: fix u's own mass into its shard.
+  scorer_.commit(request.index, shard);
+}
+
+}  // namespace optchain::core

@@ -1,0 +1,75 @@
+// OptChain transaction placement — paper Algorithm 1.
+//
+// For an arriving transaction u:
+//   1. p'(u) = (1 − α) Σ_{v ∈ Nin(u)} p'(v)/|Nout(v)|   (T2sScorer)
+//   2. p(u)[i] = p'(u)[i] / |S_i|
+//   3. E(j)   = expected confirmation latency of placing u into shard j
+//               (L2sEstimator; skipped when no timing data is available)
+//   4. place u into argmax_j ( p(u)[j] − l2s_weight · E(j) )
+//   5. p'(u)[S(u)] += α
+//
+// The paper's "T2S-based" baseline (Tables I-II) is this placer with
+// l2s_weight = 0 and a Greedy-style capacity cap (ε = 0.1); full OptChain
+// (§V) uses l2s_weight = 0.01 and no cap — temporal balance comes from the
+// L2S term instead.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+
+#include "core/t2s_scorer.hpp"
+#include "graph/dag.hpp"
+#include "latency/l2s_model.hpp"
+#include "placement/placer.hpp"
+
+namespace optchain::core {
+
+struct OptChainConfig {
+  T2sConfig t2s;
+  latency::L2sConfig l2s;
+  /// Weight of the L2S term in the temporal fitness (paper: 0.01). Ignored
+  /// when a request carries no timing data.
+  double l2s_weight = 0.01;
+  /// Optional capacity cap (1 + ε)·⌊n/k⌋, used by the T2S-based variant.
+  /// Disabled when expected_txs == 0.
+  std::uint64_t expected_txs = 0;
+  double epsilon = 0.1;
+};
+
+class OptChainPlacer final : public placement::Placer {
+ public:
+  /// `dag` must outlive the placer and receive each transaction (via
+  /// TanDag::add_node / workload::TanBuilder) *before* choose() is called
+  /// for it. `label` customizes name() so the T2S-based variant can be
+  /// reported separately.
+  OptChainPlacer(const graph::TanDag& dag, OptChainConfig config = {},
+                 std::string_view label = "OptChain",
+                 std::function<std::uint32_t(tx::TxIndex)> declared_outputs =
+                     nullptr);
+
+  placement::ShardId choose(const placement::PlacementRequest& request,
+                            const placement::ShardAssignment& assignment)
+      override;
+
+  void notify_placed(const placement::PlacementRequest& request,
+                     placement::ShardId shard) override;
+
+  std::string_view name() const noexcept override { return label_; }
+
+  const T2sScorer& scorer() const noexcept { return scorer_; }
+
+  /// Temporal fitness scores computed by the last choose() call (debugging /
+  /// example output).
+  std::span<const double> last_scores() const noexcept { return last_scores_; }
+
+ private:
+  const graph::TanDag& dag_;
+  OptChainConfig config_;
+  std::string_view label_;
+  T2sScorer scorer_;
+  latency::L2sEstimator l2s_;
+  std::vector<double> last_scores_;
+};
+
+}  // namespace optchain::core

@@ -1,0 +1,132 @@
+#include "core/t2s_scorer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace optchain::core {
+
+T2sScorer::T2sScorer(T2sConfig config,
+                     std::function<std::uint32_t(tx::TxIndex)> declared_outputs)
+    : config_(config), declared_outputs_(std::move(declared_outputs)) {
+  OPTCHAIN_EXPECTS(config_.alpha > 0.0 && config_.alpha <= 1.0);
+  OPTCHAIN_EXPECTS(config_.prune_threshold >= 0.0);
+  if (config_.divisor == DivisorPolicy::kDeclaredOutputs) {
+    OPTCHAIN_EXPECTS(declared_outputs_ != nullptr);
+  }
+}
+
+std::vector<double> T2sScorer::score(
+    const graph::TanDag& dag, tx::TxIndex u,
+    const placement::ShardAssignment& assignment) {
+  OPTCHAIN_EXPECTS(u == vectors_.size());  // dense arrival order
+  OPTCHAIN_EXPECTS(u < dag.num_nodes());
+
+  const std::uint32_t k = assignment.k();
+  // Accumulate (1 − α) Σ p'(v)/divisor(v) sparsely: collect entries, then
+  // merge by shard id.
+  accumulator_.clear();
+  for (const graph::NodeId v : dag.inputs(u)) {
+    const double divisor =
+        config_.divisor == DivisorPolicy::kCurrentSpenders
+            ? static_cast<double>(dag.spender_count(v))
+            : static_cast<double>(std::max<std::uint32_t>(
+                  1, declared_outputs_(v)));
+    OPTCHAIN_ASSERT(divisor >= 1.0);  // u itself spends v
+    for (const ScoreEntry& entry : vectors_[v]) {
+      accumulator_.push_back({entry.shard, entry.value / divisor});
+    }
+  }
+
+  std::vector<ScoreEntry> merged;
+  if (!accumulator_.empty()) {
+    std::sort(accumulator_.begin(), accumulator_.end(),
+              [](const ScoreEntry& a, const ScoreEntry& b) {
+                return a.shard < b.shard;
+              });
+    double total = 0.0;
+    merged.reserve(accumulator_.size());
+    for (const ScoreEntry& entry : accumulator_) {
+      if (!merged.empty() && merged.back().shard == entry.shard) {
+        merged.back().value += entry.value;
+      } else {
+        merged.push_back(entry);
+      }
+    }
+    const double scale = 1.0 - config_.alpha;
+    for (ScoreEntry& entry : merged) {
+      entry.value *= scale;
+      total += entry.value;
+    }
+    // Prune negligible mass to bound per-node memory.
+    if (config_.prune_threshold > 0.0 && total > 0.0) {
+      const double cutoff = total * config_.prune_threshold;
+      std::erase_if(merged,
+                    [cutoff](const ScoreEntry& e) { return e.value < cutoff; });
+    }
+  }
+
+  std::vector<double> normalized(k, 0.0);
+  for (const ScoreEntry& entry : merged) {
+    const std::uint64_t shard_size = assignment.size_of(entry.shard);
+    if (shard_size > 0) {
+      normalized[entry.shard] =
+          entry.value / static_cast<double>(shard_size);
+    }
+  }
+  vectors_.push_back(std::move(merged));
+  return normalized;
+}
+
+void T2sScorer::commit(tx::TxIndex u, std::uint32_t shard) {
+  OPTCHAIN_EXPECTS(u < vectors_.size());
+  auto& vec = vectors_[u];
+  const auto it = std::find_if(
+      vec.begin(), vec.end(),
+      [shard](const ScoreEntry& e) { return e.shard == shard; });
+  if (it != vec.end()) {
+    it->value += config_.alpha;
+  } else {
+    // Keep the vector sorted by shard id for cheap merging downstream.
+    const auto pos = std::find_if(
+        vec.begin(), vec.end(),
+        [shard](const ScoreEntry& e) { return e.shard > shard; });
+    vec.insert(pos, {shard, config_.alpha});
+  }
+}
+
+std::size_t T2sScorer::total_entries() const noexcept {
+  std::size_t total = 0;
+  for (const auto& vec : vectors_) total += vec.size();
+  return total;
+}
+
+std::vector<std::vector<double>> recompute_all_scores_dense(
+    const graph::TanDag& dag, const placement::ShardAssignment& assignment,
+    const T2sConfig& config,
+    const std::function<std::uint32_t(tx::TxIndex)>& declared_outputs) {
+  const std::size_t n = dag.num_nodes();
+  const std::uint32_t k = assignment.k();
+  std::vector<std::vector<double>> scores(n, std::vector<double>(k, 0.0));
+  // Replay arrival order with running spender counts, so divisors match what
+  // the online scorer observed at each step.
+  std::vector<std::uint32_t> running_spenders(n, 0);
+  for (tx::TxIndex u = 0; u < n; ++u) {
+    for (const graph::NodeId v : dag.inputs(u)) ++running_spenders[v];
+    for (const graph::NodeId v : dag.inputs(u)) {
+      const double divisor =
+          config.divisor == DivisorPolicy::kCurrentSpenders
+              ? static_cast<double>(running_spenders[v])
+              : static_cast<double>(
+                    std::max<std::uint32_t>(1, declared_outputs(v)));
+      for (std::uint32_t i = 0; i < k; ++i) {
+        scores[u][i] += (1.0 - config.alpha) * scores[v][i] / divisor;
+      }
+    }
+    if (u < assignment.total()) {
+      scores[u][assignment.shard_of(u)] += config.alpha;
+    }
+  }
+  return scores;
+}
+
+}  // namespace optchain::core

@@ -1,0 +1,102 @@
+// Transaction-to-Shard (T2S) scoring — paper §IV.B.
+//
+// Each placed transaction v carries an unnormalized fitness vector p'(v):
+//
+//   p'(u) = (1 − α) · Σ_{v ∈ Nin(u)} p'(v) / |Nout(v)|       (on arrival)
+//   p'(u)[S(u)] += α                                          (after placement)
+//
+// The normalized T2S score of an arriving u against shard i is
+// p(u)[i] = p'(u)[i] / |S_i|. The incremental scheme works because p'(v) is
+// *final* once v has been placed (the shard-size normalization is applied at
+// read time), turning the O(k(|V|+|E|)) full PageRank recomputation into
+// O(k·|Nin(u)|) per arrival — the paper's key computational trick.
+//
+// p' vectors are stored sparsely (mass decays by (1 − α) per hop, so only a
+// handful of shards carry non-negligible weight); entries below
+// prune_threshold × total are dropped, bounding memory by a small constant
+// per node in practice.
+//
+// |Nout(v)| — the out-neighborhood size of v — grows as later transactions
+// spend v's outputs. The divisor policy selects the online reading:
+//   kCurrentSpenders  — spenders observed so far, including u (paper-literal:
+//                       the TaN in-degree of v at the time u arrives);
+//   kDeclaredOutputs  — v's declared UTXO count (each output is spent at most
+//                       once, so this upper-bounds the final |Nout(v)|).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "graph/dag.hpp"
+#include "placement/shard_assignment.hpp"
+
+namespace optchain::core {
+
+enum class DivisorPolicy : std::uint8_t {
+  kCurrentSpenders,
+  kDeclaredOutputs,
+};
+
+struct T2sConfig {
+  double alpha = 0.5;  // paper's experiments use α = 0.5
+  DivisorPolicy divisor = DivisorPolicy::kCurrentSpenders;
+  /// Sparse entries below prune_threshold × (vector total) are dropped.
+  double prune_threshold = 1e-7;
+};
+
+/// One sparse entry of a p' vector.
+struct ScoreEntry {
+  std::uint32_t shard;
+  double value;
+};
+
+class T2sScorer {
+ public:
+  /// `declared_outputs(v)` is consulted only under kDeclaredOutputs; it must
+  /// return v's output count (≥ 1).
+  explicit T2sScorer(T2sConfig config = {},
+                     std::function<std::uint32_t(tx::TxIndex)>
+                         declared_outputs = nullptr);
+
+  /// Computes p'(u) for the arriving node u (already inserted into `dag`,
+  /// edges included) and caches it. Returns the *normalized* dense T2S score
+  /// vector p(u): p'(u)[i] / |S_i| (zero for empty shards).
+  std::vector<double> score(const graph::TanDag& dag, tx::TxIndex u,
+                            const placement::ShardAssignment& assignment);
+
+  /// Finalizes u after placement into `shard`: p'(u)[shard] += α.
+  void commit(tx::TxIndex u, std::uint32_t shard);
+
+  /// Sparse unnormalized vector of a placed (or scored) node.
+  std::span<const ScoreEntry> raw_vector(tx::TxIndex u) const {
+    OPTCHAIN_EXPECTS(u < vectors_.size());
+    return vectors_[u];
+  }
+
+  double alpha() const noexcept { return config_.alpha; }
+  const T2sConfig& config() const noexcept { return config_; }
+
+  /// Number of sparse entries across all nodes (memory telemetry).
+  std::size_t total_entries() const noexcept;
+
+ private:
+  T2sConfig config_;
+  std::function<std::uint32_t(tx::TxIndex)> declared_outputs_;
+  std::vector<std::vector<ScoreEntry>> vectors_;  // indexed by TxIndex
+  std::vector<ScoreEntry> accumulator_;           // scratch for score()
+};
+
+/// Reference implementation: recomputes every p' vector from scratch by
+/// propagating along the DAG in topological (arrival) order, given the final
+/// placement. Used by tests to validate the incremental scheme
+/// (O(k(|V|+|E|)); not for production use).
+std::vector<std::vector<double>> recompute_all_scores_dense(
+    const graph::TanDag& dag, const placement::ShardAssignment& assignment,
+    const T2sConfig& config,
+    const std::function<std::uint32_t(tx::TxIndex)>& declared_outputs =
+        nullptr);
+
+}  // namespace optchain::core

@@ -1,0 +1,28 @@
+#include "graph/csr.hpp"
+
+namespace optchain::graph {
+
+Csr::Csr(std::vector<std::uint64_t> offsets, std::vector<std::uint32_t> targets)
+    : offsets_(std::move(offsets)), targets_(std::move(targets)) {
+  OPTCHAIN_EXPECTS(!offsets_.empty());
+  OPTCHAIN_EXPECTS(offsets_.front() == 0);
+  OPTCHAIN_EXPECTS(offsets_.back() == targets_.size());
+}
+
+Csr Csr::from_edges(
+    std::size_t n,
+    std::span<const std::pair<std::uint32_t, std::uint32_t>> edges) {
+  std::vector<std::uint64_t> offsets(n + 1, 0);
+  for (const auto& [u, v] : edges) {
+    OPTCHAIN_EXPECTS(u < n && v < n);
+    ++offsets[u + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<std::uint32_t> targets(edges.size());
+  std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const auto& [u, v] : edges) targets[cursor[u]++] = v;
+  return Csr(std::move(offsets), std::move(targets));
+}
+
+}  // namespace optchain::graph

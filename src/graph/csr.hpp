@@ -1,0 +1,42 @@
+// Immutable compressed-sparse-row adjacency, the interchange format between
+// the online TaN DAG and the offline partitioner.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace optchain::graph {
+
+class Csr {
+ public:
+  Csr() : offsets_{0} {}
+  Csr(std::vector<std::uint64_t> offsets, std::vector<std::uint32_t> targets);
+
+  /// Builds a CSR from an edge list over n nodes: adjacency[u] contains v for
+  /// every (u, v) in `edges`. Stable within each node (insertion order).
+  static Csr from_edges(
+      std::size_t n,
+      std::span<const std::pair<std::uint32_t, std::uint32_t>> edges);
+
+  std::size_t num_nodes() const noexcept { return offsets_.size() - 1; }
+  std::size_t num_entries() const noexcept { return targets_.size(); }
+
+  std::span<const std::uint32_t> neighbors(std::uint32_t u) const noexcept {
+    OPTCHAIN_EXPECTS(u < num_nodes());
+    return {targets_.data() + offsets_[u], targets_.data() + offsets_[u + 1]};
+  }
+
+  std::uint32_t degree(std::uint32_t u) const noexcept {
+    OPTCHAIN_EXPECTS(u < num_nodes());
+    return static_cast<std::uint32_t>(offsets_[u + 1] - offsets_[u]);
+  }
+
+ private:
+  std::vector<std::uint64_t> offsets_;
+  std::vector<std::uint32_t> targets_;
+};
+
+}  // namespace optchain::graph

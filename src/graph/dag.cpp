@@ -1,0 +1,85 @@
+#include "graph/dag.hpp"
+
+#include <algorithm>
+
+namespace optchain::graph {
+
+void TanDag::reserve(std::size_t nodes, std::size_t edges) {
+  input_offsets_.reserve(nodes + 1);
+  input_targets_.reserve(edges);
+  spender_counts_.reserve(nodes);
+}
+
+NodeId TanDag::add_node(std::span<const NodeId> inputs) {
+  const auto id = static_cast<NodeId>(num_nodes());
+  const std::uint64_t start = input_targets_.size();
+  for (const NodeId v : inputs) {
+    OPTCHAIN_EXPECTS(v < id);  // inputs must precede u: DAG by construction
+    // Collapse duplicate inputs (u spending several UTXOs of the same v is a
+    // single TaN edge). Input lists are tiny, so a linear scan beats sorting.
+    const auto* begin = input_targets_.data() + start;
+    const auto* end = input_targets_.data() + input_targets_.size();
+    if (std::find(begin, end, v) != end) continue;
+    input_targets_.push_back(v);
+    ++spender_counts_[v];
+  }
+  input_offsets_.push_back(input_targets_.size());
+  spender_counts_.push_back(0);
+  return id;
+}
+
+Csr TanDag::to_undirected() const {
+  const std::size_t n = num_nodes();
+  std::vector<std::uint64_t> offsets(n + 1, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    for (const NodeId v : inputs(u)) {
+      ++offsets[u + 1];
+      ++offsets[v + 1];
+    }
+  }
+  for (std::size_t i = 1; i <= n; ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<std::uint32_t> targets(offsets.back());
+  std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (NodeId u = 0; u < n; ++u) {
+    for (const NodeId v : inputs(u)) {
+      targets[cursor[u]++] = v;
+      targets[cursor[v]++] = u;
+    }
+  }
+  return Csr(std::move(offsets), std::move(targets));
+}
+
+Csr TanDag::to_spenders() const {
+  const std::size_t n = num_nodes();
+  std::vector<std::uint64_t> offsets(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) offsets[v + 1] = spender_counts_[v];
+  for (std::size_t i = 1; i <= n; ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<std::uint32_t> targets(offsets.back());
+  std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (NodeId u = 0; u < n; ++u) {
+    for (const NodeId v : inputs(u)) targets[cursor[v]++] = u;
+  }
+  return Csr(std::move(offsets), std::move(targets));
+}
+
+TanDegreeStats compute_degree_stats(const TanDag& dag) {
+  TanDegreeStats stats;
+  stats.nodes = dag.num_nodes();
+  stats.edges = dag.num_edges();
+  for (NodeId u = 0; u < stats.nodes; ++u) {
+    const bool no_inputs = dag.input_degree(u) == 0;
+    const bool no_spenders = dag.spender_count(u) == 0;
+    if (no_inputs) ++stats.coinbase_nodes;
+    if (no_spenders) ++stats.unspent_nodes;
+    if (no_inputs && no_spenders) ++stats.isolated_nodes;
+  }
+  stats.average_degree =
+      stats.nodes == 0
+          ? 0.0
+          : static_cast<double>(stats.edges) / static_cast<double>(stats.nodes);
+  return stats;
+}
+
+}  // namespace optchain::graph

@@ -1,0 +1,100 @@
+// Append-only DAG storage for Transactions-as-Nodes (TaN) networks.
+//
+// Nodes arrive one at a time; node ids are assigned in arrival order, so the
+// id sequence 0,1,2,... is a topological order by construction (a transaction
+// can only spend outputs of transactions that already exist — paper §IV.A).
+//
+// Edge orientation follows the paper: an edge (u, v) exists when transaction
+// u spends an output of transaction v. To avoid the in/out-degree ambiguity
+// (the paper's Nin(u) are u's *input* transactions, reached by u's outgoing
+// edges), the API speaks TaN language:
+//   inputs(u)        — earlier transactions whose UTXOs u spends
+//   input_degree(u)  — |Nin(u)| (graph out-degree of u)
+//   spender_count(v) — |Nout(v)| (graph in-degree of v): transactions that
+//                      spend v's outputs so far
+//
+// Storage is an online CSR over input lists (inputs are fully known when a
+// node arrives) plus a per-node spender counter, which is all OptChain's T2S
+// computation needs; full reverse adjacency is materialized on demand.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "graph/csr.hpp"
+
+namespace optchain::graph {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+class TanDag {
+ public:
+  TanDag() = default;
+
+  /// Reserve capacity for an expected number of nodes/edges.
+  void reserve(std::size_t nodes, std::size_t edges);
+
+  /// Appends a node whose inputs are the given earlier nodes. Duplicates in
+  /// `inputs` are collapsed to a single edge (the TaN definition has one edge
+  /// per (spender, spent) transaction pair regardless of how many UTXOs are
+  /// consumed). Every input must be an existing node (id < current size).
+  /// Returns the new node's id.
+  NodeId add_node(std::span<const NodeId> inputs);
+
+  std::size_t num_nodes() const noexcept { return input_offsets_.size() - 1; }
+  std::size_t num_edges() const noexcept { return input_targets_.size(); }
+
+  /// Input transactions of u (deduplicated, in first-seen order).
+  std::span<const NodeId> inputs(NodeId u) const noexcept {
+    OPTCHAIN_EXPECTS(u < num_nodes());
+    return {input_targets_.data() + input_offsets_[u],
+            input_targets_.data() + input_offsets_[u + 1]};
+  }
+
+  std::uint32_t input_degree(NodeId u) const noexcept {
+    OPTCHAIN_EXPECTS(u < num_nodes());
+    return static_cast<std::uint32_t>(input_offsets_[u + 1] -
+                                      input_offsets_[u]);
+  }
+
+  /// Number of transactions observed so far that spend outputs of v.
+  std::uint32_t spender_count(NodeId v) const noexcept {
+    OPTCHAIN_EXPECTS(v < num_nodes());
+    return spender_counts_[v];
+  }
+
+  bool is_coinbase(NodeId u) const noexcept { return input_degree(u) == 0; }
+
+  /// Undirected view (one neighbor entry per edge endpoint) for offline
+  /// partitioning. O(V + E).
+  Csr to_undirected() const;
+
+  /// Reverse adjacency (spenders of each node), materialized in O(V + E).
+  Csr to_spenders() const;
+
+ private:
+  // input_offsets_ has num_nodes()+1 entries; node u's inputs are
+  // input_targets_[input_offsets_[u] .. input_offsets_[u+1]).
+  std::vector<std::uint64_t> input_offsets_{0};
+  std::vector<NodeId> input_targets_;
+  std::vector<std::uint32_t> spender_counts_;
+};
+
+/// Degree statistics of a TaN DAG as reported in the paper's Fig. 2:
+/// histograms of input-degree and spender-degree, counts of coinbase and
+/// unspent-frontier nodes, and the average degree over arrival time.
+struct TanDegreeStats {
+  std::uint64_t nodes = 0;
+  std::uint64_t edges = 0;
+  std::uint64_t coinbase_nodes = 0;     // no inputs
+  std::uint64_t unspent_nodes = 0;      // no spenders yet
+  std::uint64_t isolated_nodes = 0;     // neither inputs nor spenders
+  double average_degree = 0.0;          // edges / nodes (avg in- or out-degree)
+};
+
+TanDegreeStats compute_degree_stats(const TanDag& dag);
+
+}  // namespace optchain::graph

@@ -1,0 +1,3 @@
+// Header-only (template) module; this translation unit exists so the target
+// has a compiled artifact and a place for future non-template helpers.
+#include "latency/quadrature.hpp"

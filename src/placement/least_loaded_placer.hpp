@@ -1,0 +1,20 @@
+// Pure load-balancing baseline: always the currently smallest shard.
+// Not in the paper's line-up; used in the ablation benchmarks to separate
+// "temporal balance only" from OptChain's combined objective.
+#pragma once
+
+#include "placement/placer.hpp"
+
+namespace optchain::placement {
+
+class LeastLoadedPlacer final : public Placer {
+ public:
+  ShardId choose(const PlacementRequest& /*request*/,
+                 const ShardAssignment& assignment) override {
+    return assignment.least_loaded();
+  }
+
+  std::string_view name() const noexcept override { return "LeastLoaded"; }
+};
+
+}  // namespace optchain::placement

@@ -1,0 +1,8 @@
+#include "placement/placer.hpp"
+
+namespace optchain::placement {
+
+void Placer::notify_placed(const PlacementRequest& /*request*/,
+                           ShardId /*shard*/) {}
+
+}  // namespace optchain::placement

@@ -1,0 +1,51 @@
+// Placement strategy interface.
+//
+// Every strategy from the paper's evaluation (OptChain, OmniLedger random,
+// Greedy, offline Metis) implements Placer. The driving loop is:
+//
+//   ShardId shard = placer.choose(request, assignment);
+//   assignment.record(request.index, shard);
+//   placer.notify_placed(request, shard);
+//
+// choose() must not mutate the assignment; notify_placed() lets stateful
+// strategies (OptChain's T2S vectors) finalize their per-transaction state
+// after the decision is recorded.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "latency/l2s_model.hpp"
+#include "placement/shard_assignment.hpp"
+#include "txmodel/transaction.hpp"
+
+namespace optchain::placement {
+
+struct PlacementRequest {
+  tx::TxIndex index = tx::kInvalidTx;
+  /// Distinct input transactions (the TaN neighborhood Nin(u)); empty for
+  /// coinbase.
+  std::span<const tx::TxIndex> input_txs;
+  /// 64-bit transaction hash (txid truncation); drives random placement.
+  std::uint64_t hash64 = 0;
+  /// Client-observed per-shard timing estimates for the L2S score; empty when
+  /// no latency information is available (placement-only experiments).
+  std::span<const latency::ShardTiming> timings;
+};
+
+class Placer {
+ public:
+  virtual ~Placer() = default;
+
+  /// Picks the shard for the arriving transaction.
+  virtual ShardId choose(const PlacementRequest& request,
+                         const ShardAssignment& assignment) = 0;
+
+  /// Called after the decision has been recorded in the assignment.
+  virtual void notify_placed(const PlacementRequest& request, ShardId shard);
+
+  virtual std::string_view name() const noexcept = 0;
+};
+
+}  // namespace optchain::placement

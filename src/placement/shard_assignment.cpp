@@ -1,0 +1,33 @@
+#include "placement/shard_assignment.hpp"
+
+#include <algorithm>
+
+namespace optchain::placement {
+
+std::vector<ShardId> ShardAssignment::input_shards(
+    std::span<const tx::TxIndex> inputs) const {
+  std::vector<ShardId> shards;
+  shards.reserve(inputs.size());
+  for (const tx::TxIndex input : inputs) {
+    const ShardId s = shard_of(input);
+    if (std::find(shards.begin(), shards.end(), s) == shards.end()) {
+      shards.push_back(s);
+    }
+  }
+  return shards;
+}
+
+bool ShardAssignment::is_cross_shard(std::span<const tx::TxIndex> inputs,
+                                     ShardId shard) const {
+  for (const tx::TxIndex input : inputs) {
+    if (shard_of(input) != shard) return true;
+  }
+  return false;
+}
+
+ShardId ShardAssignment::least_loaded() const noexcept {
+  const auto it = std::min_element(sizes_.begin(), sizes_.end());
+  return static_cast<ShardId>(it - sizes_.begin());
+}
+
+}  // namespace optchain::placement

@@ -1,0 +1,68 @@
+// Global transaction-to-shard assignment state shared by every placement
+// strategy: which shard each past transaction lives in and how large each
+// shard is. In paper terms this is the partition S = {S₁, ..., S_k} of the
+// TaN node set (§IV.A), updated online as transactions are placed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "txmodel/transaction.hpp"
+
+namespace optchain::placement {
+
+using ShardId = std::uint32_t;
+inline constexpr ShardId kUnplaced = static_cast<ShardId>(-1);
+
+class ShardAssignment {
+ public:
+  explicit ShardAssignment(std::uint32_t k) : sizes_(k, 0) {
+    OPTCHAIN_EXPECTS(k >= 1);
+  }
+
+  std::uint32_t k() const noexcept {
+    return static_cast<std::uint32_t>(sizes_.size());
+  }
+
+  /// Records the placement of the next transaction (dense index order).
+  void record(tx::TxIndex index, ShardId shard) {
+    OPTCHAIN_EXPECTS(index == shard_of_.size());
+    OPTCHAIN_EXPECTS(shard < k());
+    shard_of_.push_back(shard);
+    ++sizes_[shard];
+  }
+
+  ShardId shard_of(tx::TxIndex index) const noexcept {
+    OPTCHAIN_EXPECTS(index < shard_of_.size());
+    return shard_of_[index];
+  }
+
+  std::uint64_t size_of(ShardId shard) const noexcept {
+    OPTCHAIN_EXPECTS(shard < k());
+    return sizes_[shard];
+  }
+
+  std::uint64_t total() const noexcept { return shard_of_.size(); }
+  const std::vector<std::uint64_t>& sizes() const noexcept { return sizes_; }
+
+  /// Distinct shards containing the given (already placed) transactions —
+  /// the input-shard set Sin(u). Order is first-seen.
+  std::vector<ShardId> input_shards(std::span<const tx::TxIndex> inputs) const;
+
+  /// A transaction with the given inputs, placed into `shard`, is cross-shard
+  /// iff some input lives elsewhere (Sin(u) ≠ {S(u)}; coinbase is never
+  /// cross-shard).
+  bool is_cross_shard(std::span<const tx::TxIndex> inputs,
+                      ShardId shard) const;
+
+  /// Least-loaded shard (lowest id wins ties).
+  ShardId least_loaded() const noexcept;
+
+ private:
+  std::vector<ShardId> shard_of_;
+  std::vector<std::uint64_t> sizes_;
+};
+
+}  // namespace optchain::placement

@@ -1,0 +1,35 @@
+// Offline (oracle) placement: replays a precomputed partition — in the paper,
+// the Metis k-way solution computed on the *whole* TaN network before the
+// stream is run ("we first input the whole TaN network to get its Metis
+// solution and then use the resulting partitions to determine S(u)", §V.A).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "placement/placer.hpp"
+
+namespace optchain::placement {
+
+class StaticPlacer final : public Placer {
+ public:
+  explicit StaticPlacer(std::vector<std::uint32_t> parts,
+                        std::string_view label = "Metis")
+      : parts_(std::move(parts)), label_(label) {}
+
+  ShardId choose(const PlacementRequest& request,
+                 const ShardAssignment& assignment) override {
+    OPTCHAIN_EXPECTS(request.index < parts_.size());
+    const ShardId shard = parts_[request.index];
+    OPTCHAIN_EXPECTS(shard < assignment.k());
+    return shard;
+  }
+
+  std::string_view name() const noexcept override { return label_; }
+
+ private:
+  std::vector<std::uint32_t> parts_;
+  std::string_view label_;
+};
+
+}  // namespace optchain::placement

@@ -1,0 +1,42 @@
+#include "sim/consensus.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace optchain::sim {
+
+ConsensusModel::ConsensusModel(const ConsensusConfig& config,
+                               const NetworkModel& network,
+                               const Position& leader, Rng& rng)
+    : config_(config) {
+  OPTCHAIN_EXPECTS(config.committee_size >= 1);
+  OPTCHAIN_EXPECTS(config.txs_per_block >= 1);
+
+  // Sample the committee geography: mean leader<->validator round trip.
+  // A modest sample is enough — the mean concentrates quickly and the whole
+  // committee need not be materialized.
+  const std::uint32_t sample =
+      std::min<std::uint32_t>(config.committee_size, 64);
+  double total_rtt = 0.0;
+  for (std::uint32_t i = 0; i < sample; ++i) {
+    const Position validator = network.random_position(rng);
+    total_rtt += 2.0 * network.propagation_delay(leader, validator);
+  }
+  committee_rtt_ = total_rtt / sample;
+  gossip_depth_ = std::ceil(std::log2(static_cast<double>(
+      std::max<std::uint32_t>(2, config.committee_size))));
+  per_block_transfer_s_ = network.transfer_time(config.block_bytes);
+}
+
+double ConsensusModel::round_duration(std::uint32_t txs_in_block) const {
+  OPTCHAIN_EXPECTS(txs_in_block <= config_.txs_per_block);
+  const double fill = static_cast<double>(txs_in_block) /
+                      static_cast<double>(config_.txs_per_block);
+  return config_.prepare_overhead_s + committee_rtt_ * gossip_depth_ +
+         per_block_transfer_s_ * fill +
+         config_.per_tx_validation_s * txs_in_block;
+}
+
+}  // namespace optchain::sim

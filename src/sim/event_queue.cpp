@@ -1,0 +1,32 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace optchain::sim {
+
+void EventQueue::schedule(SimTime at, Action action) {
+  OPTCHAIN_EXPECTS(at >= now_);
+  heap_.push(Entry{at, next_seq_++, std::move(action)});
+}
+
+bool EventQueue::run_one() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; the action must be moved out before pop.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  OPTCHAIN_ASSERT(entry.time >= now_);
+  now_ = entry.time;
+  entry.action();
+  return true;
+}
+
+std::uint64_t EventQueue::run_until(SimTime horizon) {
+  std::uint64_t executed = 0;
+  while (!heap_.empty() && heap_.top().time <= horizon) {
+    run_one();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace optchain::sim

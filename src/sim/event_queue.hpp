@@ -1,0 +1,62 @@
+// Deterministic discrete-event core.
+//
+// Events are (time, sequence, action); the sequence number breaks time ties
+// in schedule order, so a simulation run is a pure function of its inputs and
+// seed — the property every integration test and every paper experiment rely
+// on (determinism is tested in tests/sim_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace optchain::sim {
+
+using SimTime = double;  // seconds
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` at absolute time `at` (must not precede now()).
+  void schedule(SimTime at, Action action);
+
+  /// Schedules `action` `delay` seconds from now.
+  void schedule_in(SimTime delay, Action action) {
+    schedule(now_ + delay, std::move(action));
+  }
+
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t pending() const noexcept { return heap_.size(); }
+  SimTime now() const noexcept { return now_; }
+
+  /// Pops and runs the earliest event; advances now(). Returns false when the
+  /// queue is empty.
+  bool run_one();
+
+  /// Runs until the queue drains or now() would exceed `horizon`.
+  /// Returns the number of events executed.
+  std::uint64_t run_until(SimTime horizon);
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace optchain::sim

@@ -1,0 +1,24 @@
+#include "sim/network.hpp"
+
+#include <cmath>
+
+namespace optchain::sim {
+
+double NetworkModel::propagation_delay(const Position& a,
+                                       const Position& b) const {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  const double distance = std::sqrt(dx * dx + dy * dy);
+  // Unit square diagonal is sqrt(2); normalize so the farthest pair pays
+  // exactly max_distance_latency_s on top of the base.
+  constexpr double kDiagonal = 1.4142135623730951;
+  return config_.base_latency_s +
+         config_.max_distance_latency_s * (distance / kDiagonal);
+}
+
+double NetworkModel::message_delay(const Position& a, const Position& b,
+                                   std::uint64_t bytes) const {
+  return propagation_delay(a, b) + transfer_time(bytes);
+}
+
+}  // namespace optchain::sim

@@ -1,0 +1,56 @@
+// Network model, matching the paper's simulation configuration (§V.A):
+// every link carries a 100 ms base latency plus a distance-dependent term
+// ("the distance between nodes affects the communication latency"), and
+// 20 Mbps of bandwidth determines the serialization delay of block-sized
+// messages. Shard leaders, validators, and the client sit at random
+// coordinates on a unit square.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace optchain::sim {
+
+struct NetworkConfig {
+  double base_latency_s = 0.100;      // paper: 100 ms on all links
+  double max_distance_latency_s = 0.050;  // corner-to-corner extra latency
+  double bandwidth_bps = 20e6;        // paper: 20 Mbps
+};
+
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+class NetworkModel {
+ public:
+  explicit NetworkModel(NetworkConfig config = {}) : config_(config) {}
+
+  /// Samples a uniform position on the unit square.
+  Position random_position(Rng& rng) const {
+    return {rng.uniform01(), rng.uniform01()};
+  }
+
+  /// One-way propagation latency between two positions (no payload).
+  double propagation_delay(const Position& a, const Position& b) const;
+
+  /// One-way delivery time of a message of `bytes` between two positions:
+  /// propagation + serialization at the configured bandwidth.
+  double message_delay(const Position& a, const Position& b,
+                       std::uint64_t bytes) const;
+
+  /// Serialization time alone (used by the consensus model for block
+  /// dissemination).
+  double transfer_time(std::uint64_t bytes) const {
+    return static_cast<double>(bytes) * 8.0 / config_.bandwidth_bps;
+  }
+
+  const NetworkConfig& config() const noexcept { return config_; }
+
+ private:
+  NetworkConfig config_;
+};
+
+}  // namespace optchain::sim

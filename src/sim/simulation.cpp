@@ -1,0 +1,331 @@
+#include "sim/simulation.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/assert.hpp"
+
+namespace optchain::sim {
+
+Simulation::Simulation(SimConfig config)
+    : config_(config),
+      network_(config.network),
+      rng_(config.seed),
+      result_{} {
+  OPTCHAIN_EXPECTS(config_.num_shards >= 1);
+  OPTCHAIN_EXPECTS(config_.tx_rate_tps > 0.0);
+
+  client_position_ = network_.random_position(rng_);
+  shards_.reserve(config_.num_shards);
+  for (std::uint32_t s = 0; s < config_.num_shards; ++s) {
+    const Position leader = network_.random_position(rng_);
+    ConsensusModel model(config_.consensus, network_, leader, rng_);
+    ShardFaults faults;
+    faults.slowdown =
+        s < config_.shard_slowdown.size() ? config_.shard_slowdown[s] : 1.0;
+    faults.leader_fault_rate = config_.leader_fault_rate;
+    faults.view_change_penalty_s = config_.view_change_penalty_s;
+    faults.seed = config_.seed;
+    shards_.push_back(std::make_unique<ShardNode>(
+        s, leader, std::move(model), events_,
+        [this](std::uint32_t shard, const QueueItem& item, SimTime time) {
+          on_item_committed(shard, item, time);
+        },
+        faults));
+  }
+}
+
+std::vector<latency::ShardTiming> Simulation::observe_timings() const {
+  // What a client can see of each shard (paper §IV.C): the round-trip time it
+  // samples itself, and a verification-time estimate formed from the shard's
+  // recent consensus duration scaled by the mempool backlog.
+  std::vector<latency::ShardTiming> timings(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const ShardNode& shard = *shards_[s];
+    timings[s].mean_comm =
+        2.0 * network_.propagation_delay(client_position_,
+                                         shard.leader_position());
+    const double backlog_blocks =
+        static_cast<double>(shard.queue_size()) /
+        static_cast<double>(config_.consensus.txs_per_block);
+    timings[s].mean_verify =
+        shard.last_round_duration() * (1.0 + backlog_blocks);
+  }
+  return timings;
+}
+
+SimResult Simulation::run(std::span<const tx::Transaction> transactions,
+                          placement::Placer& placer, graph::TanDag& dag) {
+  OPTCHAIN_EXPECTS(dag.num_nodes() == 0);
+  const std::uint64_t n = transactions.size();
+  transactions_ = transactions;
+  issue_time_.assign(n, 0.0);
+  pending_.assign(n, PendingCross{});
+  outpoint_state_.clear();
+  remaining_ = n;
+
+  result_ = SimResult{};
+  result_.placer_name = std::string(placer.name());
+  result_.total_txs = n;
+  result_.commits_per_window = stats::WindowCounter(config_.commit_window_s);
+
+  placement::ShardAssignment assignment(config_.num_shards);
+  assignment_ = &assignment;
+  constexpr std::uint64_t kMinPayloadBytes = 512;
+
+  // Issue events are chained — each schedules the next — to keep the event
+  // heap small. issue_fn lives on this frame, which outlives the event queue
+  // processing loop below.
+  std::function<void(std::uint32_t)> issue_fn = [&](std::uint32_t index) {
+    const tx::Transaction& transaction = transactions_[index];
+    OPTCHAIN_ASSERT(transaction.index == index);
+    issue_time_[index] = events_.now();
+
+    // 1. The TaN node must exist before the placer scores it.
+    const std::vector<tx::TxIndex> input_txs =
+        transaction.distinct_input_txs();
+    dag.add_node(input_txs);
+
+    // 2. Client-side placement decision, with the client's current view of
+    //    shard timings for the L2S term.
+    placement::PlacementRequest request;
+    request.index = index;
+    request.input_txs = input_txs;
+    request.hash64 = transaction.txid().low64();
+    const std::vector<latency::ShardTiming> timings = observe_timings();
+    request.timings = timings;
+
+    const placement::ShardId target = placer.choose(request, assignment);
+    assignment.record(index, target);
+    placer.notify_placed(request, target);
+
+    // 3. Dispatch into the cross-shard protocol.
+    const std::vector<placement::ShardId> input_shards =
+        assignment.input_shards(input_txs);
+    const bool cross = assignment.is_cross_shard(input_txs, target);
+    const std::uint64_t payload =
+        std::max<std::uint64_t>(transaction.serialized_size(),
+                                kMinPayloadBytes);
+    if (!cross) {
+      ShardNode& shard = *shards_[target];
+      events_.schedule_in(
+          network_.message_delay(client_position_, shard.leader_position(),
+                                 payload),
+          [&shard, index] {
+            shard.enqueue(QueueItem{index, ItemKind::kSameShard});
+          });
+    } else {
+      ++result_.cross_txs;
+      pending_[index].remaining_locks =
+          static_cast<std::uint32_t>(input_shards.size());
+      pending_[index].output_shard = target;
+      for (const placement::ShardId s : input_shards) {
+        ShardNode& shard = *shards_[s];
+        events_.schedule_in(
+            network_.message_delay(client_position_, shard.leader_position(),
+                                   payload),
+            [&shard, index] {
+              shard.enqueue(QueueItem{index, ItemKind::kLock});
+            });
+      }
+    }
+
+    // 4. Chain the next issue event at its nominal time index/rate.
+    const std::uint32_t next = index + 1;
+    if (next < transactions_.size()) {
+      const double next_time =
+          static_cast<double>(next) / config_.tx_rate_tps;
+      events_.schedule(next_time, [&issue_fn, next] { issue_fn(next); });
+    }
+  };
+
+  if (n > 0) {
+    events_.schedule(0.0, [&issue_fn] { issue_fn(0); });
+  }
+
+  // Periodic queue sampling (Figs. 6-7); stops once everything committed.
+  std::function<void()> sampler = [this, &sampler] {
+    sample_queues();
+    if (remaining_ > 0) {
+      events_.schedule_in(config_.queue_sample_interval_s, sampler);
+    }
+  };
+  events_.schedule(0.0, sampler);
+
+  while (remaining_ > 0 && !events_.empty() &&
+         events_.now() <= config_.max_sim_time_s) {
+    events_.run_one();
+    ++result_.total_events;
+  }
+
+  result_.committed_txs = n - remaining_ - result_.aborted_txs;
+  result_.completed = (remaining_ == 0);
+  if (result_.latencies.count() > 0) {
+    result_.avg_latency_s = result_.latencies.average();
+    result_.max_latency_s = result_.latencies.maximum();
+  }
+  if (result_.duration_s > 0.0) {
+    result_.throughput_tps =
+        static_cast<double>(result_.committed_txs) / result_.duration_s;
+  }
+  for (const auto& shard : shards_) {
+    result_.total_blocks += shard->blocks_committed();
+  }
+  result_.final_shard_sizes.assign(config_.num_shards, 0);
+  for (std::uint64_t i = 0; i < assignment.total(); ++i) {
+    ++result_.final_shard_sizes[assignment.shard_of(
+        static_cast<tx::TxIndex>(i))];
+  }
+  assignment_ = nullptr;
+  return result_;
+}
+
+std::vector<tx::OutPoint> Simulation::inputs_owned_by(
+    std::uint32_t index, std::uint32_t shard) const {
+  std::vector<tx::OutPoint> owned;
+  for (const tx::OutPoint& point : transactions_[index].inputs) {
+    if (assignment_->shard_of(point.tx) == shard) owned.push_back(point);
+  }
+  return owned;
+}
+
+bool Simulation::try_lock_inputs(std::uint32_t index, std::uint32_t shard) {
+  const std::vector<tx::OutPoint> owned = inputs_owned_by(index, shard);
+  for (const tx::OutPoint& point : owned) {
+    const auto it = outpoint_state_.find(outpoint_key(point));
+    if (it != outpoint_state_.end() && it->second.second != index) {
+      return false;  // held or spent by a conflicting transaction
+    }
+  }
+  for (const tx::OutPoint& point : owned) {
+    outpoint_state_[outpoint_key(point)] = {OutpointState::kLocked, index};
+  }
+  return true;
+}
+
+void Simulation::release_locks(std::uint32_t index, std::uint32_t shard) {
+  for (const tx::OutPoint& point : inputs_owned_by(index, shard)) {
+    const auto it = outpoint_state_.find(outpoint_key(point));
+    if (it != outpoint_state_.end() &&
+        it->second == std::make_pair(OutpointState::kLocked, index)) {
+      outpoint_state_.erase(it);
+    }
+  }
+}
+
+void Simulation::spend_inputs(std::uint32_t index) {
+  for (const tx::OutPoint& point : transactions_[index].inputs) {
+    auto& entry = outpoint_state_[outpoint_key(point)];
+    OPTCHAIN_ASSERT(entry.first != OutpointState::kSpent ||
+                    entry.second == index);
+    entry = {OutpointState::kSpent, index};
+  }
+}
+
+void Simulation::on_item_committed(std::uint32_t shard, const QueueItem& item,
+                                   SimTime time) {
+  switch (item.kind) {
+    case ItemKind::kSameShard: {
+      // Single-pass validation: all inputs live here. A conflict (outpoint
+      // already locked/spent by another transaction) is rejected outright.
+      if (try_lock_inputs(item.tx, shard)) {
+        spend_inputs(item.tx);
+        commit_transaction(item.tx, time);
+      } else {
+        abort_transaction(item.tx, time);
+      }
+      break;
+    }
+    case ItemKind::kCommit:
+      // Unlock-to-commit at the output shard: locks become permanent spends.
+      spend_inputs(item.tx);
+      commit_transaction(item.tx, time);
+      break;
+    case ItemKind::kLock: {
+      // Validate and lock this shard's inputs; the proof (acceptance or
+      // rejection) travels to the decision point — the client in OmniLedger,
+      // the output committee in RapidChain.
+      const std::uint32_t index = item.tx;
+      const bool accepted = try_lock_inputs(index, shard);
+      ShardNode& origin = *shards_[shard];
+      const Position decision_point =
+          config_.protocol == ProtocolMode::kOmniLedger
+              ? client_position_
+              : shards_[pending_[index].output_shard]->leader_position();
+      const double delay = network_.message_delay(
+          origin.leader_position(), decision_point, config_.proof_bytes);
+      events_.schedule_in(delay, [this, index, accepted, shard] {
+        handle_proof(index, accepted, shard);
+      });
+      break;
+    }
+  }
+}
+
+void Simulation::handle_proof(std::uint32_t index, bool accepted,
+                              std::uint32_t from_shard) {
+  PendingCross& pending = pending_[index];
+  OPTCHAIN_ASSERT(pending.remaining_locks > 0);
+  if (accepted) {
+    pending.accepted_shards.push_back(from_shard);
+  } else {
+    pending.rejected = true;
+  }
+  if (--pending.remaining_locks > 0) return;
+
+  ShardNode& output = *shards_[pending.output_shard];
+  const Position decision_point =
+      config_.protocol == ProtocolMode::kOmniLedger
+          ? client_position_
+          : output.leader_position();
+
+  if (!pending.rejected) {
+    // All proofs of acceptance: unlock-to-commit to the output shard.
+    const double to_output = network_.message_delay(
+        decision_point, output.leader_position(), config_.proof_bytes + 512);
+    events_.schedule_in(to_output, [index, &output] {
+      output.enqueue(QueueItem{index, ItemKind::kCommit});
+    });
+    return;
+  }
+
+  // At least one proof-of-rejection: unlock-to-abort reclaims the locks at
+  // every shard that accepted, and the transaction is abandoned.
+  for (const std::uint32_t shard : pending.accepted_shards) {
+    const double to_shard = network_.message_delay(
+        decision_point, shards_[shard]->leader_position(),
+        config_.proof_bytes);
+    events_.schedule_in(to_shard, [this, index, shard] {
+      release_locks(index, shard);
+    });
+  }
+  abort_transaction(index, events_.now());
+}
+
+void Simulation::commit_transaction(std::uint32_t index, SimTime time) {
+  OPTCHAIN_ASSERT(remaining_ > 0);
+  const double latency = time - issue_time_[index];
+  OPTCHAIN_ASSERT(latency >= 0.0);
+  result_.latencies.record(latency);
+  result_.commits_per_window.record(time);
+  result_.duration_s = std::max(result_.duration_s, time);
+  --remaining_;
+}
+
+void Simulation::abort_transaction(std::uint32_t index, SimTime time) {
+  (void)index;
+  OPTCHAIN_ASSERT(remaining_ > 0);
+  ++result_.aborted_txs;
+  result_.duration_s = std::max(result_.duration_s, time);
+  --remaining_;
+}
+
+void Simulation::sample_queues() {
+  std::vector<std::uint64_t> sizes(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    sizes[s] = shards_[s]->queue_size();
+  }
+  result_.queue_tracker.record(events_.now(), sizes);
+}
+
+}  // namespace optchain::sim

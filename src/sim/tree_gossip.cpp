@@ -1,0 +1,149 @@
+#include "sim/tree_gossip.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "sim/event_queue.hpp"
+
+namespace optchain::sim {
+namespace {
+
+/// One phase: the payload flows root -> leaves along the tree, each node
+/// responds as soon as its whole subtree has responded, and the phase ends
+/// when the root holds every response. Returns the phase duration.
+///
+/// Node 0 is the leader; nodes 1..n are validators; the parent of node i
+/// (i >= 1) is (i - 1) / branching.
+class TreePhase {
+ public:
+  TreePhase(const NetworkModel& network, std::vector<Position> positions,
+            std::uint32_t branching, std::uint64_t down_bytes,
+            std::uint64_t up_bytes, double node_compute)
+      : network_(network),
+        positions_(std::move(positions)),
+        branching_(branching),
+        down_bytes_(down_bytes),
+        up_bytes_(up_bytes),
+        node_compute_(node_compute),
+        pending_children_(positions_.size(), 0),
+        subtree_done_at_(positions_.size(), 0.0) {
+    OPTCHAIN_EXPECTS(branching_ >= 1);
+  }
+
+  double run() {
+    const std::size_t n = positions_.size();
+    for (std::size_t i = 1; i < n; ++i) {
+      ++pending_children_[parent_of(i)];
+    }
+    // Deliver downward from the root at t=0.
+    deliver_down(0, 0.0);
+    while (events_.run_one()) {
+    }
+    return done_time_;
+  }
+
+ private:
+  std::size_t parent_of(std::size_t i) const noexcept {
+    return (i - 1) / branching_;
+  }
+
+  void deliver_down(std::size_t node, double now) {
+    // Node receives the payload at `now`, validates, forwards to children.
+    const double ready = now + node_compute_;
+    bool has_children = false;
+    for (std::uint32_t c = 1; c <= branching_; ++c) {
+      const std::size_t child = node * branching_ + c;
+      if (child >= positions_.size()) break;
+      has_children = true;
+      const double delay = network_.message_delay(
+          positions_[node], positions_[child], down_bytes_);
+      events_.schedule(ready + delay, [this, child] {
+        deliver_down(child, events_.now());
+      });
+    }
+    if (!has_children) {
+      // Leaf: respond immediately after validation.
+      respond_up(node, ready);
+    }
+  }
+
+  void respond_up(std::size_t node, double now) {
+    subtree_done_at_[node] = std::max(subtree_done_at_[node], now);
+    if (node == 0) {
+      done_time_ = std::max(done_time_, now);
+      return;
+    }
+    const std::size_t parent = parent_of(node);
+    const double delay = network_.message_delay(positions_[node],
+                                                positions_[parent], up_bytes_);
+    events_.schedule(now + delay, [this, parent] {
+      OPTCHAIN_ASSERT(pending_children_[parent] > 0);
+      if (--pending_children_[parent] == 0) {
+        // Parent aggregates once all children reported; its own response
+        // (already validated on the way down) joins the aggregate.
+        respond_up(parent, events_.now());
+      }
+    });
+  }
+
+  const NetworkModel& network_;
+  std::vector<Position> positions_;
+  std::uint32_t branching_;
+  std::uint64_t down_bytes_;
+  std::uint64_t up_bytes_;
+  double node_compute_;
+
+  EventQueue events_;
+  std::vector<std::uint32_t> pending_children_;
+  std::vector<double> subtree_done_at_;
+  double done_time_ = 0.0;
+};
+
+}  // namespace
+
+double simulate_tree_gossip_round(const NetworkModel& network,
+                                  const Position& leader,
+                                  std::span<const Position> validators,
+                                  const ConsensusConfig& consensus,
+                                  std::uint32_t txs_in_block,
+                                  const TreeGossipConfig& config) {
+  OPTCHAIN_EXPECTS(txs_in_block <= consensus.txs_per_block);
+  std::vector<Position> tree;
+  tree.reserve(validators.size() + 1);
+  tree.push_back(leader);
+  tree.insert(tree.end(), validators.begin(), validators.end());
+
+  const double fill = static_cast<double>(txs_in_block) /
+                      static_cast<double>(consensus.txs_per_block);
+  const auto block_bytes = static_cast<std::uint64_t>(
+      fill * static_cast<double>(consensus.block_bytes));
+  const double validation =
+      consensus.per_tx_validation_s * txs_in_block;
+
+  // Phase 1 (prepare): full block travels down, signature shares up.
+  TreePhase prepare(network, tree, config.branching, block_bytes,
+                    config.response_bytes, validation);
+  // Phase 2 (commit): only the aggregate announcement travels (small), no
+  // re-validation.
+  TreePhase commit(network, tree, config.branching, config.response_bytes,
+                   config.response_bytes, 0.0);
+  return consensus.prepare_overhead_s + prepare.run() + commit.run();
+}
+
+double simulate_tree_gossip_round(const NetworkModel& network,
+                                  const Position& leader,
+                                  const ConsensusConfig& consensus,
+                                  std::uint32_t txs_in_block, Rng& rng,
+                                  const TreeGossipConfig& config) {
+  std::vector<Position> validators;
+  const std::uint32_t n =
+      consensus.committee_size > 0 ? consensus.committee_size - 1 : 0;
+  validators.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    validators.push_back(network.random_position(rng));
+  }
+  return simulate_tree_gossip_round(network, leader, validators, consensus,
+                                    txs_in_block, config);
+}
+
+}  // namespace optchain::sim

@@ -1,0 +1,57 @@
+// Message-level intra-shard consensus round (ByzCoinX-style tree gossip).
+//
+// The main simulator abstracts a committee round to the closed-form
+// ConsensusModel (DESIGN.md substitution #2). This module simulates the same
+// round at per-message fidelity so that abstraction can be *validated*
+// rather than assumed:
+//
+//   - the leader multicasts the block proposal down a branching-factor-b
+//     communication tree over the committee (store-and-forward: every hop
+//     pays propagation latency plus serialization of the full block),
+//   - validators validate (per-transaction cost) and aggregate signed
+//     responses back up the tree (small messages),
+//   - a second announce/collect wave (the commit phase) finishes the round.
+//
+// simulate_tree_gossip_round() returns the completion time of one round on a
+// dedicated event queue. tests/sim_test.cpp checks the closed-form
+// ConsensusModel stays within a small band of this ground truth across
+// committee sizes and block fills; bench_micro quantifies the fidelity/cost
+// gap between the two.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/consensus.hpp"
+#include "sim/network.hpp"
+
+namespace optchain::sim {
+
+struct TreeGossipConfig {
+  /// Communication-tree fan-out. ByzCoinX uses shallow, wide trees so block
+  /// dissemination is nearly single-hop; 8 keeps a 400-validator committee
+  /// at depth 3.
+  std::uint32_t branching = 8;
+  std::uint64_t response_bytes = 192;  // aggregated signature share
+};
+
+/// Simulates one two-phase tree-gossip consensus round at message level.
+/// `validators` are the committee members' positions (the leader is separate
+/// and forms the tree root). Returns the round duration in seconds.
+double simulate_tree_gossip_round(const NetworkModel& network,
+                                  const Position& leader,
+                                  std::span<const Position> validators,
+                                  const ConsensusConfig& consensus,
+                                  std::uint32_t txs_in_block,
+                                  const TreeGossipConfig& config = {});
+
+/// Convenience: samples `committee_size - 1` validator positions with `rng`
+/// and runs the round (mirrors how ConsensusModel samples its committee).
+double simulate_tree_gossip_round(const NetworkModel& network,
+                                  const Position& leader,
+                                  const ConsensusConfig& consensus,
+                                  std::uint32_t txs_in_block, Rng& rng,
+                                  const TreeGossipConfig& config = {});
+
+}  // namespace optchain::sim

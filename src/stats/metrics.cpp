@@ -1,0 +1,42 @@
+#include "stats/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace optchain::stats {
+
+WindowCounter::WindowCounter(double window_seconds)
+    : window_seconds_(window_seconds) {
+  OPTCHAIN_EXPECTS(window_seconds > 0.0);
+}
+
+void WindowCounter::record(double time_seconds, std::uint64_t count) {
+  OPTCHAIN_EXPECTS(time_seconds >= 0.0);
+  const auto window = static_cast<std::size_t>(time_seconds / window_seconds_);
+  if (window >= counts_.size()) counts_.resize(window + 1, 0);
+  counts_[window] += count;
+}
+
+std::uint64_t WindowCounter::count_in_window(std::size_t window) const noexcept {
+  return window < counts_.size() ? counts_[window] : 0;
+}
+
+void QueueTracker::record(double time_seconds,
+                          const std::vector<std::uint64_t>& queues) {
+  OPTCHAIN_EXPECTS(!queues.empty());
+  QueueSnapshot snap;
+  snap.time = time_seconds;
+  snap.max_queue = *std::max_element(queues.begin(), queues.end());
+  snap.min_queue = *std::min_element(queues.begin(), queues.end());
+  global_max_ = std::max(global_max_, snap.max_queue);
+  snapshots_.push_back(snap);
+}
+
+double QueueTracker::worst_ratio() const noexcept {
+  double worst = 0.0;
+  for (const auto& snap : snapshots_) worst = std::max(worst, snap.ratio());
+  return worst;
+}
+
+}  // namespace optchain::stats

@@ -1,0 +1,104 @@
+// Experiment metric collectors.
+//
+// These map one-to-one onto the measurements in the paper's evaluation:
+//  - LatencyRecorder   → Figs. 8, 9, 10 (avg/max latency, latency CDF)
+//  - WindowCounter     → Fig. 5 (transactions committed per 50 s window)
+//  - QueueTracker      → Figs. 6, 7 (max/min shard queue sizes and their ratio)
+//  - CrossTxCounter    → Tables I, II (cross-shard transaction counts)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.hpp"
+
+namespace optchain::stats {
+
+/// Records per-transaction confirmation latencies ("the time from when the
+/// transaction is sent until it is committed to the blockchain").
+class LatencyRecorder {
+ public:
+  void record(double latency_seconds) { samples_.add(latency_seconds); }
+
+  std::size_t count() const noexcept { return samples_.count(); }
+  double average() const noexcept { return samples_.mean(); }
+  double maximum() const noexcept { return samples_.max(); }
+  double quantile(double q) const { return samples_.quantile(q); }
+
+  /// Fraction of transactions confirmed within each threshold (Fig. 10).
+  std::vector<double> cdf_at(const std::vector<double>& thresholds) const {
+    return samples_.cdf_at(thresholds);
+  }
+
+ private:
+  SampleStats samples_;
+};
+
+/// Counts events into fixed-width time windows (window index = t / width).
+class WindowCounter {
+ public:
+  explicit WindowCounter(double window_seconds);
+
+  void record(double time_seconds, std::uint64_t count = 1);
+
+  double window_seconds() const noexcept { return window_seconds_; }
+  std::size_t num_windows() const noexcept { return counts_.size(); }
+  std::uint64_t count_in_window(std::size_t window) const noexcept;
+  const std::vector<std::uint64_t>& counts() const noexcept { return counts_; }
+
+ private:
+  double window_seconds_;
+  std::vector<std::uint64_t> counts_;
+};
+
+/// Periodic snapshot of per-shard queue sizes.
+struct QueueSnapshot {
+  double time = 0.0;
+  std::uint64_t max_queue = 0;
+  std::uint64_t min_queue = 0;
+
+  /// max/min with the paper's convention that an idle (zero) minimum makes
+  /// the ratio diverge; we report min clamped to 1 to keep it finite.
+  double ratio() const noexcept {
+    return static_cast<double>(max_queue) /
+           static_cast<double>(min_queue == 0 ? 1 : min_queue);
+  }
+};
+
+class QueueTracker {
+ public:
+  void record(double time_seconds, const std::vector<std::uint64_t>& queues);
+
+  const std::vector<QueueSnapshot>& snapshots() const noexcept {
+    return snapshots_;
+  }
+  std::uint64_t global_max() const noexcept { return global_max_; }
+  double worst_ratio() const noexcept;
+
+ private:
+  std::vector<QueueSnapshot> snapshots_;
+  std::uint64_t global_max_ = 0;
+};
+
+/// Same-shard vs cross-shard placement accounting.
+class CrossTxCounter {
+ public:
+  void record(bool is_cross) noexcept {
+    ++total_;
+    if (is_cross) ++cross_;
+  }
+
+  std::uint64_t total() const noexcept { return total_; }
+  std::uint64_t cross() const noexcept { return cross_; }
+  double fraction() const noexcept {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(cross_) /
+                             static_cast<double>(total_);
+  }
+
+ private:
+  std::uint64_t total_ = 0;
+  std::uint64_t cross_ = 0;
+};
+
+}  // namespace optchain::stats

@@ -1,0 +1,107 @@
+#include "txmodel/utxo_set.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace optchain::tx {
+
+const char* to_string(ValidationError error) noexcept {
+  switch (error) {
+    case ValidationError::kOk: return "ok";
+    case ValidationError::kUnknownInputTx: return "unknown input transaction";
+    case ValidationError::kBadOutputIndex: return "bad output index";
+    case ValidationError::kAlreadySpent: return "output already spent";
+    case ValidationError::kValueNotConserved: return "value not conserved";
+    case ValidationError::kDuplicateInput: return "duplicate input";
+    case ValidationError::kIndexMismatch: return "transaction index mismatch";
+  }
+  return "unknown error";
+}
+
+void UtxoSet::reserve(std::size_t txs) {
+  starts_.reserve(txs + 1);
+  outputs_.reserve(txs * 2);
+}
+
+bool UtxoSet::spent_bit(std::uint64_t flat_index) const noexcept {
+  return (spent_bits_[flat_index >> 6] >> (flat_index & 63)) & 1ULL;
+}
+
+void UtxoSet::set_spent_bit(std::uint64_t flat_index) noexcept {
+  spent_bits_[flat_index >> 6] |= 1ULL << (flat_index & 63);
+}
+
+std::uint32_t UtxoSet::num_outputs(TxIndex tx) const noexcept {
+  if (!contains_tx(tx)) return 0;
+  return static_cast<std::uint32_t>(starts_[tx + 1] - starts_[tx]);
+}
+
+std::optional<TxOut> UtxoSet::output(const OutPoint& point) const noexcept {
+  if (!contains_tx(point.tx) || point.vout >= num_outputs(point.tx)) {
+    return std::nullopt;
+  }
+  return outputs_[starts_[point.tx] + point.vout];
+}
+
+bool UtxoSet::is_spent(const OutPoint& point) const noexcept {
+  OPTCHAIN_EXPECTS(contains_tx(point.tx) &&
+                   point.vout < num_outputs(point.tx));
+  return spent_bit(starts_[point.tx] + point.vout);
+}
+
+std::vector<std::uint32_t> UtxoSet::unspent_outputs(TxIndex tx) const {
+  std::vector<std::uint32_t> out;
+  const std::uint32_t n = num_outputs(tx);
+  for (std::uint32_t vout = 0; vout < n; ++vout) {
+    if (!spent_bit(starts_[tx] + vout)) out.push_back(vout);
+  }
+  return out;
+}
+
+ValidationError UtxoSet::validate(const Transaction& tx) const noexcept {
+  if (tx.index != num_txs()) return ValidationError::kIndexMismatch;
+
+  Amount input_value = 0;
+  for (std::size_t i = 0; i < tx.inputs.size(); ++i) {
+    const OutPoint& point = tx.inputs[i];
+    if (!contains_tx(point.tx)) return ValidationError::kUnknownInputTx;
+    if (point.vout >= num_outputs(point.tx)) {
+      return ValidationError::kBadOutputIndex;
+    }
+    if (spent_bit(starts_[point.tx] + point.vout)) {
+      return ValidationError::kAlreadySpent;
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (tx.inputs[j] == point) return ValidationError::kDuplicateInput;
+    }
+    input_value += outputs_[starts_[point.tx] + point.vout].value;
+  }
+
+  if (!tx.is_coinbase() && tx.total_output() > input_value) {
+    return ValidationError::kValueNotConserved;
+  }
+  return ValidationError::kOk;
+}
+
+ValidationError UtxoSet::apply(const Transaction& tx) {
+  const ValidationError err = validate(tx);
+  if (err != ValidationError::kOk) return err;
+
+  for (const OutPoint& point : tx.inputs) {
+    const std::uint64_t flat = starts_[point.tx] + point.vout;
+    set_spent_bit(flat);
+    --unspent_count_;
+    unspent_value_ -= outputs_[flat].value;
+  }
+  for (const TxOut& out : tx.outputs) {
+    outputs_.push_back(out);
+    ++unspent_count_;
+    unspent_value_ += out.value;
+  }
+  starts_.push_back(outputs_.size());
+  spent_bits_.resize((outputs_.size() + 63) / 64, 0);
+  return ValidationError::kOk;
+}
+
+}  // namespace optchain::tx

@@ -1,0 +1,72 @@
+// Unspent-transaction-output set with validation.
+//
+// Mirrors the ledger-state component every shard maintains: which outputs
+// exist and whether they have been spent. The double-spend rule (paper §III:
+// "after this transaction is committed to a block, those UTXOs will be marked
+// as spent and cannot be used again") is enforced here and exercised by the
+// cross-shard protocol tests.
+//
+// Storage is dense per transaction (outputs plus a spent bitmask) because
+// transaction indices are dense arrival-ordered integers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "txmodel/transaction.hpp"
+
+namespace optchain::tx {
+
+enum class ValidationError : std::uint8_t {
+  kOk = 0,
+  kUnknownInputTx,       // input refers to a transaction never applied
+  kBadOutputIndex,       // vout out of range for the referenced transaction
+  kAlreadySpent,         // double spend
+  kValueNotConserved,    // outputs exceed inputs on a non-coinbase tx
+  kDuplicateInput,       // same outpoint listed twice within one transaction
+  kIndexMismatch,        // tx.index does not match the next dense index
+};
+
+const char* to_string(ValidationError error) noexcept;
+
+class UtxoSet {
+ public:
+  UtxoSet() = default;
+
+  void reserve(std::size_t txs);
+
+  /// Validates `tx` against the current state without mutating it.
+  ValidationError validate(const Transaction& tx) const noexcept;
+
+  /// Validates and applies: marks inputs spent and registers outputs.
+  /// Transactions must be applied in dense index order (0, 1, 2, ...).
+  ValidationError apply(const Transaction& tx);
+
+  bool contains_tx(TxIndex tx) const noexcept { return tx < starts_.size() - 1; }
+  std::size_t num_txs() const noexcept { return starts_.size() - 1; }
+
+  std::uint32_t num_outputs(TxIndex tx) const noexcept;
+  std::optional<TxOut> output(const OutPoint& point) const noexcept;
+  bool is_spent(const OutPoint& point) const noexcept;
+
+  /// Unspent outputs of `tx` (vout values).
+  std::vector<std::uint32_t> unspent_outputs(TxIndex tx) const;
+
+  std::uint64_t total_unspent_count() const noexcept { return unspent_count_; }
+  Amount total_unspent_value() const noexcept { return unspent_value_; }
+
+ private:
+  bool spent_bit(std::uint64_t flat_index) const noexcept;
+  void set_spent_bit(std::uint64_t flat_index) noexcept;
+
+  // Outputs of tx t occupy outputs_[starts_[t] .. starts_[t+1]).
+  std::vector<std::uint64_t> starts_{0};
+  std::vector<TxOut> outputs_;
+  std::vector<std::uint64_t> spent_bits_;  // bitmask parallel to outputs_
+  std::uint64_t unspent_count_ = 0;
+  Amount unspent_value_ = 0;
+};
+
+}  // namespace optchain::tx

@@ -1,0 +1,145 @@
+#include "workload/account_workload.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace optchain::workload {
+
+AccountWorkloadGenerator::AccountWorkloadGenerator(
+    AccountWorkloadConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  OPTCHAIN_EXPECTS(config.funding_interval >= 1);
+  OPTCHAIN_EXPECTS(config.p_new_account >= 0.0 && config.p_new_account <= 1.0);
+  OPTCHAIN_EXPECTS(config.recency_bias > 0.0 && config.recency_bias < 1.0);
+  OPTCHAIN_EXPECTS(config.initial_communities >= 1);
+  community_activity_.resize(config.initial_communities);
+}
+
+std::uint32_t AccountWorkloadGenerator::alive_communities() const noexcept {
+  return config_.initial_communities +
+         static_cast<std::uint32_t>(next_index_ /
+                                    config_.community_birth_interval);
+}
+
+std::uint32_t AccountWorkloadGenerator::pick_active_community() {
+  const std::uint32_t alive = alive_communities();
+  if (community_activity_.size() < alive) community_activity_.resize(alive);
+  const std::uint64_t age = rng_.geometric(config_.community_recency);
+  return alive - 1 -
+         static_cast<std::uint32_t>(std::min<std::uint64_t>(age, alive - 1));
+}
+
+std::uint32_t AccountWorkloadGenerator::new_account(std::uint32_t community) {
+  balances_.push_back(0);
+  account_community_.push_back(community);
+  last_writer_.push_back({});
+  return static_cast<std::uint32_t>(balances_.size() - 1);
+}
+
+std::uint32_t AccountWorkloadGenerator::pick_sender() {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    if (activity_.empty()) break;
+    const std::uint64_t offset = rng_.geometric(config_.recency_bias);
+    if (offset >= activity_.size()) continue;
+    const std::uint32_t account = activity_[activity_.size() - 1 - offset];
+    if (balances_[account] > 0) return account;
+  }
+  for (auto it = activity_.rbegin(); it != activity_.rend(); ++it) {
+    if (balances_[*it] > 0) return *it;
+  }
+  return static_cast<std::uint32_t>(-1);
+}
+
+std::uint32_t AccountWorkloadGenerator::pick_receiver(
+    std::uint32_t sender_community) {
+  const bool stay_local = !rng_.bernoulli(config_.p_cross_community);
+  if (stay_local) {
+    auto& local = community_activity_[sender_community];
+    if (local.empty() || rng_.bernoulli(config_.p_new_account)) {
+      return new_account(sender_community);
+    }
+    return local[rng_.below(local.size())];
+  }
+  if (activity_.empty() || rng_.bernoulli(config_.p_new_account)) {
+    return new_account(pick_active_community());
+  }
+  return activity_[rng_.below(activity_.size())];
+}
+
+tx::Transaction AccountWorkloadGenerator::next() {
+  tx::Transaction transaction;
+  transaction.index = static_cast<tx::TxIndex>(next_index_);
+
+  const bool funding = next_index_ % config_.funding_interval == 0 ||
+                       activity_.empty();
+  std::uint32_t sender = static_cast<std::uint32_t>(-1);
+  std::uint32_t receiver;
+  tx::Amount amount;
+
+  if (funding) {
+    receiver = rng_.bernoulli(0.5) && !balances_.empty()
+                   ? static_cast<std::uint32_t>(rng_.below(balances_.size()))
+                   : new_account(pick_active_community());
+    amount = config_.funding_amount;
+  } else {
+    sender = pick_sender();
+    if (sender == static_cast<std::uint32_t>(-1)) {
+      receiver = new_account(pick_active_community());
+      amount = config_.funding_amount;
+    } else {
+      receiver = pick_receiver(account_community_[sender]);
+      // Transfer 1..balance, biased small (most payments are fractional).
+      const tx::Amount balance = balances_[sender];
+      amount = std::max<tx::Amount>(
+          1, static_cast<tx::Amount>(
+                 static_cast<double>(balance) * rng_.uniform(0.05, 0.6)));
+    }
+  }
+
+  const bool is_transfer = sender != static_cast<std::uint32_t>(-1);
+  if (is_transfer) {
+    // The one "input": the sender account's latest state.
+    const LastWriter& writer = last_writer_[sender];
+    OPTCHAIN_ASSERT(writer.tx != tx::kInvalidTx);
+    transaction.inputs.push_back({writer.tx, writer.slot});
+    if (config_.dependency == AccountDependency::kSenderAndReceiver &&
+        last_writer_[receiver].tx != tx::kInvalidTx &&
+        receiver != sender) {
+      const LastWriter& rw = last_writer_[receiver];
+      transaction.inputs.push_back({rw.tx, rw.slot});
+    }
+    balances_[sender] -= amount;
+  }
+  balances_[receiver] += amount;
+
+  // State slots written by this transaction: slot 0 = sender's new state
+  // (transfers only), slot 1 (or 0 for funding) = receiver's new state.
+  // A self-transfer writes the account's state exactly once.
+  std::uint32_t slot = 0;
+  if (is_transfer && sender != receiver) {
+    transaction.outputs.push_back(
+        {balances_[sender], static_cast<tx::WalletId>(sender)});
+    last_writer_[sender] = {transaction.index, slot++};
+    activity_.push_back(sender);
+    community_activity_[account_community_[sender]].push_back(sender);
+  }
+  transaction.outputs.push_back(
+      {balances_[receiver], static_cast<tx::WalletId>(receiver)});
+  last_writer_[receiver] = {transaction.index, slot};
+  activity_.push_back(receiver);
+  community_activity_[account_community_[receiver]].push_back(receiver);
+
+  ++next_index_;
+  return transaction;
+}
+
+std::vector<tx::Transaction> AccountWorkloadGenerator::generate(
+    std::size_t n) {
+  std::vector<tx::Transaction> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(next());
+  return out;
+}
+
+}  // namespace optchain::workload

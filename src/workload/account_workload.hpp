@@ -1,0 +1,96 @@
+// Account-model transaction stream (Ethereum-style).
+//
+// The paper's related work singles out Ethereum 2.0 as the notable sharding
+// design on the account model, where "each transaction has only one input
+// and one output" (§II). This generator produces such a stream and maps it
+// onto the same TaN/placement machinery:
+//
+//   - each transfer moves value from a sender account to a receiver account;
+//   - a transaction depends on the *latest transaction that touched the
+//     sender's account* (its one "input"), and optionally also the
+//     receiver's last writer — the account-model analogue of spending a
+//     UTXO;
+//   - dependencies are encoded as OutPoints into per-transaction state
+//     slots: vout 0 = the sender-account state the transaction wrote,
+//     vout 1 = the receiver-account state. Each slot is consumed by exactly
+//     one successor (the account's next writer), so the stream is valid
+//     single-spend UTXO semantics and every placer/simulator in this
+//     repository runs on it unchanged.
+//
+// Under this model the TaN degenerates toward per-account chains, which is
+// exactly why transaction placement behaves differently there (see
+// bench_account_model).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "txmodel/transaction.hpp"
+
+namespace optchain::workload {
+
+enum class AccountDependency : std::uint8_t {
+  kSenderOnly,         // paper-literal: one input, one output
+  kSenderAndReceiver,  // also order against the receiver's last writer
+};
+
+struct AccountWorkloadConfig {
+  /// Every funding_interval-th transaction funds a (possibly new) account
+  /// out of thin air (the account-model coinbase analogue).
+  std::uint64_t funding_interval = 50;
+  tx::Amount funding_amount = 1'000'000'000;
+
+  /// Probability a transfer goes to a brand-new account.
+  double p_new_account = 0.2;
+
+  /// Sender recency bias (geometric over the activity history) — hot
+  /// accounts keep transacting.
+  double recency_bias = 0.03;
+
+  /// Accounts belong to communities; transfers leave the sender's community
+  /// with probability p_cross_community (same rationale as the UTXO
+  /// generator).
+  std::uint32_t initial_communities = 4;
+  std::uint64_t community_birth_interval = 4000;
+  double community_recency = 0.25;
+  double p_cross_community = 0.05;
+
+  AccountDependency dependency = AccountDependency::kSenderOnly;
+};
+
+class AccountWorkloadGenerator {
+ public:
+  explicit AccountWorkloadGenerator(AccountWorkloadConfig config = {},
+                                    std::uint64_t seed = 0xacc1);
+
+  /// Next transfer (or funding) transaction; indices are dense.
+  tx::Transaction next();
+  std::vector<tx::Transaction> generate(std::size_t n);
+
+  std::size_t num_accounts() const noexcept { return balances_.size(); }
+  std::uint64_t transactions_generated() const noexcept { return next_index_; }
+
+ private:
+  struct LastWriter {
+    tx::TxIndex tx = tx::kInvalidTx;
+    std::uint32_t slot = 0;  // which vout of that tx carries this account
+  };
+
+  std::uint32_t new_account(std::uint32_t community);
+  std::uint32_t alive_communities() const noexcept;
+  std::uint32_t pick_active_community();
+  std::uint32_t pick_sender();
+  std::uint32_t pick_receiver(std::uint32_t sender_community);
+
+  AccountWorkloadConfig config_;
+  Rng rng_;
+  std::vector<tx::Amount> balances_;
+  std::vector<std::uint32_t> account_community_;
+  std::vector<LastWriter> last_writer_;
+  std::vector<std::uint32_t> activity_;  // account ids, one per touch
+  std::vector<std::vector<std::uint32_t>> community_activity_;
+  std::uint64_t next_index_ = 0;
+};
+
+}  // namespace optchain::workload

@@ -1,0 +1,221 @@
+#include "workload/bitcoin_like_generator.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace optchain::workload {
+
+BitcoinLikeGenerator::BitcoinLikeGenerator(WorkloadConfig config,
+                                           std::uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      input_count_dist_(config.input_zipf_alpha, config.max_inputs),
+      output_count_dist_(config.output_zipf_alpha, config.max_outputs) {
+  OPTCHAIN_EXPECTS(config.coinbase_interval >= 1);
+  OPTCHAIN_EXPECTS(config.max_inputs >= 1 && config.max_outputs >= 1);
+  OPTCHAIN_EXPECTS(config.recency_bias > 0.0 && config.recency_bias < 1.0);
+  OPTCHAIN_EXPECTS(config.initial_communities >= 1);
+  OPTCHAIN_EXPECTS(config.community_birth_interval >= 1);
+  OPTCHAIN_EXPECTS(config.community_recency > 0.0 &&
+                   config.community_recency < 1.0);
+  OPTCHAIN_EXPECTS(config.p_cross_community >= 0.0 &&
+                   config.p_cross_community <= 1.0);
+  OPTCHAIN_EXPECTS(config.flood.start <= config.flood.end);
+  wallet_utxos_.reserve(1024);
+  community_receipts_.resize(config.initial_communities);
+}
+
+std::uint32_t BitcoinLikeGenerator::alive_communities() const noexcept {
+  return config_.initial_communities +
+         static_cast<std::uint32_t>(next_index_ /
+                                    config_.community_birth_interval);
+}
+
+std::uint32_t BitcoinLikeGenerator::pick_active_community() {
+  // Recency-biased draw over community birth order: freshly-born communities
+  // carry most of the activity, older ones decay.
+  const std::uint32_t alive = alive_communities();
+  if (community_receipts_.size() < alive) community_receipts_.resize(alive);
+  const std::uint64_t age = rng_.geometric(config_.community_recency);
+  return alive - 1 - static_cast<std::uint32_t>(
+                         std::min<std::uint64_t>(age, alive - 1));
+}
+
+tx::WalletId BitcoinLikeGenerator::new_wallet(std::uint32_t community) {
+  if (community == kAnyCommunity) community = pick_active_community();
+  wallet_utxos_.emplace_back();
+  wallet_community_.push_back(community);
+  return static_cast<tx::WalletId>(wallet_utxos_.size() - 1);
+}
+
+tx::WalletId BitcoinLikeGenerator::pick_recipient(
+    std::uint32_t payer_community) {
+  // Payments usually stay inside the payer's community; coinbase rewards and
+  // cross-community payments draw from the global receipt history.
+  // Preferential attachment in both cases: one history entry per past output
+  // weights wallets by how often they have received funds.
+  const bool stay_local = payer_community != kAnyCommunity &&
+                          !rng_.bernoulli(config_.p_cross_community);
+  if (stay_local) {
+    auto& local = community_receipts_[payer_community];
+    if (local.empty() || rng_.bernoulli(config_.p_new_wallet)) {
+      return new_wallet(payer_community);
+    }
+    return local[rng_.below(local.size())];
+  }
+  if (receipt_history_.empty() || rng_.bernoulli(config_.p_new_wallet)) {
+    return new_wallet(kAnyCommunity);
+  }
+  return receipt_history_[rng_.below(receipt_history_.size())];
+}
+
+tx::WalletId BitcoinLikeGenerator::pick_spender_from(
+    const std::vector<tx::WalletId>& history) {
+  // Recency-biased draw: most outputs are spent shortly after they are
+  // created (temporal locality of the Bitcoin UTXO set), so index from the
+  // back of the receipt history with a geometric offset.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    if (history.empty()) break;
+    const std::uint64_t offset = rng_.geometric(config_.recency_bias);
+    if (offset >= history.size()) continue;
+    const tx::WalletId wallet = history[history.size() - 1 - offset];
+    if (!wallet_utxos_[wallet].empty()) return wallet;
+  }
+  // Fallback: linear scan from the most recent receipts for a funded wallet.
+  for (auto it = history.rbegin(); it != history.rend(); ++it) {
+    if (!wallet_utxos_[*it].empty()) return *it;
+  }
+  return static_cast<tx::WalletId>(-1);
+}
+
+std::uint32_t BitcoinLikeGenerator::current_burst_community() {
+  const std::uint64_t burst = next_index_ / config_.burst_length;
+  if (burst != burst_id_) {
+    burst_id_ = burst;
+    burst_community_ = pick_active_community();
+  }
+  return burst_community_;
+}
+
+tx::WalletId BitcoinLikeGenerator::pick_spender() {
+  // During a burst the hot community originates most spends.
+  if (rng_.bernoulli(config_.p_burst)) {
+    const std::uint32_t hot = current_burst_community();
+    const tx::WalletId wallet =
+        pick_spender_from(community_receipts_[hot]);
+    if (wallet != static_cast<tx::WalletId>(-1)) return wallet;
+  }
+  return pick_spender_from(receipt_history_);
+}
+
+tx::Transaction BitcoinLikeGenerator::make_coinbase() {
+  tx::Transaction coinbase;
+  coinbase.index = static_cast<tx::TxIndex>(next_index_);
+  const std::uint32_t n_outputs =
+      1 + static_cast<std::uint32_t>(rng_.below(2));  // miner (+ payout)
+  const tx::Amount reward = config_.coinbase_reward;
+  for (std::uint32_t i = 0; i < n_outputs; ++i) {
+    const tx::WalletId owner = pick_recipient(kAnyCommunity);
+    coinbase.outputs.push_back(
+        {reward / n_outputs + (i == 0 ? reward % n_outputs : 0), owner});
+  }
+  return coinbase;
+}
+
+tx::Transaction BitcoinLikeGenerator::make_spend() {
+  const tx::WalletId spender = pick_spender();
+  OPTCHAIN_ASSERT(spender != static_cast<tx::WalletId>(-1));
+
+  const bool flooding =
+      next_index_ >= config_.flood.start && next_index_ < config_.flood.end;
+  const std::uint32_t want_inputs =
+      flooding ? config_.flood.inputs_per_tx : input_count_dist_.sample(rng_);
+
+  tx::Transaction spend;
+  spend.index = static_cast<tx::TxIndex>(next_index_);
+  tx::Amount input_value = 0;
+
+  // Drain UTXOs from the spender's wallet; flood transactions keep pulling
+  // additional wallets in (the 2015 spam attack consolidated dust scattered
+  // across many attacker addresses into single high-in-degree transactions).
+  tx::WalletId source = spender;
+  while (spend.inputs.size() < want_inputs) {
+    auto& pool = wallet_utxos_[source];
+    if (pool.empty()) {
+      if (!flooding) break;
+      const tx::WalletId refill = pick_spender();
+      if (refill == static_cast<tx::WalletId>(-1) || refill == source) break;
+      source = refill;
+      continue;
+    }
+    // Mostly spend the wallet's most recent UTXO; occasionally reach back,
+    // producing the long tail of old-output spends.
+    std::size_t pos = pool.size() - 1;
+    if (pool.size() > 1 && rng_.bernoulli(0.25)) {
+      pos = rng_.below(pool.size());
+    }
+    const UtxoRef ref = pool[pos];
+    pool[pos] = pool.back();
+    pool.pop_back();
+    spend.inputs.push_back({ref.tx, ref.vout});
+    input_value += ref.value;
+  }
+  OPTCHAIN_ASSERT(!spend.inputs.empty());
+
+  const std::uint32_t n_outputs = flooding ? 1 : output_count_dist_.sample(rng_);
+  const std::uint32_t payer_community = wallet_community_[spender];
+  tx::Amount remaining = input_value;
+  for (std::uint32_t i = 0; i < n_outputs; ++i) {
+    const bool last = (i + 1 == n_outputs);
+    tx::Amount value = remaining;
+    if (!last) {
+      // Uneven split; at least 1 satoshi if anything remains.
+      value = remaining <= 1
+                  ? remaining
+                  : static_cast<tx::Amount>(rng_.uniform_int(
+                        1, std::max<std::int64_t>(1, remaining / 2)));
+    }
+    remaining -= value;
+    const bool change = last && rng_.bernoulli(0.4);
+    const tx::WalletId owner =
+        change ? spender : pick_recipient(payer_community);
+    spend.outputs.push_back({value, owner});
+    if (remaining == 0 && !last) break;  // tiny input value: stop early
+  }
+  return spend;
+}
+
+tx::Transaction BitcoinLikeGenerator::next() {
+  const bool need_coinbase =
+      next_index_ % config_.coinbase_interval == 0 || !has_funded_wallet();
+  tx::Transaction transaction = need_coinbase ? make_coinbase() : make_spend();
+
+  // Register outputs with their owner wallets and the receipt histories.
+  for (std::uint32_t vout = 0;
+       vout < static_cast<std::uint32_t>(transaction.outputs.size()); ++vout) {
+    const tx::TxOut& out = transaction.outputs[vout];
+    if (out.value > 0) {
+      wallet_utxos_[out.owner].push_back({transaction.index, vout, out.value});
+      receipt_history_.push_back(out.owner);
+      community_receipts_[wallet_community_[out.owner]].push_back(out.owner);
+      ++live_utxos_;
+    }
+  }
+  live_utxos_ -= transaction.inputs.size();
+  ++next_index_;
+  return transaction;
+}
+
+bool BitcoinLikeGenerator::has_funded_wallet() const noexcept {
+  return live_utxos_ > 0;
+}
+
+std::vector<tx::Transaction> BitcoinLikeGenerator::generate(std::size_t n) {
+  std::vector<tx::Transaction> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(next());
+  return out;
+}
+
+}  // namespace optchain::workload

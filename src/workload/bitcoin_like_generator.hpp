@@ -1,0 +1,146 @@
+// Synthetic Bitcoin-like transaction stream.
+//
+// Stands in for the MIT Bitcoin dataset used by the paper (§V.A; first 10M
+// transactions, TaN with 10M nodes / ~20M edges). The generator reproduces
+// the three workload properties that placement algorithms are sensitive to,
+// calibrated against the paper's Fig. 2 statistics:
+//
+//  1. Degree distribution — input and spender counts follow bounded discrete
+//     power laws with mean ≈ 2 (93.1% of nodes have spender-degree < 3;
+//     86.3% have input-degree < 3).
+//  2. Temporal locality — outputs are mostly spent soon after creation
+//     (recency-biased spender selection), so related transactions are close
+//     in arrival order.
+//  3. Ownership community structure — wallets own UTXOs and belong to
+//     communities (exchanges, mining pools, circles of counterparties); a
+//     transaction spends outputs of one wallet and pays recipients drawn by
+//     preferential attachment, mostly within the payer's community. Payment
+//     flows therefore stay inside communities for many hops, exactly the
+//     long-range relatedness that separates OptChain's multi-hop T2S score
+//     from the one-hop Greedy baseline in the paper's Tables I-II.
+//
+// An optional "flood episode" reproduces the 2015 spam-attack degree spike
+// visible in the paper's Fig. 2c (consolidation transactions with dozens of
+// inputs). Every generated transaction is valid against a UTXO set: inputs
+// exist, are unspent, and value is conserved (tested in
+// tests/workload_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "txmodel/transaction.hpp"
+
+namespace optchain::workload {
+
+/// Flood-attack episode: transactions in [start, end) are input-heavy
+/// consolidations. Disabled by default (start == end).
+struct FloodEpisode {
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;
+  std::uint32_t inputs_per_tx = 30;
+};
+
+struct WorkloadConfig {
+  /// Every coinbase_interval-th transaction is a coinbase (block reward).
+  std::uint64_t coinbase_interval = 100;
+  tx::Amount coinbase_reward = 5'000'000'000;  // 50 BTC in satoshi
+
+  /// Input/output count distributions: P(count = c) ∝ c^(-alpha), c ≤ max.
+  double input_zipf_alpha = 1.8;
+  std::uint32_t max_inputs = 24;
+  double output_zipf_alpha = 1.8;
+  std::uint32_t max_outputs = 16;
+
+  /// Probability that a paid output goes to a brand-new wallet.
+  double p_new_wallet = 0.30;
+
+  /// Geometric parameter of the spend-recency distribution; higher values
+  /// concentrate spending on very recent outputs.
+  double recency_bias = 0.02;
+
+  /// Wallets belong to communities (exchanges, pools, counterparty circles).
+  /// Communities have a *lifecycle*: initial_communities exist at genesis and
+  /// a new one is born every community_birth_interval transactions; activity
+  /// concentrates on recently-born communities (community_recency is the
+  /// geometric parameter of the age bias). This temporal community churn is
+  /// what makes an offline min-cut partition align with *time ranges* of the
+  /// stream — the paper's observation that "Metis tends to put large amounts
+  /// of consecutive transactions into one shard" (§IV.B, Fig. 6c).
+  /// Payments leave the payer's community with probability p_cross_community.
+  std::uint32_t initial_communities = 4;
+  std::uint64_t community_birth_interval = 4000;
+  double community_recency = 0.25;
+  double p_cross_community = 0.05;
+
+  /// Activity arrives in community bursts: for burst_length consecutive
+  /// transactions one community is "hot" and originates a p_burst fraction
+  /// of the spends (payment waves, exchange batch processing). Bursts are
+  /// what stress a placement strategy's temporal balance: an offline
+  /// partitioner maps a burst to one shard wholesale, and a capacity-capped
+  /// greedy strategy overflows mid-burst.
+  std::uint64_t burst_length = 400;
+  double p_burst = 0.7;
+
+  FloodEpisode flood;
+};
+
+class BitcoinLikeGenerator {
+ public:
+  explicit BitcoinLikeGenerator(WorkloadConfig config = {},
+                                std::uint64_t seed = 0x09dc4a11);
+
+  /// Generates the next transaction in the stream. Transaction indices are
+  /// dense and sequential; the same (config, seed) pair always yields the
+  /// same stream.
+  tx::Transaction next();
+
+  /// Generates the next n transactions.
+  std::vector<tx::Transaction> generate(std::size_t n);
+
+  std::uint64_t transactions_generated() const noexcept { return next_index_; }
+  std::size_t num_wallets() const noexcept { return wallet_utxos_.size(); }
+  std::uint32_t community_of(tx::WalletId wallet) const {
+    return wallet_community_.at(wallet);
+  }
+  const WorkloadConfig& config() const noexcept { return config_; }
+
+ private:
+  struct UtxoRef {
+    tx::TxIndex tx;
+    std::uint32_t vout;
+    tx::Amount value;
+  };
+
+  tx::WalletId new_wallet(std::uint32_t community);
+  /// Recipient for a payment originating from `payer_community`
+  /// (kAnyCommunity for coinbase rewards).
+  tx::WalletId pick_recipient(std::uint32_t payer_community);
+  tx::WalletId pick_spender();
+  tx::WalletId pick_spender_from(const std::vector<tx::WalletId>& history);
+  std::uint32_t current_burst_community();
+  std::uint32_t alive_communities() const noexcept;
+  std::uint32_t pick_active_community();
+  tx::Transaction make_coinbase();
+  tx::Transaction make_spend();
+  bool has_funded_wallet() const noexcept;
+
+  static constexpr std::uint32_t kAnyCommunity = static_cast<std::uint32_t>(-1);
+
+  WorkloadConfig config_;
+  Rng rng_;
+  ZipfSampler input_count_dist_;
+  ZipfSampler output_count_dist_;
+
+  std::vector<std::vector<UtxoRef>> wallet_utxos_;
+  std::vector<std::uint32_t> wallet_community_;
+  std::vector<tx::WalletId> receipt_history_;  // one entry per past output
+  std::vector<std::vector<tx::WalletId>> community_receipts_;
+  std::uint64_t next_index_ = 0;
+  std::uint64_t live_utxos_ = 0;
+  std::uint64_t burst_id_ = static_cast<std::uint64_t>(-1);
+  std::uint32_t burst_community_ = 0;
+};
+
+}  // namespace optchain::workload

@@ -1,0 +1,46 @@
+#include "workload/conflict_injector.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace optchain::workload {
+
+ConflictStream inject_double_spends(std::vector<tx::Transaction> transactions,
+                                    double rate, std::uint64_t seed,
+                                    std::uint32_t window) {
+  OPTCHAIN_EXPECTS(rate >= 0.0 && rate <= 1.0);
+  OPTCHAIN_EXPECTS(window >= 1);
+
+  ConflictStream out;
+  out.is_conflict.assign(transactions.size(), false);
+  Rng rng(seed);
+
+  for (std::size_t i = 0; i < transactions.size(); ++i) {
+    tx::Transaction& candidate = transactions[i];
+    if (candidate.is_coinbase() || !rng.bernoulli(rate)) continue;
+
+    // Pick a recent non-coinbase victim whose inputs we re-spend.
+    const std::size_t low = i > window ? i - window : 0;
+    tx::TxIndex victim = tx::kInvalidTx;
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      const auto probe = static_cast<std::size_t>(
+          low + rng.below(std::max<std::size_t>(i - low, 1)));
+      if (probe < i && !transactions[probe].is_coinbase() &&
+          !out.is_conflict[probe]) {
+        victim = static_cast<tx::TxIndex>(probe);
+        break;
+      }
+    }
+    if (victim == tx::kInvalidTx) continue;
+
+    candidate.inputs = transactions[victim].inputs;
+    out.is_conflict[i] = true;
+    ++out.num_conflicts;
+  }
+  out.transactions = std::move(transactions);
+  return out;
+}
+
+}  // namespace optchain::workload

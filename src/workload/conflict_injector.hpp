@@ -1,0 +1,32 @@
+// Double-spend conflict injection.
+//
+// Replaces a fraction of a valid transaction stream's spends with conflicts
+// that re-spend the inputs of a recent earlier transaction. Feeding the
+// result into sim::Simulation exercises the OmniLedger abort path
+// (proof-of-rejection → unlock-to-abort, §III.A): for every conflicting
+// pair at most one transaction commits; the double spend (or, when locks
+// race across shards, both contenders) aborts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "txmodel/transaction.hpp"
+
+namespace optchain::workload {
+
+struct ConflictStream {
+  std::vector<tx::Transaction> transactions;
+  std::vector<bool> is_conflict;   // parallel to transactions
+  std::uint64_t num_conflicts = 0;
+};
+
+/// With probability `rate`, a non-coinbase transaction's inputs are replaced
+/// by the inputs of a random earlier non-coinbase transaction within the
+/// last `window` arrivals (so the conflict races the victim through the
+/// protocol). Outputs and indices are untouched; the TaN stays a valid DAG.
+ConflictStream inject_double_spends(std::vector<tx::Transaction> transactions,
+                                    double rate, std::uint64_t seed,
+                                    std::uint32_t window = 2000);
+
+}  // namespace optchain::workload

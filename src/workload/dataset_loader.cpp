@@ -1,0 +1,74 @@
+#include "workload/dataset_loader.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace optchain::workload {
+namespace {
+
+[[noreturn]] void fail(const std::string& path, std::size_t line_no,
+                       const std::string& what) {
+  throw std::runtime_error(path + ":" + std::to_string(line_no) + ": " + what);
+}
+
+}  // namespace
+
+graph::TanDag load_tan_edge_list(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open TaN dataset: " + path);
+
+  graph::TanDag dag;
+  std::string line;
+  std::size_t line_no = 0;
+  std::vector<graph::NodeId> inputs;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) fail(path, line_no, "missing ':'");
+
+    std::uint32_t index = 0;
+    const auto [iptr, iec] =
+        std::from_chars(line.data(), line.data() + colon, index);
+    if (iec != std::errc{} || iptr != line.data() + colon) {
+      fail(path, line_no, "bad transaction index");
+    }
+    if (index != dag.num_nodes()) {
+      fail(path, line_no, "non-dense transaction index");
+    }
+
+    inputs.clear();
+    const char* cursor = line.data() + colon + 1;
+    const char* end = line.data() + line.size();
+    while (cursor < end) {
+      while (cursor < end && *cursor == ' ') ++cursor;
+      if (cursor == end) break;
+      std::uint32_t input = 0;
+      const auto [ptr, ec] = std::from_chars(cursor, end, input);
+      if (ec != std::errc{}) fail(path, line_no, "bad input index");
+      if (input >= index) fail(path, line_no, "forward/self reference");
+      inputs.push_back(input);
+      cursor = ptr;
+    }
+    dag.add_node(inputs);
+  }
+  return dag;
+}
+
+void save_tan_edge_list(const graph::TanDag& dag, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write TaN dataset: " + path);
+  out << "# TaN edge list: <tx>: <input_tx>...\n";
+  for (graph::NodeId u = 0; u < dag.num_nodes(); ++u) {
+    out << u << ':';
+    for (const graph::NodeId v : dag.inputs(u)) out << ' ' << v;
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace optchain::workload

@@ -1,0 +1,27 @@
+// Loader for on-disk TaN datasets, so the real MIT Bitcoin data (or any other
+// UTXO trace) can replace the synthetic generator without code changes.
+//
+// Format ("tan edge list", text): one line per transaction, in arrival
+// order:
+//     <tx_index>: <input_tx_1> <input_tx_2> ...
+// A coinbase transaction has no inputs after the colon. Lines starting with
+// '#' are comments. Indices must be dense (0, 1, 2, ...).
+//
+// A writer is provided for round-tripping and for exporting generated
+// workloads to other tools.
+#pragma once
+
+#include <string>
+
+#include "graph/dag.hpp"
+
+namespace optchain::workload {
+
+/// Parses a TaN edge-list file. Throws std::runtime_error on I/O failure or
+/// malformed input (non-dense indices, forward references).
+graph::TanDag load_tan_edge_list(const std::string& path);
+
+/// Writes a TaN DAG in the edge-list format accepted by load_tan_edge_list.
+void save_tan_edge_list(const graph::TanDag& dag, const std::string& path);
+
+}  // namespace optchain::workload

@@ -1,0 +1,30 @@
+#include "workload/tan_builder.hpp"
+
+#include "common/assert.hpp"
+
+namespace optchain::workload {
+
+TanBuilder::TanBuilder(std::size_t expected_txs) {
+  if (expected_txs > 0) {
+    // Average TaN degree is ~2 (paper Fig. 2); reserve accordingly.
+    dag_.reserve(expected_txs, expected_txs * 2);
+  }
+}
+
+graph::NodeId TanBuilder::add(const tx::Transaction& transaction) {
+  OPTCHAIN_EXPECTS(transaction.index == dag_.num_nodes());
+  // add_node deduplicates repeated input transactions itself; passing the raw
+  // outpoint transaction list is sufficient.
+  std::vector<graph::NodeId> input_nodes;
+  input_nodes.reserve(transaction.inputs.size());
+  for (const auto& in : transaction.inputs) input_nodes.push_back(in.tx);
+  return dag_.add_node(input_nodes);
+}
+
+graph::TanDag build_tan(std::span<const tx::Transaction> transactions) {
+  TanBuilder builder(transactions.size());
+  for (const auto& transaction : transactions) builder.add(transaction);
+  return std::move(builder).take();
+}
+
+}  // namespace optchain::workload

@@ -1,0 +1,30 @@
+// Builds the TaN DAG (graph::TanDag) from a transaction stream: node u gets
+// one edge to each distinct transaction whose outputs u spends (paper Def. 1).
+#pragma once
+
+#include <span>
+
+#include "graph/dag.hpp"
+#include "txmodel/transaction.hpp"
+
+namespace optchain::workload {
+
+class TanBuilder {
+ public:
+  explicit TanBuilder(std::size_t expected_txs = 0);
+
+  /// Appends the transaction as a TaN node. Transactions must arrive in
+  /// dense index order. Returns the TaN node id (== tx.index).
+  graph::NodeId add(const tx::Transaction& transaction);
+
+  const graph::TanDag& dag() const noexcept { return dag_; }
+  graph::TanDag take() && noexcept { return std::move(dag_); }
+
+ private:
+  graph::TanDag dag_;
+};
+
+/// Convenience: TaN of a whole batch.
+graph::TanDag build_tan(std::span<const tx::Transaction> transactions);
+
+}  // namespace optchain::workload

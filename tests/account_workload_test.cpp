@@ -1,0 +1,162 @@
+// Tests for the account-model (Ethereum-style) workload generator.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/optchain_placer.hpp"
+#include "placement/random_placer.hpp"
+#include "sim/simulation.hpp"
+#include "stats/metrics.hpp"
+#include "txmodel/utxo_set.hpp"
+#include "workload/account_workload.hpp"
+#include "workload/tan_builder.hpp"
+
+namespace optchain::workload {
+namespace {
+
+TEST(AccountWorkloadTest, IndicesDense) {
+  AccountWorkloadGenerator gen;
+  const auto txs = gen.generate(1000);
+  for (std::size_t i = 0; i < txs.size(); ++i) EXPECT_EQ(txs[i].index, i);
+}
+
+TEST(AccountWorkloadTest, DeterministicForSameSeed) {
+  AccountWorkloadGenerator a({}, 11), b({}, 11);
+  const auto ta = a.generate(500);
+  const auto tb = b.generate(500);
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].txid(), tb[i].txid());
+  }
+}
+
+TEST(AccountWorkloadTest, SenderOnlyTransfersHaveOneInput) {
+  AccountWorkloadConfig config;
+  config.dependency = AccountDependency::kSenderOnly;
+  AccountWorkloadGenerator gen(config, 3);
+  const auto txs = gen.generate(3000);
+  for (const auto& t : txs) {
+    EXPECT_LE(t.inputs.size(), 1u);  // funding = 0, transfer = 1
+    EXPECT_GE(t.outputs.size(), 1u);
+    EXPECT_LE(t.outputs.size(), 2u);
+  }
+}
+
+TEST(AccountWorkloadTest, SenderAndReceiverAddsSecondDependency) {
+  AccountWorkloadConfig config;
+  config.dependency = AccountDependency::kSenderAndReceiver;
+  AccountWorkloadGenerator gen(config, 3);
+  const auto txs = gen.generate(3000);
+  bool saw_two = false;
+  for (const auto& t : txs) {
+    EXPECT_LE(t.inputs.size(), 2u);
+    saw_two |= (t.inputs.size() == 2);
+  }
+  EXPECT_TRUE(saw_two);
+}
+
+TEST(AccountWorkloadTest, StateSlotsAreSingleSpend) {
+  // Each (tx, vout) state slot may be consumed by at most one successor —
+  // the property that lets the UTXO machinery run account streams unchanged.
+  AccountWorkloadConfig config;
+  config.dependency = AccountDependency::kSenderAndReceiver;
+  AccountWorkloadGenerator gen(config, 7);
+  const auto txs = gen.generate(5000);
+  std::map<tx::OutPoint, tx::TxIndex> spender_of;
+  for (const auto& t : txs) {
+    for (const auto& in : t.inputs) {
+      EXPECT_LT(in.tx, t.index);
+      const auto [it, inserted] = spender_of.emplace(in, t.index);
+      EXPECT_TRUE(inserted) << "slot (" << in.tx << "," << in.vout
+                            << ") spent twice";
+    }
+  }
+}
+
+TEST(AccountWorkloadTest, ValidAgainstUtxoSet) {
+  // Value conservation needs both account states as inputs (sender-only
+  // transfers materialize the receiver's old balance from state, not from an
+  // input — that is the account model's divergence from UTXO semantics).
+  AccountWorkloadConfig config;
+  config.dependency = AccountDependency::kSenderAndReceiver;
+  AccountWorkloadGenerator gen(config, 13);
+  tx::UtxoSet utxo;
+  for (int i = 0; i < 4000; ++i) {
+    const auto t = gen.next();
+    ASSERT_EQ(utxo.apply(t), tx::ValidationError::kOk)
+        << "tx " << i << ": " << tx::to_string(utxo.validate(t));
+  }
+}
+
+TEST(AccountWorkloadTest, BalancesNeverNegative) {
+  AccountWorkloadGenerator gen({}, 17);
+  const auto txs = gen.generate(4000);
+  // Outputs carry the post-transaction balance; all must be non-negative.
+  for (const auto& t : txs) {
+    for (const auto& out : t.outputs) EXPECT_GE(out.value, 0);
+  }
+}
+
+TEST(AccountWorkloadTest, TanIsChainsPerAccount) {
+  // Sender-only dependencies: spender-degree is at most 1 until funding
+  // re-touches an account; TaN is a union of near-chains.
+  AccountWorkloadConfig config;
+  config.dependency = AccountDependency::kSenderOnly;
+  AccountWorkloadGenerator gen(config, 19);
+  const auto txs = gen.generate(5000);
+  const graph::TanDag dag = build_tan(txs);
+  for (graph::NodeId u = 0; u < dag.num_nodes(); ++u) {
+    EXPECT_LE(dag.spender_count(u), 2u);
+  }
+}
+
+TEST(AccountWorkloadTest, OptChainStillBeatsRandomPlacement) {
+  AccountWorkloadGenerator gen({}, 23);
+  const auto txs = gen.generate(20000);
+
+  const auto run = [&](placement::Placer& placer, graph::TanDag& dag) {
+    placement::ShardAssignment assignment(8);
+    stats::CrossTxCounter counter;
+    for (const auto& t : txs) {
+      const auto inputs = t.distinct_input_txs();
+      dag.add_node(inputs);
+      placement::PlacementRequest request;
+      request.index = t.index;
+      request.input_txs = inputs;
+      request.hash64 = t.txid().low64();
+      const auto shard = placer.choose(request, assignment);
+      assignment.record(t.index, shard);
+      placer.notify_placed(request, shard);
+      if (!t.inputs.empty()) {
+        counter.record(assignment.is_cross_shard(inputs, shard));
+      }
+    }
+    return counter.fraction();
+  };
+
+  graph::TanDag dag_opt, dag_rnd;
+  core::OptChainConfig config;
+  config.l2s_weight = 0.0;
+  core::OptChainPlacer optchain(dag_opt, config);
+  placement::RandomPlacer random;
+  const double opt_cross = run(optchain, dag_opt);
+  const double rnd_cross = run(random, dag_rnd);
+  EXPECT_LT(opt_cross, rnd_cross / 4.0);
+}
+
+TEST(AccountWorkloadTest, RunsThroughSimulator) {
+  AccountWorkloadGenerator gen({}, 29);
+  const auto txs = gen.generate(5000);
+  sim::SimConfig config;
+  config.num_shards = 4;
+  config.tx_rate_tps = 1000.0;
+  sim::Simulation simulation(config);
+  placement::RandomPlacer placer;
+  graph::TanDag dag;
+  const auto result = simulation.run(txs, placer, dag);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.committed_txs, txs.size());
+  EXPECT_EQ(result.aborted_txs, 0u);
+}
+
+}  // namespace
+}  // namespace optchain::workload

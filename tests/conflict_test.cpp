@@ -1,0 +1,148 @@
+// Double-spend conflicts and the OmniLedger abort path.
+#include <gtest/gtest.h>
+
+#include "core/optchain_placer.hpp"
+#include "placement/random_placer.hpp"
+#include "sim/simulation.hpp"
+#include "workload/bitcoin_like_generator.hpp"
+#include "workload/conflict_injector.hpp"
+
+namespace optchain {
+namespace {
+
+workload::ConflictStream conflicted_stream(std::size_t n, double rate,
+                                           std::uint64_t seed = 3) {
+  workload::BitcoinLikeGenerator generator({}, seed);
+  return workload::inject_double_spends(generator.generate(n), rate,
+                                        seed + 1);
+}
+
+sim::SimConfig conflict_config(std::uint32_t shards, double rate) {
+  sim::SimConfig config;
+  config.num_shards = shards;
+  config.tx_rate_tps = rate;
+  return config;
+}
+
+TEST(ConflictInjectorTest, ZeroRateChangesNothing) {
+  workload::BitcoinLikeGenerator a({}, 5), b({}, 5);
+  const auto original = a.generate(2000);
+  const auto injected =
+      workload::inject_double_spends(b.generate(2000), 0.0, 9);
+  EXPECT_EQ(injected.num_conflicts, 0u);
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(original[i].txid(), injected.transactions[i].txid());
+  }
+}
+
+TEST(ConflictInjectorTest, RateControlsConflictCount) {
+  const auto stream = conflicted_stream(5000, 0.05);
+  // ~5% of non-coinbase transactions; generous tolerance.
+  EXPECT_GT(stream.num_conflicts, 150u);
+  EXPECT_LT(stream.num_conflicts, 400u);
+  std::uint64_t flagged = 0;
+  for (const bool flag : stream.is_conflict) flagged += flag;
+  EXPECT_EQ(flagged, stream.num_conflicts);
+}
+
+TEST(ConflictInjectorTest, ConflictsDuplicateEarlierInputs) {
+  const auto stream = conflicted_stream(5000, 0.05);
+  for (std::size_t i = 0; i < stream.transactions.size(); ++i) {
+    if (!stream.is_conflict[i]) continue;
+    const auto& conflict = stream.transactions[i];
+    ASSERT_FALSE(conflict.inputs.empty());
+    // Every input must reference an earlier transaction (TaN stays a DAG).
+    for (const auto& in : conflict.inputs) EXPECT_LT(in.tx, conflict.index);
+    // And some earlier non-conflict transaction spends the same outpoints.
+    bool found_victim = false;
+    for (std::size_t j = 0; j < i && !found_victim; ++j) {
+      found_victim = !stream.is_conflict[j] &&
+                     stream.transactions[j].inputs == conflict.inputs;
+    }
+    EXPECT_TRUE(found_victim) << "conflict " << i << " has no victim";
+  }
+}
+
+TEST(ConflictSimTest, CleanStreamNeverAborts) {
+  const auto stream = conflicted_stream(3000, 0.0);
+  sim::Simulation simulation(conflict_config(4, 1500.0));
+  placement::RandomPlacer placer;
+  graph::TanDag dag;
+  const auto result = simulation.run(stream.transactions, placer, dag);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.aborted_txs, 0u);
+  EXPECT_EQ(result.committed_txs, stream.transactions.size());
+}
+
+TEST(ConflictSimTest, EveryTransactionResolvesOnce) {
+  const auto stream = conflicted_stream(4000, 0.05);
+  sim::Simulation simulation(conflict_config(8, 2000.0));
+  placement::RandomPlacer placer;
+  graph::TanDag dag;
+  const auto result = simulation.run(stream.transactions, placer, dag);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.committed_txs + result.aborted_txs,
+            stream.transactions.size());
+  // At least one contender of every conflicting pair must abort.
+  EXPECT_GE(result.aborted_txs, stream.num_conflicts);
+  // And aborts stay bounded by both contenders of each pair.
+  EXPECT_LE(result.aborted_txs, 2 * stream.num_conflicts);
+}
+
+TEST(ConflictSimTest, AbortsAlsoResolveUnderOptChain) {
+  const auto stream = conflicted_stream(4000, 0.08);
+  sim::Simulation simulation(conflict_config(8, 2000.0));
+  graph::TanDag dag;
+  core::OptChainPlacer placer(dag);
+  const auto result = simulation.run(stream.transactions, placer, dag);
+  EXPECT_TRUE(result.completed);
+  EXPECT_GE(result.aborted_txs, stream.num_conflicts);
+  EXPECT_EQ(result.committed_txs + result.aborted_txs,
+            stream.transactions.size());
+}
+
+TEST(ConflictSimTest, AbortsAlsoResolveUnderRapidChain) {
+  const auto stream = conflicted_stream(3000, 0.05);
+  sim::SimConfig config = conflict_config(4, 1500.0);
+  config.protocol = sim::ProtocolMode::kRapidChain;
+  sim::Simulation simulation(config);
+  placement::RandomPlacer placer;
+  graph::TanDag dag;
+  const auto result = simulation.run(stream.transactions, placer, dag);
+  EXPECT_TRUE(result.completed);
+  EXPECT_GE(result.aborted_txs, stream.num_conflicts);
+}
+
+TEST(ConflictSimTest, DeterministicWithConflicts) {
+  const auto stream = conflicted_stream(2500, 0.05);
+  placement::RandomPlacer placer;
+  graph::TanDag dag_a, dag_b;
+  const auto a = sim::Simulation(conflict_config(4, 1200.0))
+                     .run(stream.transactions, placer, dag_a);
+  const auto b = sim::Simulation(conflict_config(4, 1200.0))
+                     .run(stream.transactions, placer, dag_b);
+  EXPECT_EQ(a.aborted_txs, b.aborted_txs);
+  EXPECT_EQ(a.total_events, b.total_events);
+  EXPECT_DOUBLE_EQ(a.avg_latency_s, b.avg_latency_s);
+}
+
+// Property sweep: conservation across conflict rates.
+class ConflictRateTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ConflictRateTest, CommitPlusAbortEqualsTotal) {
+  const double rate = GetParam();
+  const auto stream = conflicted_stream(3000, rate, /*seed=*/17);
+  sim::Simulation simulation(conflict_config(8, 1500.0));
+  placement::RandomPlacer placer;
+  graph::TanDag dag;
+  const auto result = simulation.run(stream.transactions, placer, dag);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.committed_txs + result.aborted_txs,
+            stream.transactions.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, ConflictRateTest,
+                         ::testing::Values(0.0, 0.01, 0.05, 0.1, 0.25));
+
+}  // namespace
+}  // namespace optchain

@@ -1,0 +1,186 @@
+// Unit tests for src/graph: TaN DAG storage, CSR conversion, degree stats.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/csr.hpp"
+#include "graph/dag.hpp"
+
+namespace optchain::graph {
+namespace {
+
+std::vector<NodeId> ids(std::initializer_list<NodeId> list) { return list; }
+
+TEST(TanDagTest, EmptyDag) {
+  TanDag dag;
+  EXPECT_EQ(dag.num_nodes(), 0u);
+  EXPECT_EQ(dag.num_edges(), 0u);
+}
+
+TEST(TanDagTest, CoinbaseNodeHasNoInputs) {
+  TanDag dag;
+  const NodeId u = dag.add_node({});
+  EXPECT_EQ(u, 0u);
+  EXPECT_TRUE(dag.is_coinbase(u));
+  EXPECT_EQ(dag.input_degree(u), 0u);
+  EXPECT_EQ(dag.spender_count(u), 0u);
+}
+
+TEST(TanDagTest, EdgesRecordedBothDirections) {
+  TanDag dag;
+  dag.add_node({});                      // 0
+  dag.add_node({});                      // 1
+  const auto u = dag.add_node(ids({0, 1}));  // 2 spends 0 and 1
+  EXPECT_EQ(dag.input_degree(u), 2u);
+  EXPECT_EQ(dag.spender_count(0), 1u);
+  EXPECT_EQ(dag.spender_count(1), 1u);
+  const auto inputs = dag.inputs(u);
+  EXPECT_EQ(std::vector<NodeId>(inputs.begin(), inputs.end()),
+            ids({0, 1}));
+}
+
+TEST(TanDagTest, DuplicateInputsCollapse) {
+  TanDag dag;
+  dag.add_node({});
+  const auto u = dag.add_node(ids({0, 0, 0}));
+  EXPECT_EQ(dag.input_degree(u), 1u);
+  EXPECT_EQ(dag.spender_count(0), 1u);
+  EXPECT_EQ(dag.num_edges(), 1u);
+}
+
+TEST(TanDagTest, SpenderCountAccumulates) {
+  TanDag dag;
+  dag.add_node({});
+  dag.add_node(ids({0}));
+  dag.add_node(ids({0}));
+  dag.add_node(ids({0}));
+  EXPECT_EQ(dag.spender_count(0), 3u);
+}
+
+TEST(TanDagDeathTest, ForwardReferenceRejected) {
+  TanDag dag;
+  dag.add_node({});
+  // Node 1 cannot reference itself (id 1 not yet assigned).
+  EXPECT_DEATH(dag.add_node(ids({1})), "Precondition");
+}
+
+TEST(TanDagTest, ArrivalOrderIsTopological) {
+  // Every edge must point to a strictly smaller id.
+  Rng rng(7);
+  TanDag dag;
+  dag.add_node({});
+  for (NodeId u = 1; u < 500; ++u) {
+    std::vector<NodeId> inputs;
+    const std::uint32_t deg = static_cast<std::uint32_t>(rng.below(3));
+    for (std::uint32_t i = 0; i < deg; ++i) {
+      inputs.push_back(static_cast<NodeId>(rng.below(u)));
+    }
+    dag.add_node(inputs);
+  }
+  for (NodeId u = 0; u < dag.num_nodes(); ++u) {
+    for (const NodeId v : dag.inputs(u)) EXPECT_LT(v, u);
+  }
+}
+
+TEST(TanDagTest, UndirectedViewDoublesEdges) {
+  TanDag dag;
+  dag.add_node({});
+  dag.add_node(ids({0}));
+  dag.add_node(ids({0, 1}));
+  const Csr undirected = dag.to_undirected();
+  EXPECT_EQ(undirected.num_nodes(), 3u);
+  EXPECT_EQ(undirected.num_entries(), 2 * dag.num_edges());
+  // Node 0 is referenced by 1 and 2.
+  EXPECT_EQ(undirected.degree(0), 2u);
+  EXPECT_EQ(undirected.degree(2), 2u);
+}
+
+TEST(TanDagTest, SpendersViewMatchesCounts) {
+  TanDag dag;
+  dag.add_node({});
+  dag.add_node(ids({0}));
+  dag.add_node(ids({0}));
+  const Csr spenders = dag.to_spenders();
+  EXPECT_EQ(spenders.degree(0), 2u);
+  EXPECT_EQ(spenders.degree(1), 0u);
+  const auto list = spenders.neighbors(0);
+  EXPECT_EQ(std::vector<std::uint32_t>(list.begin(), list.end()),
+            (std::vector<std::uint32_t>{1, 2}));
+}
+
+TEST(TanDagTest, DegreeStats) {
+  TanDag dag;
+  dag.add_node({});          // coinbase, spent below
+  dag.add_node({});          // coinbase, never spent AND no inputs: isolated
+  dag.add_node(ids({0}));    // spends 0; its output never spent
+  const TanDegreeStats stats = compute_degree_stats(dag);
+  EXPECT_EQ(stats.nodes, 3u);
+  EXPECT_EQ(stats.edges, 1u);
+  EXPECT_EQ(stats.coinbase_nodes, 2u);
+  EXPECT_EQ(stats.unspent_nodes, 2u);   // nodes 1 and 2
+  EXPECT_EQ(stats.isolated_nodes, 1u);  // node 1
+  EXPECT_NEAR(stats.average_degree, 1.0 / 3.0, 1e-12);
+}
+
+TEST(CsrTest, FromEdges) {
+  const std::vector<std::pair<std::uint32_t, std::uint32_t>> edges = {
+      {0, 1}, {0, 2}, {2, 1}};
+  const Csr csr = Csr::from_edges(3, edges);
+  EXPECT_EQ(csr.num_nodes(), 3u);
+  EXPECT_EQ(csr.num_entries(), 3u);
+  EXPECT_EQ(csr.degree(0), 2u);
+  EXPECT_EQ(csr.degree(1), 0u);
+  EXPECT_EQ(csr.degree(2), 1u);
+  EXPECT_EQ(csr.neighbors(0)[0], 1u);
+  EXPECT_EQ(csr.neighbors(0)[1], 2u);
+}
+
+TEST(CsrTest, EmptyGraph) {
+  const Csr csr = Csr::from_edges(0, {});
+  EXPECT_EQ(csr.num_nodes(), 0u);
+  EXPECT_EQ(csr.num_entries(), 0u);
+}
+
+TEST(CsrTest, NodesWithoutEdges) {
+  const Csr csr = Csr::from_edges(5, {});
+  EXPECT_EQ(csr.num_nodes(), 5u);
+  for (std::uint32_t u = 0; u < 5; ++u) EXPECT_EQ(csr.degree(u), 0u);
+}
+
+// Property sweep: undirected view preserves the degree sum for random DAGs.
+class TanDagPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TanDagPropertyTest, UndirectedDegreeSumEqualsTwiceEdges) {
+  Rng rng(GetParam());
+  TanDag dag;
+  const std::size_t n = 200 + rng.below(300);
+  dag.add_node({});
+  for (NodeId u = 1; u < n; ++u) {
+    std::vector<NodeId> inputs;
+    const std::uint32_t deg = static_cast<std::uint32_t>(rng.below(4));
+    for (std::uint32_t i = 0; i < deg; ++i) {
+      inputs.push_back(static_cast<NodeId>(rng.below(u)));
+    }
+    dag.add_node(inputs);
+  }
+  const Csr undirected = dag.to_undirected();
+  std::uint64_t degree_sum = 0;
+  for (NodeId u = 0; u < undirected.num_nodes(); ++u) {
+    degree_sum += undirected.degree(u);
+  }
+  EXPECT_EQ(degree_sum, 2 * dag.num_edges());
+
+  // Spender counts must agree with the reverse CSR.
+  const Csr spenders = dag.to_spenders();
+  for (NodeId u = 0; u < dag.num_nodes(); ++u) {
+    EXPECT_EQ(spenders.degree(u), dag.spender_count(u));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TanDagPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace optchain::graph

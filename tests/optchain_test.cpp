@@ -1,0 +1,248 @@
+// Tests for the OptChain placer (Algorithm 1): T2S-driven affinity, L2S
+// balancing, capacity-capped T2S-variant, and end-to-end cross-TX quality
+// against the baselines on generated workloads.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/optchain_placer.hpp"
+#include "placement/greedy_placer.hpp"
+#include "placement/random_placer.hpp"
+#include "stats/metrics.hpp"
+#include "workload/bitcoin_like_generator.hpp"
+#include "workload/tan_builder.hpp"
+
+namespace optchain::core {
+namespace {
+
+using latency::ShardTiming;
+using placement::PlacementRequest;
+using placement::ShardAssignment;
+using placement::ShardId;
+
+/// Streams a transaction batch through a placer (the dag grows online, as in
+/// the real deployment); returns the cross-TX fraction over non-coinbase txs.
+double run_placement(std::span<const tx::Transaction> txs,
+                     placement::Placer& placer, std::uint32_t k,
+                     graph::TanDag& dag) {
+  ShardAssignment assignment(k);
+  stats::CrossTxCounter counter;
+  for (const auto& transaction : txs) {
+    const auto inputs = transaction.distinct_input_txs();
+    dag.add_node(inputs);
+    PlacementRequest request;
+    request.index = transaction.index;
+    request.input_txs = inputs;
+    request.hash64 = transaction.txid().low64();
+    const ShardId shard = placer.choose(request, assignment);
+    assignment.record(transaction.index, shard);
+    placer.notify_placed(request, shard);
+    if (!transaction.is_coinbase()) {
+      counter.record(assignment.is_cross_shard(inputs, shard));
+    }
+  }
+  return counter.fraction();
+}
+
+TEST(OptChainPlacerTest, CoinbaseBalancesAcrossShards) {
+  graph::TanDag dag;
+  OptChainPlacer placer(dag);
+  ShardAssignment assignment(4);
+  // Four coinbase transactions with no timing data: ties must spread by
+  // shard size.
+  for (tx::TxIndex i = 0; i < 4; ++i) {
+    dag.add_node({});
+    PlacementRequest request;
+    request.index = i;
+    const ShardId shard = placer.choose(request, assignment);
+    assignment.record(i, shard);
+    placer.notify_placed(request, shard);
+  }
+  for (ShardId s = 0; s < 4; ++s) EXPECT_EQ(assignment.size_of(s), 1u);
+}
+
+TEST(OptChainPlacerTest, ChildFollowsParentShard) {
+  graph::TanDag dag;
+  OptChainPlacer placer(dag);
+  ShardAssignment assignment(4);
+
+  dag.add_node({});
+  PlacementRequest coinbase;
+  coinbase.index = 0;
+  const ShardId parent_shard = placer.choose(coinbase, assignment);
+  assignment.record(0, parent_shard);
+  placer.notify_placed(coinbase, parent_shard);
+
+  dag.add_node(std::vector<graph::NodeId>{0});
+  PlacementRequest child;
+  child.index = 1;
+  const std::vector<tx::TxIndex> inputs{0};
+  child.input_txs = inputs;
+  const ShardId child_shard = placer.choose(child, assignment);
+  EXPECT_EQ(child_shard, parent_shard);
+}
+
+TEST(OptChainPlacerTest, L2sSteersCoinbaseToIdleShard) {
+  // A coinbase has no T2S mass, so the temporal fitness is pure -0.01·E(j):
+  // the idle shard must win regardless of shard sizes.
+  graph::TanDag dag;
+  OptChainPlacer placer(dag);
+  ShardAssignment assignment(2);
+  dag.add_node({});
+  PlacementRequest request;
+  request.index = 0;
+  std::vector<ShardTiming> skewed{{0.1, 500.0}, {0.1, 1.0}};  // 0 backlogged
+  request.timings = skewed;
+  EXPECT_EQ(placer.choose(request, assignment), 1u);
+}
+
+TEST(OptChainPlacerTest, L2sPicksIdleOutputShardAmongEqualAffinity) {
+  // Parents in shards 0 and 1 give the child equal T2S affinity either way,
+  // and the proof phase is identical; the commit-phase term must route the
+  // child to the idle shard.
+  graph::TanDag dag;
+  OptChainPlacer placer(dag);
+  ShardAssignment assignment(2);
+  std::vector<ShardTiming> balanced{{0.1, 1.0}, {0.1, 1.0}};
+
+  for (tx::TxIndex i = 0; i < 2; ++i) {
+    dag.add_node({});
+    PlacementRequest coinbase;
+    coinbase.index = i;
+    coinbase.timings = balanced;
+    const ShardId s = placer.choose(coinbase, assignment);
+    assignment.record(i, s);
+    placer.notify_placed(coinbase, s);
+  }
+  ASSERT_NE(assignment.shard_of(0), assignment.shard_of(1));
+
+  dag.add_node(std::vector<graph::NodeId>{0, 1});
+  PlacementRequest child;
+  child.index = 2;
+  const std::vector<tx::TxIndex> inputs{0, 1};
+  child.input_txs = inputs;
+  std::vector<ShardTiming> skewed{{0.1, 1.0}, {0.1, 1.0}};
+  skewed[0].mean_verify = 500.0;  // shard 0 deeply backlogged
+  child.timings = skewed;
+  EXPECT_EQ(placer.choose(child, assignment), 1u);
+}
+
+TEST(OptChainPlacerTest, CapacityCapRedirects) {
+  graph::TanDag dag;
+  OptChainConfig config;
+  config.expected_txs = 4;  // k=2, ε=0.1 → cap = 2 per shard
+  config.epsilon = 0.0;
+  OptChainPlacer placer(dag, config, "T2S-based");
+  ShardAssignment assignment(2);
+
+  // Fill shard 0 with two linked transactions.
+  dag.add_node({});
+  PlacementRequest r0;
+  r0.index = 0;
+  ShardId s = placer.choose(r0, assignment);
+  assignment.record(0, s);
+  placer.notify_placed(r0, s);
+
+  dag.add_node(std::vector<graph::NodeId>{0});
+  PlacementRequest r1;
+  r1.index = 1;
+  const std::vector<tx::TxIndex> i1{0};
+  r1.input_txs = i1;
+  const ShardId s1 = placer.choose(r1, assignment);
+  EXPECT_EQ(s1, s);
+  assignment.record(1, s1);
+  placer.notify_placed(r1, s1);
+
+  // Third linked transaction: preferred shard is full, must divert.
+  dag.add_node(std::vector<graph::NodeId>{1});
+  PlacementRequest r2;
+  r2.index = 2;
+  const std::vector<tx::TxIndex> i2{1};
+  r2.input_txs = i2;
+  const ShardId s2 = placer.choose(r2, assignment);
+  EXPECT_NE(s2, s);
+}
+
+TEST(OptChainPlacerTest, NotifyCommitsAlpha) {
+  graph::TanDag dag;
+  OptChainPlacer placer(dag);
+  ShardAssignment assignment(4);
+  dag.add_node({});
+  PlacementRequest request;
+  request.index = 0;
+  const ShardId shard = placer.choose(request, assignment);
+  assignment.record(0, shard);
+  placer.notify_placed(request, shard);
+  const auto raw = placer.scorer().raw_vector(0);
+  ASSERT_EQ(raw.size(), 1u);
+  EXPECT_EQ(raw[0].shard, shard);
+  EXPECT_DOUBLE_EQ(raw[0].value, 0.5);
+}
+
+TEST(OptChainPlacerTest, LastScoresExposed) {
+  graph::TanDag dag;
+  OptChainPlacer placer(dag);
+  ShardAssignment assignment(4);
+  dag.add_node({});
+  PlacementRequest request;
+  request.index = 0;
+  placer.choose(request, assignment);
+  EXPECT_EQ(placer.last_scores().size(), 4u);
+}
+
+// ------------------------------------------------- cross-TX quality sweeps
+
+struct QualityCase {
+  std::uint32_t k;
+  std::uint64_t seed;
+};
+
+class CrossTxQualityTest : public ::testing::TestWithParam<QualityCase> {};
+
+/// The paper's Table-I invariants that are robust on the synthetic stream:
+/// the informed online methods (T2S, Greedy) land an order of magnitude
+/// below random placement, and T2S stays within a small factor of the
+/// offline Metis oracle. (On the real Bitcoin data the paper additionally
+/// measures Greedy well above T2S; our synthetic communities are temporal,
+/// which flatters Greedy's one-hop rule on the cross-TX metric — it pays for
+/// it with the temporal imbalance covered by the simulation tests. See
+/// EXPERIMENTS.md.)
+TEST_P(CrossTxQualityTest, InformedMethodsCrushRandomPlacement) {
+  const auto [k, seed] = GetParam();
+  workload::BitcoinLikeGenerator gen({}, seed);
+  const auto txs = gen.generate(30000);
+
+  graph::TanDag dag_t2s, dag_greedy, dag_random;
+  OptChainConfig t2s_config;
+  t2s_config.l2s_weight = 0.0;
+  t2s_config.expected_txs = txs.size();
+  OptChainPlacer t2s(dag_t2s, t2s_config, "T2S-based");
+  const double t2s_cross = run_placement(txs, t2s, k, dag_t2s);
+
+  placement::GreedyPlacer greedy(txs.size());
+  const double greedy_cross = run_placement(txs, greedy, k, dag_greedy);
+
+  placement::RandomPlacer random;
+  const double random_cross = run_placement(txs, random, k, dag_random);
+
+  // Random placement approaches 1 - 1/k for related transactions; with ~2
+  // distinct inputs it should be far above 60% for k >= 4.
+  EXPECT_GT(random_cross, 0.6);
+  // Paper headline: ~10x cross-TX reduction for T2S.
+  EXPECT_LT(t2s_cross, random_cross / 4.0);
+  EXPECT_LT(greedy_cross, random_cross / 4.0);
+  // And T2S tracks the paper's Table-I values (9.3%-21.7% for k=4..64).
+  EXPECT_LT(t2s_cross, 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CrossTxQualityTest,
+    ::testing::Values(QualityCase{4, 1}, QualityCase{8, 1}, QualityCase{16, 1},
+                      QualityCase{8, 2}, QualityCase{16, 3}),
+    [](const ::testing::TestParamInfo<QualityCase>& param_info) {
+      return "k" + std::to_string(param_info.param.k) + "_seed" +
+             std::to_string(param_info.param.seed);
+    });
+
+}  // namespace
+}  // namespace optchain::core

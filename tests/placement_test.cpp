@@ -1,0 +1,187 @@
+// Tests for shard assignment bookkeeping and the baseline placers.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/hash.hpp"
+#include "placement/greedy_placer.hpp"
+#include "placement/least_loaded_placer.hpp"
+#include "placement/random_placer.hpp"
+#include "placement/shard_assignment.hpp"
+#include "placement/static_placer.hpp"
+
+namespace optchain::placement {
+namespace {
+
+TEST(ShardAssignmentTest, RecordAndQuery) {
+  ShardAssignment assignment(4);
+  assignment.record(0, 2);
+  assignment.record(1, 2);
+  assignment.record(2, 0);
+  EXPECT_EQ(assignment.k(), 4u);
+  EXPECT_EQ(assignment.total(), 3u);
+  EXPECT_EQ(assignment.shard_of(0), 2u);
+  EXPECT_EQ(assignment.size_of(2), 2u);
+  EXPECT_EQ(assignment.size_of(1), 0u);
+}
+
+TEST(ShardAssignmentTest, InputShardsDeduplicated) {
+  ShardAssignment assignment(4);
+  assignment.record(0, 1);
+  assignment.record(1, 1);
+  assignment.record(2, 3);
+  const std::vector<tx::TxIndex> inputs{0, 1, 2};
+  const auto shards = assignment.input_shards(inputs);
+  ASSERT_EQ(shards.size(), 2u);
+  EXPECT_EQ(shards[0], 1u);
+  EXPECT_EQ(shards[1], 3u);
+}
+
+TEST(ShardAssignmentTest, CrossShardDetection) {
+  ShardAssignment assignment(4);
+  assignment.record(0, 1);
+  assignment.record(1, 2);
+  const std::vector<tx::TxIndex> both{0, 1};
+  const std::vector<tx::TxIndex> only_first{0};
+  EXPECT_TRUE(assignment.is_cross_shard(both, 1));   // input 1 elsewhere
+  EXPECT_FALSE(assignment.is_cross_shard(only_first, 1));
+  EXPECT_TRUE(assignment.is_cross_shard(only_first, 3));
+  EXPECT_FALSE(assignment.is_cross_shard({}, 0));    // coinbase never cross
+}
+
+TEST(ShardAssignmentTest, LeastLoaded) {
+  ShardAssignment assignment(3);
+  assignment.record(0, 0);
+  assignment.record(1, 2);
+  assignment.record(2, 0);
+  EXPECT_EQ(assignment.least_loaded(), 1u);
+}
+
+TEST(ShardAssignmentDeathTest, OutOfOrderRecordRejected) {
+  ShardAssignment assignment(2);
+  EXPECT_DEATH(assignment.record(5, 0), "Precondition");
+}
+
+TEST(RandomPlacerTest, HashModK) {
+  ShardAssignment assignment(8);
+  RandomPlacer placer;
+  PlacementRequest request;
+  request.index = 0;
+  request.hash64 = 21;
+  EXPECT_EQ(placer.choose(request, assignment), 21u % 8u);
+}
+
+TEST(RandomPlacerTest, UniformAcrossShards) {
+  ShardAssignment assignment(4);
+  RandomPlacer placer;
+  std::vector<int> counts(4, 0);
+  for (std::uint32_t i = 0; i < 4000; ++i) {
+    PlacementRequest request;
+    request.index = i;
+    request.hash64 = mix64(i);
+    ++counts[placer.choose(request, assignment)];
+  }
+  for (const int c : counts) {
+    EXPECT_GT(c, 800);
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(GreedyPlacerTest, FollowsInputs) {
+  ShardAssignment assignment(4);
+  GreedyPlacer placer(0);  // no cap
+  // Seed: txs 0 and 1 in shard 3.
+  assignment.record(0, 3);
+  assignment.record(1, 3);
+  PlacementRequest request;
+  request.index = 2;
+  const std::vector<tx::TxIndex> inputs{0, 1};
+  request.input_txs = inputs;
+  EXPECT_EQ(placer.choose(request, assignment), 3u);
+}
+
+TEST(GreedyPlacerTest, MajorityShardWins) {
+  ShardAssignment assignment(4);
+  GreedyPlacer placer(0);
+  assignment.record(0, 1);
+  assignment.record(1, 1);
+  assignment.record(2, 2);
+  PlacementRequest request;
+  request.index = 3;
+  const std::vector<tx::TxIndex> inputs{0, 1, 2};
+  request.input_txs = inputs;
+  EXPECT_EQ(placer.choose(request, assignment), 1u);
+}
+
+TEST(GreedyPlacerTest, PaperTieBreakPicksFirstShard) {
+  // The paper's Greedy has no tie-breaking rule: input-less transactions go
+  // to the first non-full shard.
+  ShardAssignment assignment(3);
+  GreedyPlacer placer(0);
+  assignment.record(0, 0);
+  assignment.record(1, 0);
+  assignment.record(2, 1);
+  PlacementRequest request;
+  request.index = 3;
+  EXPECT_EQ(placer.choose(request, assignment), 0u);
+}
+
+TEST(GreedyPlacerTest, SmallestShardTieBreakVariant) {
+  ShardAssignment assignment(3);
+  GreedyPlacer placer(0, 0.1, GreedyTieBreak::kSmallestShard);
+  assignment.record(0, 0);
+  assignment.record(1, 0);
+  assignment.record(2, 1);
+  PlacementRequest request;
+  request.index = 3;
+  EXPECT_EQ(placer.choose(request, assignment), 2u);
+}
+
+TEST(GreedyPlacerTest, CapacityCapRedirects) {
+  // n = 4, k = 2, ε = 0 → capacity 2 per shard.
+  ShardAssignment assignment(2);
+  GreedyPlacer placer(4, 0.0);
+  assignment.record(0, 0);
+  assignment.record(1, 0);  // shard 0 full
+  PlacementRequest request;
+  request.index = 2;
+  const std::vector<tx::TxIndex> inputs{0, 1};
+  request.input_txs = inputs;
+  // Preferred shard 0 is at capacity; must pick shard 1.
+  EXPECT_EQ(placer.choose(request, assignment), 1u);
+}
+
+TEST(StaticPlacerTest, ReplaysPartition) {
+  ShardAssignment assignment(4);
+  StaticPlacer placer({2, 0, 3});
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    PlacementRequest request;
+    request.index = i;
+    const ShardId s = placer.choose(request, assignment);
+    assignment.record(i, s);
+  }
+  EXPECT_EQ(assignment.shard_of(0), 2u);
+  EXPECT_EQ(assignment.shard_of(1), 0u);
+  EXPECT_EQ(assignment.shard_of(2), 3u);
+}
+
+TEST(StaticPlacerTest, NameIsConfigurable) {
+  StaticPlacer metis({0}, "Metis");
+  EXPECT_EQ(metis.name(), "Metis");
+}
+
+TEST(LeastLoadedPlacerTest, AlwaysPicksSmallest) {
+  ShardAssignment assignment(3);
+  LeastLoadedPlacer placer;
+  for (std::uint32_t i = 0; i < 9; ++i) {
+    PlacementRequest request;
+    request.index = i;
+    const ShardId s = placer.choose(request, assignment);
+    assignment.record(i, s);
+  }
+  // Perfect balance: every shard has exactly 3.
+  for (ShardId s = 0; s < 3; ++s) EXPECT_EQ(assignment.size_of(s), 3u);
+}
+
+}  // namespace
+}  // namespace optchain::placement

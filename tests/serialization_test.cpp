@@ -1,0 +1,135 @@
+// Tests for the binary transaction-stream codec.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "txmodel/serialization.hpp"
+#include "workload/account_workload.hpp"
+#include "workload/bitcoin_like_generator.hpp"
+
+namespace optchain::tx {
+namespace {
+
+TEST(VarintTest, RoundTripBoundaries) {
+  for (const std::uint64_t value :
+       {0ULL, 1ULL, 127ULL, 128ULL, 16383ULL, 16384ULL, 0xffffffffULL,
+        0xffffffffffffffffULL}) {
+    std::vector<std::uint8_t> buffer;
+    write_varint(buffer, value);
+    std::size_t offset = 0;
+    EXPECT_EQ(read_varint(buffer, offset), value);
+    EXPECT_EQ(offset, buffer.size());
+  }
+}
+
+TEST(VarintTest, SmallValuesAreOneByte) {
+  std::vector<std::uint8_t> buffer;
+  write_varint(buffer, 100);
+  EXPECT_EQ(buffer.size(), 1u);
+}
+
+TEST(VarintTest, TruncationThrows) {
+  std::vector<std::uint8_t> buffer;
+  write_varint(buffer, 1ULL << 40);
+  buffer.pop_back();
+  std::size_t offset = 0;
+  EXPECT_THROW(read_varint(buffer, offset), std::runtime_error);
+}
+
+TEST(SerializationTest, RoundTripGeneratedStream) {
+  workload::BitcoinLikeGenerator generator({}, 21);
+  const auto original = generator.generate(5000);
+  const auto encoded = encode_transactions(original);
+  const auto decoded = decode_transactions(encoded);
+  ASSERT_EQ(decoded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(decoded[i].index, original[i].index);
+    EXPECT_EQ(decoded[i].inputs, original[i].inputs);
+    EXPECT_EQ(decoded[i].outputs, original[i].outputs);
+    EXPECT_EQ(decoded[i].txid(), original[i].txid());
+  }
+}
+
+TEST(SerializationTest, RoundTripAccountStream) {
+  workload::AccountWorkloadGenerator generator({}, 23);
+  const auto original = generator.generate(3000);
+  const auto decoded = decode_transactions(encode_transactions(original));
+  ASSERT_EQ(decoded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(decoded[i].txid(), original[i].txid());
+  }
+}
+
+TEST(SerializationTest, EmptyStream) {
+  const auto decoded =
+      decode_transactions(encode_transactions(std::vector<Transaction>{}));
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(SerializationTest, BadMagicThrows) {
+  std::vector<std::uint8_t> bogus = {'N', 'O', 'P', 'E', 1, 0};
+  EXPECT_THROW(decode_transactions(bogus), std::runtime_error);
+}
+
+TEST(SerializationTest, TruncatedPayloadThrows) {
+  workload::BitcoinLikeGenerator generator({}, 25);
+  auto encoded = encode_transactions(generator.generate(100));
+  encoded.resize(encoded.size() / 2);
+  EXPECT_THROW(decode_transactions(encoded), std::runtime_error);
+}
+
+TEST(SerializationTest, TrailingBytesThrow) {
+  workload::BitcoinLikeGenerator generator({}, 27);
+  auto encoded = encode_transactions(generator.generate(50));
+  encoded.push_back(0);
+  EXPECT_THROW(decode_transactions(encoded), std::runtime_error);
+}
+
+TEST(SerializationTest, ForwardReferenceRejected) {
+  // Hand-build: 1 transaction whose input references itself.
+  std::vector<std::uint8_t> data = {'O', 'P', 'T', 'X'};
+  write_varint(data, 1);  // version
+  write_varint(data, 1);  // count
+  write_varint(data, 1);  // n_inputs
+  write_varint(data, 0);  // input tx 0 == own index -> invalid
+  write_varint(data, 0);  // vout
+  write_varint(data, 0);  // n_outputs
+  EXPECT_THROW(decode_transactions(data), std::runtime_error);
+}
+
+class SerializationFileTest : public ::testing::Test {
+ protected:
+  std::string path_ = (std::filesystem::temp_directory_path() /
+                       "optchain_codec_test.bin")
+                          .string();
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(SerializationFileTest, SaveAndLoad) {
+  workload::BitcoinLikeGenerator generator({}, 29);
+  const auto original = generator.generate(2000);
+  save_transactions(original, path_);
+  const auto loaded = load_transactions(path_);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded[i].txid(), original[i].txid());
+  }
+}
+
+TEST_F(SerializationFileTest, MissingFileThrows) {
+  EXPECT_THROW(load_transactions("/nonexistent/stream.bin"),
+               std::runtime_error);
+}
+
+TEST(SerializationTest, CompactnessVsText) {
+  // The binary form should be a small multiple of the information content:
+  // well under 20 bytes per transaction for typical streams.
+  workload::BitcoinLikeGenerator generator({}, 31);
+  const auto txs = generator.generate(10000);
+  const auto encoded = encode_transactions(txs);
+  EXPECT_LT(encoded.size(), txs.size() * 24);
+}
+
+}  // namespace
+}  // namespace optchain::tx

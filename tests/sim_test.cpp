@@ -1,0 +1,446 @@
+// Tests for the discrete-event simulator: event ordering, network/consensus
+// models, shard block production, and full-run invariants (conservation,
+// determinism, protocol semantics).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/optchain_placer.hpp"
+#include "placement/random_placer.hpp"
+#include "sim/consensus.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/network.hpp"
+#include "sim/shard_node.hpp"
+#include "sim/simulation.hpp"
+#include "workload/bitcoin_like_generator.hpp"
+
+namespace optchain::sim {
+namespace {
+
+// -------------------------------------------------------------- EventQueue
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(3.0, [&] { order.push_back(3); });
+  queue.schedule(1.0, [&] { order.push_back(1); });
+  queue.schedule(2.0, [&] { order.push_back(2); });
+  while (queue.run_one()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(queue.now(), 3.0);
+}
+
+TEST(EventQueueTest, TieBreaksByScheduleOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(1.0, [&] { order.push_back(1); });
+  queue.schedule(1.0, [&] { order.push_back(2); });
+  queue.schedule(1.0, [&] { order.push_back(3); });
+  while (queue.run_one()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, EventsMayScheduleEvents) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule(1.0, [&] {
+    ++fired;
+    queue.schedule_in(0.5, [&] { ++fired; });
+  });
+  while (queue.run_one()) {
+  }
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(queue.now(), 1.5);
+}
+
+TEST(EventQueueTest, RunUntilRespectsHorizon) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule(1.0, [&] { ++fired; });
+  queue.schedule(5.0, [&] { ++fired; });
+  EXPECT_EQ(queue.run_until(2.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(queue.pending(), 1u);
+}
+
+TEST(EventQueueDeathTest, PastSchedulingRejected) {
+  EventQueue queue;
+  queue.schedule(2.0, [] {});
+  queue.run_one();
+  EXPECT_DEATH(queue.schedule(1.0, [] {}), "Precondition");
+}
+
+// -------------------------------------------------------------- Network
+
+TEST(NetworkModelTest, BaseLatencyFloor) {
+  NetworkModel net;
+  const Position a{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(net.propagation_delay(a, a), 0.100);
+}
+
+TEST(NetworkModelTest, DistanceIncreasesLatency) {
+  NetworkModel net;
+  const Position a{0.0, 0.0};
+  const Position near{0.1, 0.0};
+  const Position far{1.0, 1.0};
+  EXPECT_LT(net.propagation_delay(a, near), net.propagation_delay(a, far));
+  // Corner to corner: base + full distance term.
+  EXPECT_NEAR(net.propagation_delay(a, far), 0.150, 1e-9);
+}
+
+TEST(NetworkModelTest, BandwidthDelaysLargeMessages) {
+  NetworkModel net;
+  const Position a{0.0, 0.0};
+  // 1 MB at 20 Mbps = 0.4 s of serialization.
+  EXPECT_NEAR(net.message_delay(a, a, 1'000'000) -
+                  net.propagation_delay(a, a),
+              0.4, 1e-9);
+}
+
+TEST(NetworkModelTest, TransferTimeLinear) {
+  NetworkModel net;
+  EXPECT_NEAR(net.transfer_time(2'000'000), 2 * net.transfer_time(1'000'000),
+              1e-12);
+}
+
+// -------------------------------------------------------------- Consensus
+
+TEST(ConsensusModelTest, DurationGrowsWithBlockFill) {
+  NetworkModel net;
+  Rng rng(1);
+  ConsensusModel model({}, net, {0.5, 0.5}, rng);
+  const double empty = model.round_duration(0);
+  const double half = model.round_duration(1000);
+  const double full = model.round_duration(2000);
+  EXPECT_LT(empty, half);
+  EXPECT_LT(half, full);
+}
+
+TEST(ConsensusModelTest, FullBlockInPaperBallpark) {
+  // A full 1 MB block over a 400-validator committee should take seconds —
+  // that is what bounds per-shard throughput to a few hundred tps, which is
+  // the regime the paper's experiments live in.
+  NetworkModel net;
+  Rng rng(2);
+  ConsensusModel model({}, net, {0.5, 0.5}, rng);
+  const double full = model.round_duration(2000);
+  EXPECT_GT(full, 1.0);
+  EXPECT_LT(full, 10.0);
+}
+
+TEST(ConsensusModelTest, SmallerCommitteeFaster) {
+  NetworkModel net;
+  Rng rng(3);
+  ConsensusConfig small_c;
+  small_c.committee_size = 16;
+  ConsensusConfig big_c;
+  big_c.committee_size = 1024;
+  ConsensusModel small_m(small_c, net, {0.5, 0.5}, rng);
+  ConsensusModel big_m(big_c, net, {0.5, 0.5}, rng);
+  EXPECT_LT(small_m.round_duration(2000), big_m.round_duration(2000));
+}
+
+// -------------------------------------------------------------- ShardNode
+
+struct CommitLog {
+  std::vector<std::pair<QueueItem, SimTime>> items;
+};
+
+TEST(ShardNodeTest, ProcessesQueueInBlocks) {
+  EventQueue events;
+  NetworkModel net;
+  Rng rng(4);
+  ConsensusConfig consensus;
+  consensus.txs_per_block = 2;  // tiny blocks to observe batching
+  CommitLog log;
+  ShardNode shard(0, {0.5, 0.5}, ConsensusModel(consensus, net, {0.5, 0.5}, rng),
+                  events, [&](std::uint32_t, const QueueItem& item, SimTime t) {
+                    log.items.emplace_back(item, t);
+                  });
+
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    shard.enqueue(QueueItem{i, ItemKind::kSameShard});
+  }
+  while (events.run_one()) {
+  }
+  ASSERT_EQ(log.items.size(), 5u);
+  // The first enqueue starts a round immediately with just item 0; the rest
+  // batch into blocks of 2: {0}, {1,2}, {3,4}.
+  EXPECT_EQ(shard.blocks_committed(), 3u);
+  EXPECT_EQ(shard.queue_size(), 0u);
+  // FIFO order preserved.
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(log.items[i].first.tx, i);
+  }
+  // Items within a block share a commit time; later blocks commit later.
+  EXPECT_LT(log.items[0].second, log.items[1].second);
+  EXPECT_DOUBLE_EQ(log.items[1].second, log.items[2].second);
+  EXPECT_LT(log.items[2].second, log.items[3].second);
+  EXPECT_DOUBLE_EQ(log.items[3].second, log.items[4].second);
+}
+
+TEST(ShardNodeTest, IdleUntilWorkArrives) {
+  EventQueue events;
+  NetworkModel net;
+  Rng rng(5);
+  CommitLog log;
+  ShardNode shard(0, {0.5, 0.5}, ConsensusModel({}, net, {0.5, 0.5}, rng),
+                  events, [&](std::uint32_t, const QueueItem& item, SimTime t) {
+                    log.items.emplace_back(item, t);
+                  });
+  EXPECT_TRUE(events.empty());
+  events.schedule(10.0, [&] {
+    shard.enqueue(QueueItem{0, ItemKind::kSameShard});
+  });
+  while (events.run_one()) {
+  }
+  ASSERT_EQ(log.items.size(), 1u);
+  EXPECT_GT(log.items[0].second, 10.0);
+}
+
+TEST(ShardNodeTest, LastRoundDurationTracksBlockSize) {
+  EventQueue events;
+  NetworkModel net;
+  Rng rng(6);
+  ShardNode shard(0, {0.5, 0.5}, ConsensusModel({}, net, {0.5, 0.5}, rng),
+                  events, [](std::uint32_t, const QueueItem&, SimTime) {});
+  const double initial = shard.last_round_duration();
+  shard.enqueue(QueueItem{0, ItemKind::kSameShard});
+  while (events.run_one()) {
+  }
+  // One item instead of a full 2000-tx block: the observed round is shorter.
+  EXPECT_LT(shard.last_round_duration(), initial);
+}
+
+// -------------------------------------------------------------- Simulation
+
+SimConfig small_config(std::uint32_t shards, double rate) {
+  SimConfig config;
+  config.num_shards = shards;
+  config.tx_rate_tps = rate;
+  config.consensus.txs_per_block = 100;
+  config.consensus.block_bytes = 50'000;
+  config.consensus.committee_size = 64;
+  config.queue_sample_interval_s = 1.0;
+  config.commit_window_s = 10.0;
+  return config;
+}
+
+std::vector<tx::Transaction> small_stream(std::size_t n,
+                                          std::uint64_t seed = 1) {
+  workload::BitcoinLikeGenerator gen({}, seed);
+  return gen.generate(n);
+}
+
+TEST(SimulationTest, AllTransactionsCommitExactlyOnce) {
+  const auto txs = small_stream(2000);
+  Simulation sim(small_config(4, 500.0));
+  placement::RandomPlacer placer;
+  graph::TanDag dag;
+  const SimResult result = sim.run(txs, placer, dag);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.committed_txs, txs.size());
+  EXPECT_EQ(result.latencies.count(), txs.size());
+  EXPECT_GT(result.throughput_tps, 0.0);
+  EXPECT_GT(result.total_blocks, 0u);
+}
+
+TEST(SimulationTest, DeterministicForSameSeed) {
+  const auto txs = small_stream(1500);
+  SimResult a, b;
+  {
+    Simulation sim(small_config(4, 500.0));
+    placement::RandomPlacer placer;
+    graph::TanDag dag;
+    a = sim.run(txs, placer, dag);
+  }
+  {
+    Simulation sim(small_config(4, 500.0));
+    placement::RandomPlacer placer;
+    graph::TanDag dag;
+    b = sim.run(txs, placer, dag);
+  }
+  EXPECT_DOUBLE_EQ(a.duration_s, b.duration_s);
+  EXPECT_DOUBLE_EQ(a.avg_latency_s, b.avg_latency_s);
+  EXPECT_EQ(a.cross_txs, b.cross_txs);
+  EXPECT_EQ(a.total_events, b.total_events);
+}
+
+TEST(SimulationTest, DifferentSeedsChangeTopology) {
+  const auto txs = small_stream(1000);
+  SimConfig config_a = small_config(4, 500.0);
+  SimConfig config_b = config_a;
+  config_b.seed = 777;
+  placement::RandomPlacer placer;
+  graph::TanDag dag_a, dag_b;
+  const SimResult a = Simulation(config_a).run(txs, placer, dag_a);
+  const SimResult b = Simulation(config_b).run(txs, placer, dag_b);
+  EXPECT_NE(a.avg_latency_s, b.avg_latency_s);
+}
+
+TEST(SimulationTest, LatencyAtLeastNetworkFloor) {
+  const auto txs = small_stream(500);
+  Simulation sim(small_config(4, 200.0));
+  placement::RandomPlacer placer;
+  graph::TanDag dag;
+  const SimResult result = sim.run(txs, placer, dag);
+  // No commit can beat one client->shard hop: > 100 ms.
+  EXPECT_GT(result.latencies.quantile(0.0), 0.1);
+}
+
+TEST(SimulationTest, CrossFractionMatchesPlacementTheory) {
+  // Random placement over k shards leaves related transactions together with
+  // probability ~1/k per input; the measured cross fraction must be high.
+  const auto txs = small_stream(3000);
+  Simulation sim(small_config(8, 1000.0));
+  placement::RandomPlacer placer;
+  graph::TanDag dag;
+  const SimResult result = sim.run(txs, placer, dag);
+  EXPECT_GT(result.cross_fraction(), 0.6);
+}
+
+TEST(SimulationTest, OptChainReducesCrossAndLatency) {
+  const auto txs = small_stream(3000);
+
+  graph::TanDag dag_random;
+  placement::RandomPlacer random;
+  const SimResult r_random =
+      Simulation(small_config(8, 1000.0)).run(txs, random, dag_random);
+
+  graph::TanDag dag_opt;
+  core::OptChainPlacer optchain(dag_opt);
+  const SimResult r_opt =
+      Simulation(small_config(8, 1000.0)).run(txs, optchain, dag_opt);
+
+  EXPECT_LT(r_opt.cross_txs, r_random.cross_txs / 2);
+  EXPECT_LT(r_opt.avg_latency_s, r_random.avg_latency_s);
+}
+
+TEST(SimulationTest, RapidChainModeAlsoCompletes) {
+  const auto txs = small_stream(1500);
+  SimConfig config = small_config(4, 500.0);
+  config.protocol = ProtocolMode::kRapidChain;
+  Simulation sim(config);
+  placement::RandomPlacer placer;
+  graph::TanDag dag;
+  const SimResult result = sim.run(txs, placer, dag);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.committed_txs, txs.size());
+}
+
+TEST(SimulationTest, RapidChainFasterThanOmniLedgerOnCrossTxs) {
+  // Yanking skips the client round trip, so under identical placement the
+  // average latency cannot be (meaningfully) worse.
+  const auto txs = small_stream(2000);
+  placement::RandomPlacer placer;
+  SimConfig omni_config = small_config(4, 400.0);
+  SimConfig rapid_config = omni_config;
+  rapid_config.protocol = ProtocolMode::kRapidChain;
+  graph::TanDag dag_a, dag_b;
+  const SimResult omni = Simulation(omni_config).run(txs, placer, dag_a);
+  const SimResult rapid = Simulation(rapid_config).run(txs, placer, dag_b);
+  EXPECT_LT(rapid.avg_latency_s, omni.avg_latency_s * 1.02);
+}
+
+TEST(SimulationTest, OverloadBacklogRaisesLatency) {
+  // Same stream, same shards; 4x the arrival rate must raise avg latency.
+  const auto txs = small_stream(3000);
+  placement::RandomPlacer placer;
+  graph::TanDag dag_slow, dag_fast;
+  const SimResult slow =
+      Simulation(small_config(2, 200.0)).run(txs, placer, dag_slow);
+  const SimResult fast =
+      Simulation(small_config(2, 2000.0)).run(txs, placer, dag_fast);
+  EXPECT_GT(fast.avg_latency_s, slow.avg_latency_s);
+}
+
+TEST(SimulationTest, QueueTrackerSamples) {
+  const auto txs = small_stream(2000);
+  Simulation sim(small_config(4, 500.0));
+  placement::RandomPlacer placer;
+  graph::TanDag dag;
+  const SimResult result = sim.run(txs, placer, dag);
+  EXPECT_GT(result.queue_tracker.snapshots().size(), 2u);
+  // Snapshot times are non-decreasing.
+  double prev = -1.0;
+  for (const auto& snap : result.queue_tracker.snapshots()) {
+    EXPECT_GE(snap.time, prev);
+    prev = snap.time;
+    EXPECT_GE(snap.max_queue, snap.min_queue);
+  }
+}
+
+TEST(SimulationTest, WindowCountsSumToTotal) {
+  const auto txs = small_stream(2000);
+  Simulation sim(small_config(4, 500.0));
+  placement::RandomPlacer placer;
+  graph::TanDag dag;
+  const SimResult result = sim.run(txs, placer, dag);
+  std::uint64_t sum = 0;
+  for (const auto c : result.commits_per_window.counts()) sum += c;
+  EXPECT_EQ(sum, txs.size());
+}
+
+TEST(SimulationTest, ShardSizesSumToTotal) {
+  const auto txs = small_stream(1000);
+  Simulation sim(small_config(4, 500.0));
+  placement::RandomPlacer placer;
+  graph::TanDag dag;
+  const SimResult result = sim.run(txs, placer, dag);
+  std::uint64_t sum = 0;
+  for (const auto s : result.final_shard_sizes) sum += s;
+  EXPECT_EQ(sum, txs.size());
+}
+
+TEST(SimulationTest, HorizonAbortReportsIncomplete) {
+  const auto txs = small_stream(2000);
+  SimConfig config = small_config(1, 100000.0);  // 1 shard, hopeless rate
+  config.max_sim_time_s = 1.0;
+  Simulation sim(config);
+  placement::RandomPlacer placer;
+  graph::TanDag dag;
+  const SimResult result = sim.run(txs, placer, dag);
+  EXPECT_FALSE(result.completed);
+  EXPECT_LT(result.committed_txs, txs.size());
+}
+
+// Property sweep: conservation holds across shard counts and protocols.
+struct SimCase {
+  std::uint32_t shards;
+  ProtocolMode protocol;
+};
+
+class SimConservationTest : public ::testing::TestWithParam<SimCase> {};
+
+TEST_P(SimConservationTest, EveryTxCommitsOnce) {
+  const auto [shards, protocol] = GetParam();
+  const auto txs = small_stream(1200, /*seed=*/shards);
+  SimConfig config = small_config(shards, 600.0);
+  config.protocol = protocol;
+  Simulation sim(config);
+  placement::RandomPlacer placer;
+  graph::TanDag dag;
+  const SimResult result = sim.run(txs, placer, dag);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.committed_txs, txs.size());
+  EXPECT_EQ(result.latencies.count(), txs.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SimConservationTest,
+    ::testing::Values(SimCase{1, ProtocolMode::kOmniLedger},
+                      SimCase{2, ProtocolMode::kOmniLedger},
+                      SimCase{4, ProtocolMode::kOmniLedger},
+                      SimCase{16, ProtocolMode::kOmniLedger},
+                      SimCase{4, ProtocolMode::kRapidChain},
+                      SimCase{16, ProtocolMode::kRapidChain}),
+    [](const ::testing::TestParamInfo<SimCase>& param_info) {
+      return "k" + std::to_string(param_info.param.shards) +
+             (param_info.param.protocol == ProtocolMode::kOmniLedger ? "_omni"
+                                                               : "_rapid");
+    });
+
+}  // namespace
+}  // namespace optchain::sim

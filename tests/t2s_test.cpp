@@ -1,0 +1,232 @@
+// Tests for the incremental T2S scorer: hand-computed values, equivalence
+// with the from-scratch dense recomputation, divisor policies, pruning.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/t2s_scorer.hpp"
+#include "graph/dag.hpp"
+#include "placement/shard_assignment.hpp"
+
+namespace optchain::core {
+namespace {
+
+using graph::NodeId;
+
+TEST(T2sScorerTest, CoinbaseHasZeroScores) {
+  graph::TanDag dag;
+  placement::ShardAssignment assignment(4);
+  T2sScorer scorer;
+  dag.add_node({});
+  const auto scores = scorer.score(dag, 0, assignment);
+  for (const double s : scores) EXPECT_DOUBLE_EQ(s, 0.0);
+  EXPECT_TRUE(scorer.raw_vector(0).empty());
+}
+
+TEST(T2sScorerTest, CommitAddsAlpha) {
+  graph::TanDag dag;
+  placement::ShardAssignment assignment(4);
+  T2sScorer scorer;
+  dag.add_node({});
+  scorer.score(dag, 0, assignment);
+  scorer.commit(0, 2);
+  const auto raw = scorer.raw_vector(0);
+  ASSERT_EQ(raw.size(), 1u);
+  EXPECT_EQ(raw[0].shard, 2u);
+  EXPECT_DOUBLE_EQ(raw[0].value, 0.5);
+}
+
+TEST(T2sScorerTest, HandComputedChain) {
+  // tx0 (coinbase, shard 0) <- tx1 <- tx2 (also spends tx0).
+  graph::TanDag dag;
+  placement::ShardAssignment assignment(2);
+  T2sScorer scorer;  // alpha = 0.5
+
+  dag.add_node({});
+  scorer.score(dag, 0, assignment);
+  assignment.record(0, 0);
+  scorer.commit(0, 0);
+
+  // tx1 spends tx0: divisor(tx0) = 1 spender so far (tx1 itself).
+  dag.add_node(std::vector<NodeId>{0});
+  const auto s1 = scorer.score(dag, 1, assignment);
+  // p'(1) = 0.5 * (0.5 / 1) = 0.25; p(1)[0] = 0.25 / |S0| = 0.25 / 1.
+  EXPECT_DOUBLE_EQ(s1[0], 0.25);
+  EXPECT_DOUBLE_EQ(s1[1], 0.0);
+  assignment.record(1, 0);
+  scorer.commit(1, 0);  // p'(1) = {0: 0.75}
+
+  // tx2 spends tx0 and tx1: divisor(tx0) = 2, divisor(tx1) = 1.
+  dag.add_node(std::vector<NodeId>{0, 1});
+  const auto s2 = scorer.score(dag, 2, assignment);
+  // p'(2) = 0.5 * (0.5/2 + 0.75/1) = 0.5; p(2)[0] = 0.5 / |S0| = 0.5 / 2.
+  EXPECT_DOUBLE_EQ(s2[0], 0.25);
+  EXPECT_DOUBLE_EQ(s2[1], 0.0);
+}
+
+TEST(T2sScorerTest, MassSplitsAcrossShards) {
+  // Two coinbase parents in different shards feed one child.
+  graph::TanDag dag;
+  placement::ShardAssignment assignment(2);
+  T2sScorer scorer;
+  dag.add_node({});
+  scorer.score(dag, 0, assignment);
+  assignment.record(0, 0);
+  scorer.commit(0, 0);
+  dag.add_node({});
+  scorer.score(dag, 1, assignment);
+  assignment.record(1, 1);
+  scorer.commit(1, 1);
+
+  dag.add_node(std::vector<NodeId>{0, 1});
+  const auto scores = scorer.score(dag, 2, assignment);
+  // p'(2) = 0.5*(0.5/1) at both entries = 0.25 each; each shard has size 1.
+  EXPECT_DOUBLE_EQ(scores[0], 0.25);
+  EXPECT_DOUBLE_EQ(scores[1], 0.25);
+}
+
+TEST(T2sScorerTest, DeclaredOutputsPolicy) {
+  // Same chain as HandComputedChain but dividing by declared output counts.
+  graph::TanDag dag;
+  placement::ShardAssignment assignment(2);
+  T2sConfig config;
+  config.divisor = DivisorPolicy::kDeclaredOutputs;
+  const auto outputs_of = [](tx::TxIndex index) -> std::uint32_t {
+    return index == 0 ? 4 : 1;  // tx0 declares 4 outputs
+  };
+  T2sScorer scorer(config, outputs_of);
+
+  dag.add_node({});
+  scorer.score(dag, 0, assignment);
+  assignment.record(0, 0);
+  scorer.commit(0, 0);
+
+  dag.add_node(std::vector<NodeId>{0});
+  const auto s1 = scorer.score(dag, 1, assignment);
+  // p'(1) = 0.5 * (0.5/4) = 0.0625.
+  EXPECT_DOUBLE_EQ(s1[0], 0.0625);
+}
+
+TEST(T2sScorerDeathTest, DeclaredOutputsRequiresCallback) {
+  T2sConfig config;
+  config.divisor = DivisorPolicy::kDeclaredOutputs;
+  EXPECT_DEATH(T2sScorer scorer(config), "Precondition");
+}
+
+TEST(T2sScorerTest, AlphaOneKeepsOnlyOwnMass) {
+  graph::TanDag dag;
+  placement::ShardAssignment assignment(2);
+  T2sConfig config;
+  config.alpha = 1.0;
+  T2sScorer scorer(config);
+  dag.add_node({});
+  scorer.score(dag, 0, assignment);
+  assignment.record(0, 0);
+  scorer.commit(0, 0);
+  dag.add_node(std::vector<NodeId>{0});
+  const auto scores = scorer.score(dag, 1, assignment);
+  // (1 - α) = 0: no inherited mass at all.
+  EXPECT_DOUBLE_EQ(scores[0], 0.0);
+}
+
+/// Drives a random DAG through the scorer with arbitrary placements and
+/// compares every score vector with the dense from-scratch recomputation.
+void check_incremental_matches_dense(std::uint64_t seed, std::uint32_t k,
+                                     std::size_t n) {
+  Rng rng(seed);
+  graph::TanDag dag;
+  placement::ShardAssignment assignment(k);
+  T2sConfig config;
+  config.prune_threshold = 0.0;  // exact comparison
+  T2sScorer scorer(config);
+
+  std::vector<std::vector<double>> observed;
+  for (NodeId u = 0; u < n; ++u) {
+    std::vector<NodeId> inputs;
+    if (u > 0) {
+      const std::uint32_t deg = static_cast<std::uint32_t>(rng.below(4));
+      for (std::uint32_t i = 0; i < deg; ++i) {
+        inputs.push_back(static_cast<NodeId>(rng.below(u)));
+      }
+    }
+    dag.add_node(inputs);
+    observed.push_back(scorer.score(dag, u, assignment));
+    const auto shard = static_cast<placement::ShardId>(rng.below(k));
+    assignment.record(u, shard);
+    scorer.commit(u, shard);
+  }
+
+  const auto dense = recompute_all_scores_dense(dag, assignment, config);
+  for (NodeId u = 0; u < n; ++u) {
+    // The dense table holds p'; compare raw vectors entry by entry.
+    std::vector<double> raw(k, 0.0);
+    for (const auto& entry : scorer.raw_vector(u)) {
+      raw[entry.shard] = entry.value;
+    }
+    for (std::uint32_t i = 0; i < k; ++i) {
+      EXPECT_NEAR(raw[i], dense[u][i], 1e-12)
+          << "node " << u << " shard " << i;
+    }
+  }
+}
+
+struct IncrementalCase {
+  std::uint64_t seed;
+  std::uint32_t k;
+  std::size_t n;
+};
+
+class T2sIncrementalTest : public ::testing::TestWithParam<IncrementalCase> {};
+
+TEST_P(T2sIncrementalTest, MatchesDenseRecomputation) {
+  const auto& param = GetParam();
+  check_incremental_matches_dense(param.seed, param.k, param.n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, T2sIncrementalTest,
+    ::testing::Values(IncrementalCase{1, 2, 200}, IncrementalCase{2, 4, 200},
+                      IncrementalCase{3, 8, 300}, IncrementalCase{4, 16, 300},
+                      IncrementalCase{5, 3, 500}, IncrementalCase{6, 64, 150}),
+    [](const ::testing::TestParamInfo<IncrementalCase>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed) + "_k" +
+             std::to_string(param_info.param.k);
+    });
+
+TEST(T2sScorerTest, PruningBoundsMemoryWithSmallError) {
+  Rng rng(77);
+  graph::TanDag dag;
+  placement::ShardAssignment assignment(16);
+  T2sConfig pruned_config;
+  pruned_config.prune_threshold = 1e-4;
+  T2sConfig exact_config;
+  exact_config.prune_threshold = 0.0;
+  T2sScorer pruned(pruned_config);
+  T2sScorer exact(exact_config);
+
+  constexpr std::size_t kNodes = 800;
+  for (NodeId u = 0; u < kNodes; ++u) {
+    std::vector<NodeId> inputs;
+    if (u > 0) {
+      const std::uint32_t deg = 1 + static_cast<std::uint32_t>(rng.below(3));
+      for (std::uint32_t i = 0; i < deg; ++i) {
+        inputs.push_back(static_cast<NodeId>(rng.below(u)));
+      }
+    }
+    dag.add_node(inputs);
+    const auto a = pruned.score(dag, u, assignment);
+    const auto b = exact.score(dag, u, assignment);
+    for (std::uint32_t i = 0; i < 16; ++i) {
+      EXPECT_NEAR(a[i], b[i], 1e-3);
+    }
+    const auto shard = static_cast<placement::ShardId>(rng.below(16));
+    assignment.record(u, shard);
+    pruned.commit(u, shard);
+    exact.commit(u, shard);
+  }
+  EXPECT_LE(pruned.total_entries(), exact.total_entries());
+}
+
+}  // namespace
+}  // namespace optchain::core

@@ -1,0 +1,134 @@
+// Message-level tree-gossip consensus vs the closed-form ConsensusModel:
+// validates the simulator's consensus-time abstraction (DESIGN.md
+// substitution #2).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/consensus.hpp"
+#include "sim/network.hpp"
+#include "sim/tree_gossip.hpp"
+
+namespace optchain::sim {
+namespace {
+
+TEST(TreeGossipTest, SingleValidatorRoundIsTwoExchanges) {
+  NetworkModel network;
+  const Position leader{0.5, 0.5};
+  const std::vector<Position> validators{{0.5, 0.5}};  // co-located
+  ConsensusConfig consensus;
+  consensus.prepare_overhead_s = 0.0;
+  consensus.per_tx_validation_s = 0.0;
+  const double duration = simulate_tree_gossip_round(
+      network, leader, validators, consensus, 0);
+  // Two phases x (down + up) x base latency, plus negligible payload time.
+  EXPECT_NEAR(duration, 4 * 0.100, 0.02);
+}
+
+TEST(TreeGossipTest, DurationGrowsWithCommitteeSize) {
+  NetworkModel network;
+  Rng rng(1);
+  const Position leader{0.5, 0.5};
+  ConsensusConfig small_c;
+  small_c.committee_size = 16;
+  ConsensusConfig big_c;
+  big_c.committee_size = 512;
+  Rng rng_a(2), rng_b(2);
+  const double small = simulate_tree_gossip_round(network, leader, small_c,
+                                                  1000, rng_a);
+  const double big = simulate_tree_gossip_round(network, leader, big_c, 1000,
+                                                rng_b);
+  EXPECT_LT(small, big);
+}
+
+TEST(TreeGossipTest, DurationGrowsWithBlockFill) {
+  NetworkModel network;
+  const Position leader{0.2, 0.8};
+  Rng rng(3);
+  std::vector<Position> validators;
+  for (int i = 0; i < 63; ++i) validators.push_back(network.random_position(rng));
+  ConsensusConfig consensus;
+  const double empty = simulate_tree_gossip_round(network, leader, validators,
+                                                  consensus, 0);
+  const double full = simulate_tree_gossip_round(network, leader, validators,
+                                                 consensus, 2000);
+  EXPECT_LT(empty, full);
+  // A full 1 MB block adds at least one serialization (0.4 s at 20 Mbps).
+  EXPECT_GT(full - empty, 0.4);
+}
+
+TEST(TreeGossipTest, WiderTreeIsShallowerAndFaster) {
+  NetworkModel network;
+  const Position leader{0.5, 0.5};
+  Rng rng(4);
+  std::vector<Position> validators;
+  for (int i = 0; i < 255; ++i) {
+    validators.push_back(network.random_position(rng));
+  }
+  ConsensusConfig consensus;
+  TreeGossipConfig narrow;
+  narrow.branching = 2;
+  TreeGossipConfig wide;
+  wide.branching = 16;
+  const double deep = simulate_tree_gossip_round(network, leader, validators,
+                                                 consensus, 2000, narrow);
+  const double shallow = simulate_tree_gossip_round(network, leader,
+                                                    validators, consensus,
+                                                    2000, wide);
+  EXPECT_LT(shallow, deep);
+}
+
+TEST(TreeGossipTest, DeterministicForFixedPositions) {
+  NetworkModel network;
+  const Position leader{0.1, 0.1};
+  std::vector<Position> validators{{0.3, 0.3}, {0.9, 0.2}, {0.5, 0.7}};
+  ConsensusConfig consensus;
+  const double a = simulate_tree_gossip_round(network, leader, validators,
+                                              consensus, 500);
+  const double b = simulate_tree_gossip_round(network, leader, validators,
+                                              consensus, 500);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+/// The closed-form model must stay within a small band of the message-level
+/// ground truth across committee sizes and fills — this is the validation of
+/// the simulator's consensus abstraction.
+struct FidelityCase {
+  std::uint32_t committee;
+  std::uint32_t txs;
+};
+
+class ConsensusFidelityTest : public ::testing::TestWithParam<FidelityCase> {};
+
+TEST_P(ConsensusFidelityTest, ClosedFormTracksMessageLevel) {
+  const auto [committee, txs] = GetParam();
+  NetworkModel network;
+  Rng model_rng(7);
+  const Position leader{0.5, 0.5};
+  ConsensusConfig consensus;
+  consensus.committee_size = committee;
+
+  ConsensusModel model(consensus, network, leader, model_rng);
+  const double closed_form = model.round_duration(txs);
+
+  Rng gossip_rng(7);
+  const double message_level =
+      simulate_tree_gossip_round(network, leader, consensus, txs, gossip_rng);
+
+  EXPECT_GT(closed_form, 0.35 * message_level);
+  EXPECT_LT(closed_form, 2.5 * message_level);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ConsensusFidelityTest,
+    ::testing::Values(FidelityCase{64, 0}, FidelityCase{64, 2000},
+                      FidelityCase{256, 1000}, FidelityCase{400, 2000},
+                      FidelityCase{400, 200}, FidelityCase{128, 500}),
+    [](const ::testing::TestParamInfo<FidelityCase>& param_info) {
+      return "c" + std::to_string(param_info.param.committee) + "_t" +
+             std::to_string(param_info.param.txs);
+    });
+
+}  // namespace
+}  // namespace optchain::sim

@@ -1,0 +1,273 @@
+// Tests for the synthetic Bitcoin-like workload: validity of the generated
+// stream, determinism, calibration against the paper's Fig. 2 statistics,
+// and the dataset round-trip.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "graph/dag.hpp"
+#include "txmodel/utxo_set.hpp"
+#include "workload/bitcoin_like_generator.hpp"
+#include "workload/dataset_loader.hpp"
+#include "workload/tan_builder.hpp"
+
+namespace optchain::workload {
+namespace {
+
+TEST(GeneratorTest, FirstTransactionIsCoinbase) {
+  BitcoinLikeGenerator gen;
+  const tx::Transaction first = gen.next();
+  EXPECT_TRUE(first.is_coinbase());
+  EXPECT_EQ(first.index, 0u);
+}
+
+TEST(GeneratorTest, IndicesAreDense) {
+  BitcoinLikeGenerator gen;
+  const auto txs = gen.generate(500);
+  for (std::size_t i = 0; i < txs.size(); ++i) {
+    EXPECT_EQ(txs[i].index, i);
+  }
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  BitcoinLikeGenerator a({}, 99), b({}, 99);
+  const auto ta = a.generate(300);
+  const auto tb = b.generate(300);
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].txid(), tb[i].txid()) << "diverged at " << i;
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiverge) {
+  BitcoinLikeGenerator a({}, 1), b({}, 2);
+  const auto ta = a.generate(200);
+  const auto tb = b.generate(200);
+  int differing = 0;
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    if (!(ta[i].txid() == tb[i].txid())) ++differing;
+  }
+  EXPECT_GT(differing, 100);
+}
+
+TEST(GeneratorTest, EveryTransactionValidAgainstUtxoSet) {
+  BitcoinLikeGenerator gen({}, 7);
+  tx::UtxoSet utxo;
+  for (int i = 0; i < 5000; ++i) {
+    const tx::Transaction t = gen.next();
+    ASSERT_EQ(utxo.apply(t), tx::ValidationError::kOk)
+        << "tx " << i << ": " << tx::to_string(utxo.validate(t));
+  }
+}
+
+TEST(GeneratorTest, ValueConservedOnSpends) {
+  BitcoinLikeGenerator gen({}, 11);
+  tx::UtxoSet utxo;
+  for (int i = 0; i < 3000; ++i) {
+    const tx::Transaction t = gen.next();
+    if (!t.is_coinbase()) {
+      tx::Amount in_value = 0;
+      for (const auto& in : t.inputs) {
+        const auto out = utxo.output(in);
+        ASSERT_TRUE(out.has_value());
+        in_value += out->value;
+      }
+      EXPECT_EQ(t.total_output(), in_value) << "tx " << i;
+    }
+    ASSERT_EQ(utxo.apply(t), tx::ValidationError::kOk);
+  }
+}
+
+TEST(GeneratorTest, CoinbaseCadenceRespected) {
+  WorkloadConfig config;
+  config.coinbase_interval = 50;
+  BitcoinLikeGenerator gen(config, 3);
+  const auto txs = gen.generate(1000);
+  std::size_t coinbase_count = 0;
+  for (const auto& t : txs) {
+    if (t.is_coinbase()) ++coinbase_count;
+  }
+  // Exactly every 50th index is a scheduled coinbase; extra ones appear only
+  // if liquidity runs out (rare at these settings).
+  EXPECT_GE(coinbase_count, 20u);
+  EXPECT_LE(coinbase_count, 30u);
+}
+
+// Calibration against the paper's Fig. 2: average degree ~2, the bulk of
+// nodes with small degrees.
+TEST(GeneratorTest, TanStatisticsMatchPaperShape) {
+  BitcoinLikeGenerator gen({}, 5);
+  const auto txs = gen.generate(30000);
+  const graph::TanDag dag = build_tan(txs);
+  const auto stats = graph::compute_degree_stats(dag);
+
+  // Paper (10M prefix): 19.96M edges / 10M nodes ≈ 2.0.
+  EXPECT_GT(stats.average_degree, 1.2);
+  EXPECT_LT(stats.average_degree, 2.6);
+
+  // Paper Fig. 2b: 86.3% of nodes have input-degree (graph out-degree) < 3;
+  // 93.1% have spender-degree (graph in-degree) < 3; 97.6% < 10.
+  std::uint64_t input_lt3 = 0, spender_lt3 = 0, spender_lt10 = 0;
+  for (graph::NodeId u = 0; u < dag.num_nodes(); ++u) {
+    if (dag.input_degree(u) < 3) ++input_lt3;
+    if (dag.spender_count(u) < 3) ++spender_lt3;
+    if (dag.spender_count(u) < 10) ++spender_lt10;
+  }
+  const double n = static_cast<double>(dag.num_nodes());
+  EXPECT_GT(static_cast<double>(input_lt3) / n, 0.80);
+  EXPECT_GT(static_cast<double>(spender_lt3) / n, 0.80);
+  EXPECT_GT(static_cast<double>(spender_lt10) / n, 0.95);
+}
+
+TEST(GeneratorTest, SpendsExhibitTemporalLocality) {
+  BitcoinLikeGenerator gen({}, 13);
+  const auto txs = gen.generate(20000);
+  // Median spend distance (u - v for edge u->v) should be much smaller than
+  // the stream length; the paper's TaN has strong temporal locality.
+  std::vector<std::uint64_t> distances;
+  for (const auto& t : txs) {
+    for (const auto& in : t.inputs) {
+      distances.push_back(t.index - in.tx);
+    }
+  }
+  ASSERT_FALSE(distances.empty());
+  std::sort(distances.begin(), distances.end());
+  const std::uint64_t median = distances[distances.size() / 2];
+  EXPECT_LT(median, 2000u);
+}
+
+TEST(GeneratorTest, FloodEpisodeRaisesInputDegree) {
+  WorkloadConfig config;
+  // Plenty of dust liquidity, then a short consolidation attack: the flood
+  // window must not outrun the available UTXO pool or the consolidations
+  // degenerate to ordinary spends.
+  config.coinbase_interval = 20;
+  config.flood.start = 10000;
+  config.flood.end = 10400;
+  config.flood.inputs_per_tx = 10;
+  BitcoinLikeGenerator gen(config, 17);
+  const auto txs = gen.generate(12000);
+
+  double flood_avg = 0.0, normal_avg = 0.0;
+  std::size_t flood_n = 0, normal_n = 0;
+  for (const auto& t : txs) {
+    if (t.is_coinbase()) continue;
+    if (t.index >= config.flood.start && t.index < config.flood.end) {
+      flood_avg += static_cast<double>(t.inputs.size());
+      ++flood_n;
+    } else {
+      normal_avg += static_cast<double>(t.inputs.size());
+      ++normal_n;
+    }
+  }
+  ASSERT_GT(flood_n, 0u);
+  ASSERT_GT(normal_n, 0u);
+  EXPECT_GT(flood_avg / static_cast<double>(flood_n),
+            3.0 * normal_avg / static_cast<double>(normal_n));
+}
+
+TEST(GeneratorTest, WalletPoolGrows) {
+  BitcoinLikeGenerator gen({}, 19);
+  gen.generate(1000);
+  const std::size_t w1 = gen.num_wallets();
+  gen.generate(5000);
+  EXPECT_GT(gen.num_wallets(), w1);
+}
+
+TEST(TanBuilderTest, MatchesTransactionStructure) {
+  BitcoinLikeGenerator gen({}, 23);
+  const auto txs = gen.generate(2000);
+  const graph::TanDag dag = build_tan(txs);
+  ASSERT_EQ(dag.num_nodes(), txs.size());
+  for (const auto& t : txs) {
+    const auto distinct = t.distinct_input_txs();
+    EXPECT_EQ(dag.input_degree(t.index), distinct.size());
+  }
+}
+
+TEST(TanBuilderTest, RejectsOutOfOrder) {
+  TanBuilder builder;
+  tx::Transaction t;
+  t.index = 5;  // builder expects 0
+  EXPECT_DEATH(builder.add(t), "Precondition");
+}
+
+class DatasetRoundTripTest : public ::testing::Test {
+ protected:
+  std::string path_ = (std::filesystem::temp_directory_path() /
+                       "optchain_tan_test.txt")
+                          .string();
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(DatasetRoundTripTest, SaveAndLoad) {
+  BitcoinLikeGenerator gen({}, 29);
+  const auto txs = gen.generate(1500);
+  const graph::TanDag original = build_tan(txs);
+  save_tan_edge_list(original, path_);
+  const graph::TanDag loaded = load_tan_edge_list(path_);
+  ASSERT_EQ(loaded.num_nodes(), original.num_nodes());
+  ASSERT_EQ(loaded.num_edges(), original.num_edges());
+  for (graph::NodeId u = 0; u < original.num_nodes(); ++u) {
+    const auto a = original.inputs(u);
+    const auto b = loaded.inputs(u);
+    ASSERT_EQ(std::vector<graph::NodeId>(a.begin(), a.end()),
+              std::vector<graph::NodeId>(b.begin(), b.end()));
+  }
+}
+
+TEST_F(DatasetRoundTripTest, RejectsForwardReference) {
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("0:\n1: 2\n", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(load_tan_edge_list(path_), std::runtime_error);
+}
+
+TEST_F(DatasetRoundTripTest, RejectsNonDenseIndices) {
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("0:\n2: 0\n", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(load_tan_edge_list(path_), std::runtime_error);
+}
+
+TEST_F(DatasetRoundTripTest, SkipsCommentsAndBlanks) {
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("# header\n\n0:\n1: 0\n", f);
+    std::fclose(f);
+  }
+  const graph::TanDag dag = load_tan_edge_list(path_);
+  EXPECT_EQ(dag.num_nodes(), 2u);
+  EXPECT_EQ(dag.num_edges(), 1u);
+}
+
+TEST(DatasetLoaderTest, MissingFileThrows) {
+  EXPECT_THROW(load_tan_edge_list("/nonexistent/path/tan.txt"),
+               std::runtime_error);
+}
+
+// Property sweep over seeds: the generated stream is always UTXO-valid.
+class GeneratorPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(GeneratorPropertyTest, StreamAlwaysValid) {
+  BitcoinLikeGenerator gen({}, GetParam());
+  tx::UtxoSet utxo;
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_EQ(utxo.apply(gen.next()), tx::ValidationError::kOk);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 10, 100, 1000));
+
+}  // namespace
+}  // namespace optchain::workload

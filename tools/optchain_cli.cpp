@@ -1,0 +1,234 @@
+// optchain — command-line driver for the library.
+//
+//   optchain generate  --txs=N [--seed=S] [--account] --out=stream.bin
+//   optchain stats     --in=stream.bin
+//   optchain place     --in=stream.bin --method=optchain|t2s|greedy|random
+//                      --shards=K
+//   optchain partition --in=stream.bin --shards=K [--epsilon=0.1]
+//   optchain simulate  --in=stream.bin --method=... --shards=K --rate=TPS
+//                      [--protocol=omniledger|rapidchain]
+//                      [--fault_rate=P] [--csv=out.csv]
+//
+// Streams are the binary codec of txmodel/serialization.hpp; `generate`
+// creates them, everything else consumes them, so a workload is generated
+// once and replayed across experiments.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/flags.hpp"
+#include "common/table.hpp"
+#include "core/optchain_placer.hpp"
+#include "graph/dag.hpp"
+#include "metis/kway_partitioner.hpp"
+#include "placement/greedy_placer.hpp"
+#include "placement/random_placer.hpp"
+#include "sim/simulation.hpp"
+#include "stats/metrics.hpp"
+#include "txmodel/serialization.hpp"
+#include "workload/account_workload.hpp"
+#include "workload/bitcoin_like_generator.hpp"
+#include "workload/tan_builder.hpp"
+
+namespace {
+
+using namespace optchain;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: optchain <generate|stats|place|partition|simulate> "
+               "[--flags]\n"
+               "run `optchain <command>` with no flags for that command's "
+               "options\n");
+  return 2;
+}
+
+std::vector<tx::Transaction> load_stream(const Flags& flags) {
+  const std::string path = flags.get_string("in", "");
+  if (path.empty()) {
+    throw std::runtime_error("--in=<stream.bin> is required");
+  }
+  return tx::load_transactions(path);
+}
+
+/// Builds the requested placer over `dag`; `txs` provides stream length for
+/// capacity caps.
+std::unique_ptr<placement::Placer> make_placer(
+    const std::string& method, graph::TanDag& dag,
+    std::span<const tx::Transaction> txs) {
+  if (method == "optchain") {
+    return std::make_unique<core::OptChainPlacer>(dag);
+  }
+  if (method == "t2s") {
+    core::OptChainConfig config;
+    config.l2s_weight = 0.0;
+    config.expected_txs = txs.size();
+    return std::make_unique<core::OptChainPlacer>(dag, config, "T2S");
+  }
+  if (method == "greedy") {
+    return std::make_unique<placement::GreedyPlacer>(txs.size());
+  }
+  if (method == "random") {
+    return std::make_unique<placement::RandomPlacer>();
+  }
+  throw std::runtime_error("unknown --method: " + method +
+                           " (optchain|t2s|greedy|random)");
+}
+
+int cmd_generate(const Flags& flags) {
+  const auto n = static_cast<std::size_t>(flags.get_int("txs", 100000));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const std::string out = flags.get_string("out", "stream.bin");
+
+  std::vector<tx::Transaction> txs;
+  if (flags.get_bool("account", false)) {
+    workload::AccountWorkloadGenerator generator({}, seed);
+    txs = generator.generate(n);
+  } else {
+    workload::BitcoinLikeGenerator generator({}, seed);
+    txs = generator.generate(n);
+  }
+  tx::save_transactions(txs, out);
+  std::printf("wrote %zu transactions to %s\n", txs.size(), out.c_str());
+  return 0;
+}
+
+int cmd_stats(const Flags& flags) {
+  const auto txs = load_stream(flags);
+  const graph::TanDag dag = workload::build_tan(txs);
+  const auto stats = graph::compute_degree_stats(dag);
+  TextTable table({"statistic", "value"});
+  table.add_row({"transactions", TextTable::fmt_int(
+                                     static_cast<long long>(stats.nodes))});
+  table.add_row({"TaN edges", TextTable::fmt_int(
+                                  static_cast<long long>(stats.edges))});
+  table.add_row({"average degree", TextTable::fmt(stats.average_degree, 3)});
+  table.add_row({"coinbase/funding txs",
+                 TextTable::fmt_int(
+                     static_cast<long long>(stats.coinbase_nodes))});
+  table.add_row({"unspent frontier",
+                 TextTable::fmt_int(
+                     static_cast<long long>(stats.unspent_nodes))});
+  table.print();
+  return 0;
+}
+
+int cmd_place(const Flags& flags) {
+  const auto txs = load_stream(flags);
+  const auto k = static_cast<std::uint32_t>(flags.get_int("shards", 16));
+  const std::string method = flags.get_string("method", "optchain");
+
+  graph::TanDag dag;
+  const auto placer = make_placer(method, dag, txs);
+  placement::ShardAssignment assignment(k);
+  stats::CrossTxCounter counter;
+  for (const auto& transaction : txs) {
+    const auto inputs = transaction.distinct_input_txs();
+    dag.add_node(inputs);
+    placement::PlacementRequest request;
+    request.index = transaction.index;
+    request.input_txs = inputs;
+    request.hash64 = transaction.txid().low64();
+    const auto shard = placer->choose(request, assignment);
+    assignment.record(transaction.index, shard);
+    placer->notify_placed(request, shard);
+    if (!transaction.is_coinbase()) {
+      counter.record(assignment.is_cross_shard(inputs, shard));
+    }
+  }
+
+  std::printf("%s over %u shards: %.2f %% cross-shard (%llu / %llu)\n",
+              method.c_str(), k, 100.0 * counter.fraction(),
+              static_cast<unsigned long long>(counter.cross()),
+              static_cast<unsigned long long>(counter.total()));
+  TextTable sizes({"shard", "transactions"});
+  for (std::uint32_t s = 0; s < k; ++s) {
+    sizes.add_row({std::to_string(s),
+                   TextTable::fmt_int(
+                       static_cast<long long>(assignment.size_of(s)))});
+  }
+  sizes.print();
+  return 0;
+}
+
+int cmd_partition(const Flags& flags) {
+  const auto txs = load_stream(flags);
+  const auto k = static_cast<std::uint32_t>(flags.get_int("shards", 16));
+  const graph::TanDag dag = workload::build_tan(txs);
+  const graph::Csr undirected = dag.to_undirected();
+
+  metis::PartitionConfig config;
+  config.k = k;
+  config.imbalance = flags.get_double("epsilon", 0.1);
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const auto parts = metis::partition_kway(undirected, config);
+  const auto cut = metis::edge_cut(undirected, parts);
+  std::printf("metis %u-way: edge cut %llu of %llu (%.2f %%), balance %.3f\n",
+              k, static_cast<unsigned long long>(cut),
+              static_cast<unsigned long long>(dag.num_edges()),
+              100.0 * static_cast<double>(cut) /
+                  static_cast<double>(std::max<std::size_t>(
+                      dag.num_edges(), 1)),
+              metis::balance_factor(parts, k));
+  return 0;
+}
+
+int cmd_simulate(const Flags& flags) {
+  const auto txs = load_stream(flags);
+  const auto k = static_cast<std::uint32_t>(flags.get_int("shards", 16));
+  const std::string method = flags.get_string("method", "optchain");
+
+  sim::SimConfig config;
+  config.num_shards = k;
+  config.tx_rate_tps = flags.get_double("rate", 2000.0);
+  config.leader_fault_rate = flags.get_double("fault_rate", 0.0);
+  if (flags.get_string("protocol", "omniledger") == "rapidchain") {
+    config.protocol = sim::ProtocolMode::kRapidChain;
+  }
+
+  graph::TanDag dag;
+  const auto placer = make_placer(method, dag, txs);
+  sim::Simulation simulation(config);
+  const auto result = simulation.run(txs, *placer, dag);
+
+  TextTable table({"metric", "value"});
+  table.add_row({"method", result.placer_name});
+  table.add_row({"committed", TextTable::fmt_int(static_cast<long long>(
+                                  result.committed_txs))});
+  table.add_row({"aborted", TextTable::fmt_int(static_cast<long long>(
+                                result.aborted_txs))});
+  table.add_row({"cross-shard", TextTable::fmt_percent(
+                                    result.cross_fraction())});
+  table.add_row({"throughput (tps)", TextTable::fmt(result.throughput_tps,
+                                                    0)});
+  table.add_row({"avg latency (s)", TextTable::fmt(result.avg_latency_s, 2)});
+  table.add_row({"max latency (s)", TextTable::fmt(result.max_latency_s, 2)});
+  table.add_row({"completed", result.completed ? "yes" : "no"});
+  table.print();
+
+  const std::string csv = flags.get_string("csv", "");
+  if (!csv.empty()) {
+    table.save_csv(csv);
+    std::printf("wrote %s\n", csv.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    const Flags flags(argc - 1, argv + 1);
+    if (command == "generate") return cmd_generate(flags);
+    if (command == "stats") return cmd_stats(flags);
+    if (command == "place") return cmd_place(flags);
+    if (command == "partition") return cmd_partition(flags);
+    if (command == "simulate") return cmd_simulate(flags);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "optchain %s: %s\n", command.c_str(), error.what());
+    return 1;
+  }
+  return usage();
+}
