@@ -8,8 +8,10 @@
 // the Fig. 3 simulation at a stressed operating point.
 #include <cstdio>
 #include <functional>
+#include <memory>
 
 #include "bench_common.hpp"
+#include "core/optchain_placer.hpp"
 #include "placement/greedy_placer.hpp"
 #include "placement/least_loaded_placer.hpp"
 
@@ -30,9 +32,11 @@ int main(int argc, char** argv) {
   const auto txs = bench::make_stream(n, seed);
   const std::span<const tx::Transaction> all(txs);
 
+  // Custom placer configurations enter through the pipeline's factory
+  // constructor; named line-up methods come from the registry as usual.
   struct Variant {
     std::string label;
-    std::function<bench::Method()> make;
+    std::function<api::PlacementPipeline()> make;
     sim::ProtocolMode protocol = sim::ProtocolMode::kOmniLedger;
   };
 
@@ -42,78 +46,53 @@ int main(int argc, char** argv) {
 
   std::vector<Variant> variants;
   variants.push_back({"OptChain (weight 0.01, paper)", [&] {
-                        bench::Method m;
-                        m.name = "OptChain";
-                        m.placer = std::make_unique<core::OptChainPlacer>(
-                            m.dag, core::OptChainConfig{});
-                        return m;
+                        return bench::make_method("OptChain", all, k, seed);
                       }});
   variants.push_back({"T2S only (weight 0)", [&] {
-                        bench::Method m;
-                        m.name = "T2S";
-                        core::OptChainConfig config;
-                        config.l2s_weight = 0.0;
-                        config.expected_txs = all.size();
-                        m.placer = std::make_unique<core::OptChainPlacer>(
-                            m.dag, config, "T2S");
-                        return m;
+                        return bench::make_method("T2S", all, k, seed);
                       }});
   variants.push_back({"OptChain (weight 0.1)", [&] {
-                        bench::Method m;
-                        m.name = "OptChain-w0.1";
-                        core::OptChainConfig config;
-                        config.l2s_weight = 0.1;
-                        m.placer = std::make_unique<core::OptChainPlacer>(
-                            m.dag, config, "OptChain-w0.1");
-                        return m;
+                        return api::PlacementPipeline(
+                            k, [](const graph::TanDag& dag) {
+                              core::OptChainConfig config;
+                              config.l2s_weight = 0.1;
+                              return std::make_unique<core::OptChainPlacer>(
+                                  dag, config, "OptChain-w0.1");
+                            });
                       }});
   variants.push_back({"OptChain (declared-outputs divisor)", [&] {
-                        bench::Method m;
-                        m.name = "OptChain-outdiv";
-                        core::OptChainConfig config;
-                        config.t2s.divisor =
-                            core::DivisorPolicy::kDeclaredOutputs;
-                        m.placer = std::make_unique<core::OptChainPlacer>(
-                            m.dag, config, "OptChain-outdiv", outputs_of);
-                        return m;
+                        return api::PlacementPipeline(
+                            k, [&outputs_of](const graph::TanDag& dag) {
+                              core::OptChainConfig config;
+                              config.t2s.divisor =
+                                  core::DivisorPolicy::kDeclaredOutputs;
+                              return std::make_unique<core::OptChainPlacer>(
+                                  dag, config, "OptChain-outdiv", outputs_of);
+                            });
                       }});
   variants.push_back({"OptChain over RapidChain yanking",
                       [&] {
-                        bench::Method m;
-                        m.name = "OptChain";
-                        m.placer = std::make_unique<core::OptChainPlacer>(
-                            m.dag, core::OptChainConfig{});
-                        return m;
+                        return bench::make_method("OptChain", all, k, seed);
                       },
                       sim::ProtocolMode::kRapidChain});
   variants.push_back({"Greedy (first-shard ties, paper)", [&] {
-                        bench::Method m;
-                        m.name = "Greedy";
-                        m.placer = std::make_unique<placement::GreedyPlacer>(
-                            all.size());
-                        return m;
+                        return bench::make_method("Greedy", all, k, seed);
                       }});
   variants.push_back({"Greedy (smallest-shard ties)", [&] {
-                        bench::Method m;
-                        m.name = "Greedy-smallest";
-                        m.placer = std::make_unique<placement::GreedyPlacer>(
-                            all.size(), 0.1,
-                            placement::GreedyTieBreak::kSmallestShard);
-                        return m;
+                        return api::PlacementPipeline(
+                            k, std::make_unique<placement::GreedyPlacer>(
+                                   all.size(), 0.1,
+                                   placement::GreedyTieBreak::kSmallestShard));
                       }});
   variants.push_back({"LeastLoaded (balance only)", [&] {
-                        bench::Method m;
-                        m.name = "LeastLoaded";
-                        m.placer =
-                            std::make_unique<placement::LeastLoadedPlacer>();
-                        return m;
+                        return bench::make_method("LeastLoaded", all, k, seed);
                       }});
 
   TextTable table({"variant", "cross-TX", "avg latency(s)", "max latency(s)",
                    "throughput(tps)"});
   for (auto& variant : variants) {
-    bench::Method method = variant.make();
-    const auto result = bench::run_sim(all, method, k, rate, variant.protocol);
+    api::PlacementPipeline method = variant.make();
+    const auto result = bench::run_sim(all, method, rate, variant.protocol);
     table.add_row({variant.label,
                    TextTable::fmt_percent(result.cross_fraction(), 1),
                    TextTable::fmt(result.avg_latency_s, 1),
@@ -129,13 +108,13 @@ int main(int argc, char** argv) {
   TextTable fault_table({"variant", "share of txs in slow shard",
                          "avg latency(s)", "throughput(tps)"});
   for (const char* name : {"OptChain", "OmniLedger"}) {
-    bench::Method method = bench::make_method(name, all, k, seed);
+    auto method = bench::make_method(name, all, k, seed);
     sim::SimConfig config;
     config.num_shards = k;
     config.tx_rate_tps = rate;
     config.shard_slowdown = {6.0};
     sim::Simulation simulation(config);
-    const auto result = simulation.run(all, *method.placer, method.dag);
+    const auto result = simulation.run(all, method);
     const double share =
         static_cast<double>(result.final_shard_sizes[0]) /
         static_cast<double>(all.size());

@@ -11,36 +11,20 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "placement/greedy_placer.hpp"
-#include "placement/random_placer.hpp"
 #include "workload/account_workload.hpp"
 
 namespace {
 
 using namespace optchain;
 
+/// Streams the transfer batch through a registry method; funding (input-less)
+/// transactions are excluded from the cross-TX fraction, exactly as coinbase
+/// is in the UTXO tables.
 double run_account_placement(std::span<const tx::Transaction> txs,
-                             placement::Placer& placer, graph::TanDag& dag,
-                             std::uint32_t k) {
-  placement::ShardAssignment assignment(k);
-  std::uint64_t total = 0, cross = 0;
-  for (const auto& t : txs) {
-    const auto inputs = t.distinct_input_txs();
-    dag.add_node(inputs);
-    placement::PlacementRequest request;
-    request.index = t.index;
-    request.input_txs = inputs;
-    request.hash64 = t.txid().low64();
-    const auto shard = placer.choose(request, assignment);
-    assignment.record(t.index, shard);
-    placer.notify_placed(request, shard);
-    if (!t.inputs.empty()) {
-      ++total;
-      cross += assignment.is_cross_shard(inputs, shard);
-    }
-  }
-  return total == 0 ? 0.0
-                    : static_cast<double>(cross) / static_cast<double>(total);
+                             const char* method, std::uint32_t k,
+                             std::uint64_t seed) {
+  auto pipeline = bench::make_method(method, txs, k, seed);
+  return pipeline.place_stream(txs).fraction();
 }
 
 }  // namespace
@@ -72,26 +56,9 @@ int main(int argc, char** argv) {
     const auto k = static_cast<std::uint32_t>(k_value);
     std::vector<std::string> row{std::to_string(k)};
 
-    {
-      graph::TanDag dag;
-      core::OptChainConfig config;
-      config.l2s_weight = 0.0;
-      config.expected_txs = txs.size();
-      core::OptChainPlacer placer(dag, config, "T2S");
-      row.push_back(
-          TextTable::fmt_percent(run_account_placement(txs, placer, dag, k)));
-    }
-    {
-      graph::TanDag dag;
-      placement::GreedyPlacer placer(txs.size());
-      row.push_back(
-          TextTable::fmt_percent(run_account_placement(txs, placer, dag, k)));
-    }
-    {
-      graph::TanDag dag;
-      placement::RandomPlacer placer;
-      row.push_back(
-          TextTable::fmt_percent(run_account_placement(txs, placer, dag, k)));
+    for (const char* name : {"T2S", "Greedy", "OmniLedger"}) {
+      row.push_back(TextTable::fmt_percent(
+          run_account_placement(txs, name, k, seed)));
     }
     table.add_row(std::move(row));
   }
@@ -103,8 +70,8 @@ int main(int argc, char** argv) {
   TextTable sim_table(
       {"method", "cross-TX", "avg latency(s)", "throughput(tps)"});
   for (const char* name : {"OptChain", "OmniLedger"}) {
-    bench::Method method = bench::make_method(name, txs, 8, seed);
-    const auto result = bench::run_sim(txs, method, 8, 3000.0);
+    auto method = bench::make_method(name, txs, 8, seed);
+    const auto result = bench::run_sim(txs, method, 3000.0);
     sim_table.add_row({name, TextTable::fmt_percent(result.cross_fraction()),
                        TextTable::fmt(result.avg_latency_s, 1),
                        TextTable::fmt(result.throughput_tps, 0)});

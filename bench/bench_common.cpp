@@ -2,13 +2,6 @@
 
 #include <cstdio>
 
-#include "common/assert.hpp"
-#include "placement/greedy_placer.hpp"
-#include "placement/least_loaded_placer.hpp"
-#include "placement/random_placer.hpp"
-#include "placement/static_placer.hpp"
-#include "workload/tan_builder.hpp"
-
 namespace optchain::bench {
 
 std::vector<tx::Transaction> make_stream(std::size_t n, std::uint64_t seed,
@@ -26,82 +19,22 @@ std::size_t stream_size(const Flags& flags, double rate_tps,
   return static_cast<std::size_t>(rate_tps * issue_seconds);
 }
 
-Method make_method(const std::string& name,
-                   std::span<const tx::Transaction> txs, std::uint32_t k,
-                   std::uint64_t seed) {
-  Method method;
-  method.name = name;
-  if (name == "OptChain") {
-    core::OptChainConfig config;  // paper defaults: α=0.5, weight 0.01
-    method.placer = std::make_unique<core::OptChainPlacer>(method.dag, config,
-                                                           "OptChain");
-  } else if (name == "T2S") {
-    core::OptChainConfig config;
-    config.l2s_weight = 0.0;
-    config.expected_txs = txs.size();  // ε-capped like Greedy (paper §IV.B)
-    method.placer =
-        std::make_unique<core::OptChainPlacer>(method.dag, config, "T2S");
-  } else if (name == "OmniLedger") {
-    method.placer = std::make_unique<placement::RandomPlacer>();
-  } else if (name == "Greedy") {
-    method.placer = std::make_unique<placement::GreedyPlacer>(txs.size());
-  } else if (name == "LeastLoaded") {
-    method.placer = std::make_unique<placement::LeastLoadedPlacer>();
-  } else if (name == "Metis") {
-    const graph::TanDag full = workload::build_tan(txs);
-    metis::PartitionConfig config;
-    config.k = k;
-    config.seed = seed;
-    method.placer = std::make_unique<placement::StaticPlacer>(
-        metis::partition_kway(full.to_undirected(), config), "Metis");
-  } else {
-    std::fprintf(stderr, "unknown method: %s\n", name.c_str());
-    std::abort();
-  }
-  return method;
+api::PlacementPipeline make_method(const std::string& name,
+                                   std::span<const tx::Transaction> txs,
+                                   std::uint32_t k, std::uint64_t seed) {
+  return api::make_pipeline(name, k, txs, seed);
 }
 
-PlacementOutcome run_placement(std::span<const tx::Transaction> txs,
-                               Method& method, std::uint32_t k,
-                               std::span<const std::uint32_t> warm_parts) {
-  placement::ShardAssignment assignment(k);
-  PlacementOutcome outcome;
-  for (const auto& transaction : txs) {
-    const auto inputs = transaction.distinct_input_txs();
-    method.dag.add_node(inputs);
-
-    placement::PlacementRequest request;
-    request.index = transaction.index;
-    request.input_txs = inputs;
-    request.hash64 = transaction.txid().low64();
-
-    // choose() always runs so stateful placers build their score vectors;
-    // warm-start transactions then get the precomputed partition.
-    placement::ShardId shard = method.placer->choose(request, assignment);
-    const bool warm = transaction.index < warm_parts.size();
-    if (warm) shard = warm_parts[transaction.index];
-    assignment.record(transaction.index, shard);
-    method.placer->notify_placed(request, shard);
-
-    if (!warm && !transaction.is_coinbase()) {
-      ++outcome.total;
-      if (assignment.is_cross_shard(inputs, shard)) ++outcome.cross;
-    }
-  }
-  outcome.shard_sizes = assignment.sizes();
-  return outcome;
-}
-
-sim::SimResult run_sim(std::span<const tx::Transaction> txs, Method& method,
-                       std::uint32_t k, double rate_tps,
+sim::SimResult run_sim(std::span<const tx::Transaction> txs,
+                       api::PlacementPipeline& pipeline, double rate_tps,
                        sim::ProtocolMode protocol, double commit_window_s) {
   sim::SimConfig config;
-  config.num_shards = k;
+  config.num_shards = pipeline.k();
   config.tx_rate_tps = rate_tps;
   config.protocol = protocol;
   config.commit_window_s = commit_window_s;
   sim::Simulation simulation(config);
-  return simulation.run(txs, *method.placer, method.dag);
+  return simulation.run(txs, pipeline);
 }
 
 void print_header(const std::string& title, const std::string& paper_ref,

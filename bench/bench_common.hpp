@@ -1,4 +1,5 @@
-// Shared harness code for the per-table/per-figure benchmark binaries.
+// Shared harness code for the per-table/per-figure benchmark binaries,
+// built on the optchain::api layer (PlacerRegistry + PlacementPipeline).
 //
 // Every binary accepts:
 //   --txs=N       stream length (per-bench default; paper scale via flags)
@@ -8,17 +9,14 @@
 // rows mirror the paper's tables/figure series.
 #pragma once
 
-#include <memory>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "api/placement_pipeline.hpp"
 #include "common/flags.hpp"
 #include "common/table.hpp"
-#include "core/optchain_placer.hpp"
-#include "graph/dag.hpp"
-#include "metis/kway_partitioner.hpp"
-#include "placement/placer.hpp"
 #include "sim/simulation.hpp"
 #include "txmodel/transaction.hpp"
 #include "workload/bitcoin_like_generator.hpp"
@@ -26,24 +24,18 @@
 namespace optchain::bench {
 
 /// Names used across the harness, matching the paper's method line-up.
+/// All of them (and more) resolve through the api::PlacerRegistry.
 inline constexpr const char* kMethods[] = {"OptChain", "OmniLedger", "Metis",
                                            "Greedy"};
 
-/// A placement method bundled with the TaN DAG it reads (OptChain's scorer
-/// holds a reference into it; the driver fills it online).
-struct Method {
-  std::string name;
-  graph::TanDag dag;
-  std::unique_ptr<placement::Placer> placer;
-};
-
-/// Builds a method by name: "OptChain" (full Algorithm 1), "T2S" (no L2S,
-/// ε-capped), "OmniLedger" (random), "Greedy", "Metis" (offline partition of
-/// the full stream), "LeastLoaded". `txs` is the full stream (Metis needs
-/// it; others only its length).
-Method make_method(const std::string& name,
-                   std::span<const tx::Transaction> txs, std::uint32_t k,
-                   std::uint64_t seed = 1);
+/// Builds a fresh pipeline for a registry method name: "OptChain" (full
+/// Algorithm 1), "T2S" (no L2S, ε-capped), "OmniLedger" (random), "Greedy",
+/// "Metis" (offline partition of the full stream), "LeastLoaded", "Static".
+/// `txs` is the full stream (Metis needs it; capacity-capped methods only
+/// its length).
+api::PlacementPipeline make_method(const std::string& name,
+                                   std::span<const tx::Transaction> txs,
+                                   std::uint32_t k, std::uint64_t seed = 1);
 
 /// Generates the standard benchmark stream.
 std::vector<tx::Transaction> make_stream(std::size_t n, std::uint64_t seed,
@@ -56,28 +48,12 @@ std::vector<tx::Transaction> make_stream(std::size_t n, std::uint64_t seed,
 std::size_t stream_size(const Flags& flags, double rate_tps,
                         double default_issue_seconds = 120.0);
 
-/// Placement-only outcome (Tables I-II).
-struct PlacementOutcome {
-  std::uint64_t total = 0;        // non-coinbase transactions considered
-  std::uint64_t cross = 0;
-  std::vector<std::uint64_t> shard_sizes;
-
-  double fraction() const noexcept {
-    return total == 0 ? 0.0
-                      : static_cast<double>(cross) / static_cast<double>(total);
-  }
-};
-
-/// Streams `txs` through the method. If `warm_parts` is non-empty, the first
-/// warm_parts.size() transactions are force-placed per that partition and
-/// excluded from the cross-TX count (Table II's warm start).
-PlacementOutcome run_placement(std::span<const tx::Transaction> txs,
-                               Method& method, std::uint32_t k,
-                               std::span<const std::uint32_t> warm_parts = {});
+/// Placement-only runs (Tables I-II) stream directly through
+/// api::PlacementPipeline::place_stream (warm starts included).
 
 /// Simulation run for one (method, k, rate) cell of the figure grids.
 sim::SimResult run_sim(std::span<const tx::Transaction> txs,
-                       Method& method, std::uint32_t k, double rate_tps,
+                       api::PlacementPipeline& pipeline, double rate_tps,
                        sim::ProtocolMode protocol =
                            sim::ProtocolMode::kOmniLedger,
                        double commit_window_s = 10.0);

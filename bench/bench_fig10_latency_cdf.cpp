@@ -25,8 +25,8 @@ int main(int argc, char** argv) {
 
   std::vector<std::vector<double>> cdfs;
   for (const char* name : bench::kMethods) {
-    bench::Method method = bench::make_method(name, txs, k, seed);
-    const auto result = bench::run_sim(txs, method, k, rate);
+    auto method = bench::make_method(name, txs, k, seed);
+    const auto result = bench::run_sim(txs, method, rate);
     cdfs.push_back(result.latencies.cdf_at(thresholds));
   }
 

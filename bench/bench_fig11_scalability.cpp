@@ -47,8 +47,8 @@ int main(int argc, char** argv) {
       const double rate = (lo + hi) / 2.0;
       const auto n = static_cast<std::size_t>(rate * issue_seconds);
       const auto txs = bench::make_stream(n, seed);
-      bench::Method method = bench::make_method("OptChain", txs, k, seed);
-      const auto result = bench::run_sim(txs, method, k, rate);
+      auto method = bench::make_method("OptChain", txs, k, seed);
+      const auto result = bench::run_sim(txs, method, rate);
       if (sustainable(result, n, rate)) {
         lo = rate;
         best_avg = result.avg_latency_s;

@@ -33,9 +33,9 @@ int main(int argc, char** argv) {
       const auto txs = bench::make_stream(n, seed);
       for (const auto k_value : shard_counts) {
         const auto k = static_cast<std::uint32_t>(k_value);
-        bench::Method method = bench::make_method(name, txs, k, seed);
+        auto method = bench::make_method(name, txs, k, seed);
         const auto result =
-            bench::run_sim(txs, method, k, static_cast<double>(rate));
+            bench::run_sim(txs, method, static_cast<double>(rate));
         // "Healthy" = the system keeps up with the input rate: everything
         // drains shortly after the last transaction is issued.
         const double issue_window =

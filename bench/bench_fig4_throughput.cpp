@@ -30,9 +30,9 @@ int main(int argc, char** argv) {
     std::vector<std::string> row{TextTable::fmt_int(rate)};
     std::size_t column = 0;
     for (const char* name : bench::kMethods) {
-      bench::Method method = bench::make_method(name, txs, k, seed);
+      auto method = bench::make_method(name, txs, k, seed);
       const auto result =
-          bench::run_sim(txs, method, k, static_cast<double>(rate));
+          bench::run_sim(txs, method, static_cast<double>(rate));
       row.push_back(TextTable::fmt(result.throughput_tps, 0));
       best[column] = std::max(best[column], result.throughput_tps);
       ++column;

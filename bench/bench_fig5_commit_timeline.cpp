@@ -28,8 +28,8 @@ int main(int argc, char** argv) {
   std::vector<std::vector<std::uint64_t>> series;
   std::size_t max_windows = 0;
   for (const char* name : bench::kMethods) {
-    bench::Method method = bench::make_method(name, txs, k, seed);
-    const auto result = bench::run_sim(txs, method, k, rate,
+    auto method = bench::make_method(name, txs, k, seed);
+    const auto result = bench::run_sim(txs, method, rate,
                                        sim::ProtocolMode::kOmniLedger,
                                        window_s);
     series.push_back(result.commits_per_window.counts());

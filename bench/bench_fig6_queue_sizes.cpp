@@ -23,8 +23,8 @@ int main(int argc, char** argv) {
   const auto txs = bench::make_stream(n, seed);
 
   for (const char* name : bench::kMethods) {
-    bench::Method method = bench::make_method(name, txs, k, seed);
-    const auto result = bench::run_sim(txs, method, k, rate);
+    auto method = bench::make_method(name, txs, k, seed);
+    const auto result = bench::run_sim(txs, method, rate);
     std::printf("-- %s (worst max queue %llu; paper: OptChain ~44k, Metis "
                 "~507k, Greedy ~230k, OmniLedger ~499k at full scale) --\n",
                 name,

@@ -25,8 +25,8 @@ int main(int argc, char** argv) {
   std::vector<double> worst;
   std::size_t max_len = 0;
   for (const char* name : bench::kMethods) {
-    bench::Method method = bench::make_method(name, txs, k, seed);
-    const auto result = bench::run_sim(txs, method, k, rate);
+    auto method = bench::make_method(name, txs, k, seed);
+    const auto result = bench::run_sim(txs, method, rate);
     series.push_back(result.queue_tracker.snapshots());
     worst.push_back(result.queue_tracker.worst_ratio());
     max_len = std::max(max_len, series.back().size());

@@ -28,9 +28,9 @@ int main(int argc, char** argv) {
     const auto txs = bench::make_stream(n, seed);
     std::vector<std::string> row{TextTable::fmt_int(rate)};
     for (const char* name : bench::kMethods) {
-      bench::Method method = bench::make_method(name, txs, k, seed);
+      auto method = bench::make_method(name, txs, k, seed);
       const auto result =
-          bench::run_sim(txs, method, k, static_cast<double>(rate));
+          bench::run_sim(txs, method, static_cast<double>(rate));
       row.push_back(TextTable::fmt(result.max_latency_s, 1));
     }
     table_a.add_row(std::move(row));
@@ -49,9 +49,9 @@ int main(int argc, char** argv) {
     std::vector<std::string> row{TextTable::fmt_int(rate),
                                  std::to_string(shards)};
     for (const char* name : bench::kMethods) {
-      bench::Method method = bench::make_method(name, txs, shards, seed);
+      auto method = bench::make_method(name, txs, shards, seed);
       const auto result =
-          bench::run_sim(txs, method, shards, static_cast<double>(rate));
+          bench::run_sim(txs, method, static_cast<double>(rate));
       row.push_back(TextTable::fmt(result.max_latency_s, 1));
     }
     table_b.add_row(std::move(row));

@@ -4,6 +4,9 @@
 // it, along with the substrate costs.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
+#include "api/placement_pipeline.hpp"
 #include "common/hash.hpp"
 #include "common/rng.hpp"
 #include "core/optchain_placer.hpp"
@@ -38,47 +41,35 @@ void BM_WorkloadGenerator(benchmark::State& state) {
 }
 BENCHMARK(BM_WorkloadGenerator);
 
-/// Full OptChain placement step (T2S scoring + argmax + commit), per
-/// transaction, across shard counts. The paper's average cost is O(k).
-/// The placer is stateful; when the prepared stream runs out, state resets
+/// Full OptChain placement step through the api::PlacementPipeline (TaN
+/// registration + txid + T2S scoring + argmax + commit), per transaction,
+/// across shard counts. The paper's average scoring cost is O(k). The
+/// pipeline is stateful; when the prepared stream runs out, state resets
 /// outside the timed region.
 void BM_OptChainPlacement(benchmark::State& state) {
   const auto k = static_cast<std::uint32_t>(state.range(0));
   workload::BitcoinLikeGenerator generator({}, 2);
   const auto txs = generator.generate(200000);
 
-  struct Run {
-    graph::TanDag dag;
-    core::OptChainPlacer placer;
-    placement::ShardAssignment assignment;
-    explicit Run(std::uint32_t shards)
-        : placer(dag,
-                 [] {
-                   core::OptChainConfig config;
-                   config.l2s_weight = 0.0;
-                   return config;
-                 }()),
-          assignment(shards) {}
+  const auto fresh_pipeline = [k] {
+    return std::make_unique<api::PlacementPipeline>(
+        k, [](const graph::TanDag& dag) {
+          core::OptChainConfig config;
+          config.l2s_weight = 0.0;
+          return std::make_unique<core::OptChainPlacer>(dag, config);
+        });
   };
 
-  auto run = std::make_unique<Run>(k);
+  auto pipeline = fresh_pipeline();
   std::size_t i = 0;
   for (auto _ : state) {
     if (i >= txs.size()) {
       state.PauseTiming();
-      run = std::make_unique<Run>(k);
+      pipeline = fresh_pipeline();
       i = 0;
       state.ResumeTiming();
     }
-    const auto& transaction = txs[i];
-    const auto inputs = transaction.distinct_input_txs();
-    run->dag.add_node(inputs);
-    placement::PlacementRequest request;
-    request.index = transaction.index;
-    request.input_txs = inputs;
-    const auto shard = run->placer.choose(request, run->assignment);
-    run->assignment.record(transaction.index, shard);
-    run->placer.notify_placed(request, shard);
+    benchmark::DoNotOptimize(pipeline->step(txs[i]));
     ++i;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
@@ -177,10 +168,10 @@ void BM_SimulationEndToEnd(benchmark::State& state) {
     sim::SimConfig config;
     config.num_shards = 8;
     config.tx_rate_tps = 2000.0;
-    placement::RandomPlacer placer;
-    graph::TanDag dag;
+    api::PlacementPipeline pipeline(
+        8, std::make_unique<placement::RandomPlacer>());
     sim::Simulation simulation(config);
-    benchmark::DoNotOptimize(simulation.run(txs, placer, dag));
+    benchmark::DoNotOptimize(simulation.run(txs, pipeline));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(txs.size()));

@@ -34,8 +34,8 @@ int main(int argc, char** argv) {
     const auto k = static_cast<std::uint32_t>(k_value);
     std::vector<std::string> row{std::to_string(k)};
     for (const char* name : {"Metis", "Greedy", "OmniLedger", "T2S"}) {
-      bench::Method method = bench::make_method(name, txs, k, seed);
-      const auto outcome = bench::run_placement(txs, method, k);
+      auto method = bench::make_method(name, txs, k, seed);
+      const auto outcome = method.place_stream(txs);
       row.push_back(TextTable::fmt_percent(outcome.fraction()));
     }
     table.add_row(std::move(row));

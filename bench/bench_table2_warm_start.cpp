@@ -16,6 +16,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "metis/kway_partitioner.hpp"
 #include "workload/tan_builder.hpp"
 
 int main(int argc, char** argv) {
@@ -54,8 +55,8 @@ int main(int argc, char** argv) {
     std::vector<std::string> row{std::to_string(k)};
     std::vector<std::string> percent_cells;
     for (const char* name : {"Greedy", "OmniLedger", "T2S"}) {
-      bench::Method method = bench::make_method(name, txs, k, seed);
-      const auto outcome = bench::run_placement(all, method, k, warm_parts);
+      auto method = bench::make_method(name, txs, k, seed);
+      const auto outcome = method.place_stream(all, warm_parts);
       row.push_back(TextTable::fmt_int(static_cast<long long>(outcome.cross)));
       percent_cells.push_back(TextTable::fmt_percent(outcome.fraction()));
     }

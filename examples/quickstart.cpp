@@ -1,52 +1,18 @@
-// Quickstart: the OptChain public API in ~60 lines.
+// Quickstart: the OptChain public API in ~40 lines.
 //
 // Builds a small Bitcoin-like transaction stream, places it into 8 shards
 // with OptChain, and reports the cross-shard fraction against OmniLedger's
-// hash-based placement.
+// hash-based placement. Each strategy comes out of the api::PlacerRegistry
+// by name; api::PlacementPipeline owns the TaN dag, the shard assignment and
+// the cross-TX accounting.
 //
 //   $ ./examples/quickstart
 #include <cstdio>
 
-#include "core/optchain_placer.hpp"
-#include "placement/random_placer.hpp"
-#include "stats/metrics.hpp"
+#include "api/placement_pipeline.hpp"
 #include "workload/bitcoin_like_generator.hpp"
 
 using namespace optchain;
-
-namespace {
-
-/// Streams transactions through a placement strategy; returns the fraction
-/// of non-coinbase transactions that ended up cross-shard.
-double place_stream(const std::vector<tx::Transaction>& txs,
-                    placement::Placer& placer, graph::TanDag& dag,
-                    std::uint32_t num_shards) {
-  placement::ShardAssignment assignment(num_shards);
-  stats::CrossTxCounter counter;
-
-  for (const tx::Transaction& transaction : txs) {
-    // 1. Register the transaction as a TaN node (edges to the transactions
-    //    whose outputs it spends).
-    const std::vector<tx::TxIndex> inputs = transaction.distinct_input_txs();
-    dag.add_node(inputs);
-
-    // 2. Ask the placer for a shard, then record the decision.
-    placement::PlacementRequest request;
-    request.index = transaction.index;
-    request.input_txs = inputs;
-    request.hash64 = transaction.txid().low64();
-    const placement::ShardId shard = placer.choose(request, assignment);
-    assignment.record(transaction.index, shard);
-    placer.notify_placed(request, shard);
-
-    if (!transaction.is_coinbase()) {
-      counter.record(assignment.is_cross_shard(inputs, shard));
-    }
-  }
-  return counter.fraction();
-}
-
-}  // namespace
 
 int main() {
   constexpr std::uint32_t kShards = 8;
@@ -57,15 +23,12 @@ int main() {
   const std::vector<tx::Transaction> txs = generator.generate(50000);
 
   // OptChain (paper Algorithm 1: T2S affinity + L2S balance).
-  graph::TanDag optchain_dag;
-  core::OptChainPlacer optchain(optchain_dag);
-  const double optchain_cross =
-      place_stream(txs, optchain, optchain_dag, kShards);
+  api::PlacementPipeline optchain = api::make_pipeline("OptChain", kShards);
+  const double optchain_cross = optchain.place_stream(txs).fraction();
 
   // OmniLedger's default: shard = hash(txid) mod k.
-  graph::TanDag random_dag;
-  placement::RandomPlacer random;
-  const double random_cross = place_stream(txs, random, random_dag, kShards);
+  api::PlacementPipeline random = api::make_pipeline("OmniLedger", kShards);
+  const double random_cross = random.place_stream(txs).fraction();
 
   std::printf("placed %zu transactions into %u shards\n", txs.size(), kShards);
   std::printf("  OptChain   cross-shard fraction: %5.1f %%\n",

@@ -7,10 +7,8 @@
 //   $ ./examples/sharded_ledger_sim [--txs=120000] [--rate=4000] [--k=8]
 #include <cstdio>
 
+#include "api/run_spec.hpp"
 #include "common/flags.hpp"
-#include "core/optchain_placer.hpp"
-#include "placement/random_placer.hpp"
-#include "sim/simulation.hpp"
 #include "workload/bitcoin_like_generator.hpp"
 
 using namespace optchain;
@@ -53,21 +51,13 @@ int main(int argc, char** argv) {
   workload::BitcoinLikeGenerator generator;
   const std::vector<tx::Transaction> txs = generator.generate(n);
 
-  sim::SimConfig config;
-  config.num_shards = k;
-  config.tx_rate_tps = rate;
-
-  {
-    graph::TanDag dag;
-    core::OptChainPlacer placer(dag);
-    sim::Simulation simulation(config);
-    report(simulation.run(txs, placer, dag));
-  }
-  {
-    graph::TanDag dag;
-    placement::RandomPlacer placer;
-    sim::Simulation simulation(config);
-    report(simulation.run(txs, placer, dag));
+  // One RunSpec describes the operating point; only the method changes.
+  api::RunSpec spec;
+  spec.num_shards = k;
+  spec.rate_tps = rate;
+  for (const char* method : {"OptChain", "OmniLedger"}) {
+    spec.method = method;
+    report(api::simulate(spec, txs).sim.value());
   }
   return 0;
 }

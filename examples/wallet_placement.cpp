@@ -10,6 +10,7 @@
 //   $ ./examples/wallet_placement
 #include <cstdio>
 
+#include "api/placement_pipeline.hpp"
 #include "core/optchain_placer.hpp"
 #include "latency/l2s_model.hpp"
 #include "workload/bitcoin_like_generator.hpp"
@@ -23,9 +24,7 @@ int main() {
   workload::BitcoinLikeGenerator generator;
   const std::vector<tx::Transaction> history = generator.generate(20000);
 
-  graph::TanDag dag;
-  core::OptChainPlacer placer(dag);
-  placement::ShardAssignment assignment(kShards);
+  api::PlacementPipeline pipeline = api::make_pipeline("OptChain", kShards);
 
   // What the wallet observes about each shard: its own sampled RTT and a
   // verification estimate derived from queue depth. Shard 2 is backlogged.
@@ -37,15 +36,7 @@ int main() {
   };
 
   for (const tx::Transaction& transaction : history) {
-    const std::vector<tx::TxIndex> inputs = transaction.distinct_input_txs();
-    dag.add_node(inputs);
-    placement::PlacementRequest request;
-    request.index = transaction.index;
-    request.input_txs = inputs;
-    request.timings = observed;
-    const placement::ShardId shard = placer.choose(request, assignment);
-    assignment.record(transaction.index, shard);
-    placer.notify_placed(request, shard);
+    pipeline.step(transaction, observed);
   }
 
   // The wallet now issues one more payment spending two recent outputs.
@@ -57,22 +48,21 @@ int main() {
   payment.inputs = {{in_a, 0}, {in_b, 0}};
   payment.outputs = {{1000, 7}, {250, 8}};
 
-  const std::vector<tx::TxIndex> inputs = payment.distinct_input_txs();
-  dag.add_node(inputs);
-  placement::PlacementRequest request;
-  request.index = payment.index;
-  request.input_txs = inputs;
-  request.timings = observed;
-  const placement::ShardId choice = placer.choose(request, assignment);
+  // What-if scoring: the pipeline registers the TaN node and asks the placer
+  // without committing a decision.
+  const placement::ShardId choice = pipeline.preview(payment, observed);
+  const auto& assignment = pipeline.assignment();
 
   std::printf("wallet payment spending tx%u and tx%u\n", in_a, in_b);
   std::printf("input shards: tx%u -> shard %u, tx%u -> shard %u\n\n", in_a,
               assignment.shard_of(in_a), in_b, assignment.shard_of(in_b));
 
   // Decision breakdown (the temporal fitness of Algorithm 1, line 9).
+  const auto& placer = dynamic_cast<const core::OptChainPlacer&>(
+      pipeline.placer());
   latency::L2sEstimator l2s;
   const std::vector<placement::ShardId> input_shards =
-      assignment.input_shards(inputs);
+      assignment.input_shards(payment.distinct_input_txs());
   std::printf("shard  fitness     E[latency](s)  note\n");
   std::printf("------------------------------------------------\n");
   for (std::uint32_t j = 0; j < kShards; ++j) {

@@ -1,0 +1,145 @@
+#include "api/placement_pipeline.hpp"
+
+#include <utility>
+
+#include "api/placer_registry.hpp"
+#include "common/assert.hpp"
+
+namespace optchain::api {
+
+PlacementPipeline::PlacementPipeline(std::uint32_t k,
+                                     std::unique_ptr<placement::Placer> placer)
+    : dag_(std::make_unique<graph::TanDag>()),
+      assignment_(k),
+      placer_(std::move(placer)) {
+  OPTCHAIN_EXPECTS(placer_ != nullptr);
+}
+
+PlacementPipeline::PlacementPipeline(std::uint32_t k,
+                                     const PlacerFactory& factory)
+    : dag_(std::make_unique<graph::TanDag>()), assignment_(k) {
+  placer_ = factory(*dag_);
+  OPTCHAIN_EXPECTS(placer_ != nullptr);
+}
+
+void PlacementPipeline::add_tan_node(
+    const tx::Transaction& transaction,
+    const std::vector<tx::TxIndex>& inputs) {
+  // Dense arrival order; a preceding preview() has already added the node.
+  if (dag_->num_nodes() == transaction.index) {
+    dag_->add_node(inputs);
+  }
+  OPTCHAIN_EXPECTS(dag_->num_nodes() == transaction.index + 1);
+}
+
+placement::ShardId PlacementPipeline::preview(
+    const tx::Transaction& transaction,
+    std::span<const latency::ShardTiming> timings) {
+  OPTCHAIN_EXPECTS(transaction.index == assignment_.total());
+  // choose() is stateful for OptChain-style placers (the scorer builds one
+  // vector per arrival), so it runs at most once per transaction: repeated
+  // previews return the cached decision.
+  if (previewed_.has_value() && previewed_->first == transaction.index) {
+    return previewed_->second;
+  }
+  const std::vector<tx::TxIndex> inputs = transaction.distinct_input_txs();
+  add_tan_node(transaction, inputs);
+
+  placement::PlacementRequest request;
+  request.index = transaction.index;
+  request.input_txs = inputs;
+  request.hash64 = transaction.txid().low64();
+  request.timings = timings;
+  const placement::ShardId shard = placer_->choose(request, assignment_);
+  previewed_ = {transaction.index, shard};
+  return shard;
+}
+
+StepResult PlacementPipeline::step_impl(
+    const tx::Transaction& transaction,
+    std::optional<placement::ShardId> forced,
+    std::span<const latency::ShardTiming> timings) {
+  OPTCHAIN_EXPECTS(transaction.index == assignment_.total());
+  const std::vector<tx::TxIndex> inputs = transaction.distinct_input_txs();
+  add_tan_node(transaction, inputs);
+
+  placement::PlacementRequest request;
+  request.index = transaction.index;
+  request.input_txs = inputs;
+  request.hash64 = transaction.txid().low64();
+  request.timings = timings;
+
+  // choose() always runs exactly once per transaction — stateful placers
+  // (OptChain's T2S vectors) build their per-transaction state there — so a
+  // preceding preview's decision is reused instead of re-chosen. A warm
+  // start may then override the decision.
+  placement::ShardId shard;
+  if (previewed_.has_value() && previewed_->first == transaction.index) {
+    shard = previewed_->second;
+    previewed_.reset();
+  } else {
+    shard = placer_->choose(request, assignment_);
+  }
+  if (forced.has_value()) shard = *forced;
+  assignment_.record(transaction.index, shard);
+  placer_->notify_placed(request, shard);
+
+  StepResult result;
+  result.shard = shard;
+  result.coinbase = transaction.is_coinbase();
+  result.cross = assignment_.is_cross_shard(inputs, shard);
+  // Sin(u) is only materialized when the protocol actually has remote locks
+  // to take — for same-shard transactions it is trivially {shard}, and
+  // skipping the allocation keeps the hot placement loop at the
+  // pre-refactor cost.
+  if (result.cross) {
+    result.input_shards = assignment_.input_shards(inputs);
+  }
+  result.counted = !forced.has_value() && !result.coinbase;
+  if (result.counted) counter_.record(result.cross);
+  return result;
+}
+
+StepResult PlacementPipeline::step(
+    const tx::Transaction& transaction,
+    std::span<const latency::ShardTiming> timings) {
+  return step_impl(transaction, std::nullopt, timings);
+}
+
+StepResult PlacementPipeline::step_forced(
+    const tx::Transaction& transaction, placement::ShardId forced,
+    std::span<const latency::ShardTiming> timings) {
+  return step_impl(transaction, forced, timings);
+}
+
+StreamOutcome PlacementPipeline::place_stream(
+    std::span<const tx::Transaction> transactions,
+    std::span<const std::uint32_t> warm_parts) {
+  const std::uint64_t counted_before = counter_.total();
+  const std::uint64_t cross_before = counter_.cross();
+  for (const tx::Transaction& transaction : transactions) {
+    if (transaction.index < warm_parts.size()) {
+      step_forced(transaction, warm_parts[transaction.index]);
+    } else {
+      step(transaction);
+    }
+  }
+  StreamOutcome outcome;
+  outcome.total = counter_.total() - counted_before;
+  outcome.cross = counter_.cross() - cross_before;
+  outcome.shard_sizes = assignment_.sizes();
+  return outcome;
+}
+
+PlacementPipeline make_pipeline(std::string_view method, std::uint32_t k,
+                                std::span<const tx::Transaction> stream,
+                                std::uint64_t seed,
+                                std::span<const std::uint32_t> static_parts) {
+  return PlacementPipeline(
+      k, [&](const graph::TanDag& dag) {
+        const PlacerContext context{dag, k, seed, stream, static_parts};
+        return PlacerRegistry::instance().make(method, context);
+      });
+}
+
+}  // namespace optchain::api

@@ -1,0 +1,158 @@
+// PlacementPipeline — the one streaming driver for transaction placement.
+//
+// Every consumer used to hand-roll the same fragile loop:
+//
+//   dag.add_node(inputs);                      // BEFORE choose() — invariant!
+//   shard = placer.choose(request, assignment);
+//   assignment.record(index, shard);
+//   placer.notify_placed(request, shard);
+//
+// The pipeline owns the TanDag, the ShardAssignment and the cross-TX
+// counters and encapsulates that ordering once: callers feed transactions
+// (step / place_stream) and read the outcome. Warm-start overrides
+// (Table II) and what-if scoring (wallet UX) are first-class:
+//
+//   auto pipeline = api::make_pipeline("OptChain", k, txs);
+//   for (const auto& t : txs) pipeline.step(t);
+//   double cross = pipeline.cross_counter().fraction();
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "graph/dag.hpp"
+#include "latency/l2s_model.hpp"
+#include "placement/placer.hpp"
+#include "placement/shard_assignment.hpp"
+#include "stats/metrics.hpp"
+#include "txmodel/transaction.hpp"
+
+namespace optchain::api {
+
+/// The outcome of placing one transaction.
+struct StepResult {
+  placement::ShardId shard = placement::kUnplaced;
+  bool coinbase = false;
+  /// Some input lives in a different shard than the transaction (coinbase is
+  /// never cross-shard).
+  bool cross = false;
+  /// Whether this step contributed to the cross-TX statistics (non-coinbase
+  /// and not a forced warm-start placement).
+  bool counted = false;
+  /// Distinct shards holding the transaction's inputs — Sin(u), first-seen
+  /// order (what the cross-shard protocol must lock). Filled only for
+  /// cross-shard transactions; otherwise every input shares the
+  /// transaction's own shard and no allocation is paid.
+  std::vector<placement::ShardId> input_shards;
+};
+
+/// Aggregate outcome of a streamed batch (the Table I/II measurements).
+struct StreamOutcome {
+  std::uint64_t total = 0;  // transactions counted (non-coinbase, non-warm)
+  std::uint64_t cross = 0;
+  std::vector<std::uint64_t> shard_sizes;
+
+  double fraction() const noexcept {
+    return total == 0 ? 0.0
+                      : static_cast<double>(cross) / static_cast<double>(total);
+  }
+};
+
+class PlacementPipeline {
+ public:
+  /// Builds the placer over the pipeline-owned dag (for strategies like
+  /// OptChain whose scorer holds a reference into the growing TaN).
+  using PlacerFactory = std::function<std::unique_ptr<placement::Placer>(
+      const graph::TanDag&)>;
+
+  /// Pipeline around a dag-independent placer (Random, Greedy, Static, ...).
+  PlacementPipeline(std::uint32_t k,
+                    std::unique_ptr<placement::Placer> placer);
+
+  /// Pipeline whose placer is constructed over the pipeline's own dag.
+  PlacementPipeline(std::uint32_t k, const PlacerFactory& factory);
+
+  PlacementPipeline(PlacementPipeline&&) noexcept = default;
+  PlacementPipeline& operator=(PlacementPipeline&&) noexcept = default;
+
+  /// Places one transaction: registers its TaN node, asks the placer, records
+  /// the decision and notifies the placer. Transactions must arrive in dense
+  /// index order (0, 1, 2, ...). `timings` is the caller's current view of
+  /// per-shard latencies for the L2S term; empty when unavailable.
+  StepResult step(const tx::Transaction& transaction,
+                  std::span<const latency::ShardTiming> timings = {});
+
+  /// Like step(), but the decision is overridden with `forced` (Table II's
+  /// warm start). choose() still runs so stateful placers build their
+  /// per-transaction score vectors; the forced transaction is excluded from
+  /// the cross-TX statistics.
+  StepResult step_forced(const tx::Transaction& transaction,
+                         placement::ShardId forced,
+                         std::span<const latency::ShardTiming> timings = {});
+
+  /// What-if scoring (the wallet deployment): registers the TaN node and
+  /// returns the placer's choice WITHOUT recording it. A later step() for the
+  /// same transaction commits exactly the previewed decision (choose() is
+  /// stateful for OptChain-style placers and runs once per transaction, so
+  /// the node is not re-added and the preview's timings are the ones that
+  /// count). Repeated previews of the same transaction return the cached
+  /// decision.
+  placement::ShardId preview(const tx::Transaction& transaction,
+                             std::span<const latency::ShardTiming> timings =
+                                 {});
+
+  /// Streams a whole batch. If `warm_parts` is non-empty, the first
+  /// warm_parts.size() transactions are force-placed per that partition and
+  /// excluded from the cross-TX count (Table II).
+  StreamOutcome place_stream(std::span<const tx::Transaction> transactions,
+                             std::span<const std::uint32_t> warm_parts = {});
+
+  std::uint32_t k() const noexcept { return assignment_.k(); }
+  /// Transactions placed so far.
+  std::uint64_t total() const noexcept { return assignment_.total(); }
+  std::string_view method_name() const noexcept { return placer_->name(); }
+
+  const graph::TanDag& dag() const noexcept { return *dag_; }
+  const placement::ShardAssignment& assignment() const noexcept {
+    return assignment_;
+  }
+  const stats::CrossTxCounter& cross_counter() const noexcept {
+    return counter_;
+  }
+  placement::Placer& placer() noexcept { return *placer_; }
+  const placement::Placer& placer() const noexcept { return *placer_; }
+
+ private:
+  StepResult step_impl(const tx::Transaction& transaction,
+                       std::optional<placement::ShardId> forced,
+                       std::span<const latency::ShardTiming> timings);
+  void add_tan_node(const tx::Transaction& transaction,
+                    const std::vector<tx::TxIndex>& inputs);
+
+  // unique_ptr keeps the dag's address stable across pipeline moves (the
+  // placer may hold a reference into it).
+  std::unique_ptr<graph::TanDag> dag_;
+  placement::ShardAssignment assignment_;
+  std::unique_ptr<placement::Placer> placer_;
+  stats::CrossTxCounter counter_;
+  /// Decision cached by preview() for the next index, if any.
+  std::optional<std::pair<tx::TxIndex, placement::ShardId>> previewed_;
+};
+
+/// One-stop construction through the PlacerRegistry: builds the pipeline and
+/// the named strategy over it. `stream` is the full batch when known up front
+/// (Metis and the capacity-capped methods need it); `static_parts` feeds the
+/// "Static" strategy.
+PlacementPipeline make_pipeline(std::string_view method, std::uint32_t k,
+                                std::span<const tx::Transaction> stream = {},
+                                std::uint64_t seed = 1,
+                                std::span<const std::uint32_t> static_parts =
+                                    {});
+
+}  // namespace optchain::api

@@ -1,0 +1,141 @@
+#include "api/placer_registry.hpp"
+
+#include <cctype>
+#include <stdexcept>
+#include <utility>
+
+#include "core/optchain_placer.hpp"
+#include "metis/kway_partitioner.hpp"
+#include "placement/greedy_placer.hpp"
+#include "placement/least_loaded_placer.hpp"
+#include "placement/random_placer.hpp"
+#include "placement/static_placer.hpp"
+#include "workload/tan_builder.hpp"
+
+namespace optchain::api {
+
+std::string PlacerRegistry::fold_case(std::string_view name) {
+  std::string folded(name);
+  for (char& c : folded) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return folded;
+}
+
+PlacerRegistry& PlacerRegistry::instance() {
+  static PlacerRegistry* registry = [] {
+    auto* r = new PlacerRegistry();
+    register_builtin_placers(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void PlacerRegistry::register_placer(std::string name, Factory factory) {
+  std::string key = fold_case(name);
+  auto [it, inserted] =
+      entries_.insert_or_assign(key, Entry{std::move(name), std::move(factory)});
+  if (inserted) registration_order_.push_back(it->first);
+}
+
+bool PlacerRegistry::contains(std::string_view name) const {
+  return entries_.count(fold_case(name)) != 0;
+}
+
+std::unique_ptr<placement::Placer> PlacerRegistry::make(
+    std::string_view name, const PlacerContext& context) const {
+  const auto it = entries_.find(fold_case(name));
+  if (it == entries_.end()) {
+    std::string known;
+    for (const std::string& canonical : names()) {
+      if (!known.empty()) known += ", ";
+      known += canonical;
+    }
+    throw std::invalid_argument("unknown placement method \"" +
+                                std::string(name) + "\" (known: " + known +
+                                ")");
+  }
+  return it->second.factory(context);
+}
+
+std::vector<std::string> PlacerRegistry::names() const {
+  std::vector<std::string> result;
+  result.reserve(registration_order_.size());
+  for (const std::string& key : registration_order_) {
+    result.push_back(entries_.at(key).canonical);
+  }
+  return result;
+}
+
+namespace {
+
+/// The "Static" strategy replays a fixed partition. Without one it degrades
+/// to round-robin over the stream — a deterministic baseline that needs no
+/// precomputation, so `--method=Static` runs end-to-end wherever the stream
+/// is known. With neither parts nor a stream there is nothing to replay.
+std::vector<std::uint32_t> static_parts_or_round_robin(
+    const PlacerContext& context) {
+  if (!context.static_parts.empty()) {
+    return {context.static_parts.begin(), context.static_parts.end()};
+  }
+  if (context.stream.empty()) {
+    throw std::invalid_argument(
+        "Static placement needs a precomputed partition "
+        "(PlacerContext::static_parts) or the full stream to round-robin "
+        "over (PlacerContext::stream); both are empty");
+  }
+  const std::size_t n = context.stream.size();
+  std::vector<std::uint32_t> parts(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    parts[i] = static_cast<std::uint32_t>(i % context.k);
+  }
+  return parts;
+}
+
+}  // namespace
+
+void register_builtin_placers(PlacerRegistry& registry) {
+  registry.register_placer("OptChain", [](const PlacerContext& context) {
+    return std::make_unique<core::OptChainPlacer>(context.dag,
+                                                  core::OptChainConfig{},
+                                                  "OptChain");
+  });
+  registry.register_placer("T2S", [](const PlacerContext& context) {
+    core::OptChainConfig config;  // ε-capped, no L2S (paper §IV.B)
+    config.l2s_weight = 0.0;
+    config.expected_txs = context.stream.size();
+    return std::make_unique<core::OptChainPlacer>(context.dag, config, "T2S");
+  });
+  registry.register_placer("Greedy", [](const PlacerContext& context) {
+    return std::make_unique<placement::GreedyPlacer>(context.stream.size());
+  });
+  registry.register_placer("OmniLedger", [](const PlacerContext&) {
+    return std::make_unique<placement::RandomPlacer>();
+  });
+  registry.register_placer("LeastLoaded", [](const PlacerContext&) {
+    return std::make_unique<placement::LeastLoadedPlacer>();
+  });
+  registry.register_placer("Static", [](const PlacerContext& context) {
+    return std::make_unique<placement::StaticPlacer>(
+        static_parts_or_round_robin(context), "Static");
+  });
+  registry.register_placer("Metis", [](const PlacerContext& context) {
+    if (context.stream.empty()) {
+      throw std::invalid_argument(
+          "Metis placement needs the full stream up front "
+          "(PlacerContext::stream is empty)");
+    }
+    const graph::TanDag full = workload::build_tan(context.stream);
+    metis::PartitionConfig config;
+    config.k = context.k;
+    config.seed = context.seed;
+    return std::make_unique<placement::StaticPlacer>(
+        metis::partition_kway(full.to_undirected(), config), "Metis");
+  });
+  // Alias: the CLI historically called hash placement "random".
+  registry.register_placer("Random", [](const PlacerContext&) {
+    return std::make_unique<placement::RandomPlacer>();
+  });
+}
+
+}  // namespace optchain::api

@@ -1,0 +1,91 @@
+// PlacerRegistry — the single string→factory source of truth for placement
+// strategies.
+//
+// Every consumer that builds a placer by name (the CLI, the bench harness,
+// the examples, tests) goes through here instead of hand-rolling its own
+// if/else chain, so a new strategy plugs in with one register_placer() call
+// and is immediately reachable from every driver.
+//
+// Built-in names (case-insensitive lookup):
+//   OptChain    — full Algorithm 1 (T2S affinity + L2S balance)
+//   T2S         — the paper's "T2S-based" variant: no L2S term, ε-capped
+//   Greedy      — one-hop input-majority baseline (§IV.B)
+//   OmniLedger  — hash-based random placement ("Random" is an alias)
+//   LeastLoaded — pure load balancing strawman
+//   Static      — replays PlacerContext::static_parts (round-robin when empty)
+//   Metis       — offline k-way partition of the full stream's TaN (oracle)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/dag.hpp"
+#include "placement/placer.hpp"
+#include "txmodel/transaction.hpp"
+
+namespace optchain::api {
+
+/// Everything a factory may need to construct its strategy. The dag is the
+/// online TaN the driving pipeline owns and fills; stateful placers keep a
+/// reference into it.
+struct PlacerContext {
+  const graph::TanDag& dag;
+  std::uint32_t k = 16;
+  std::uint64_t seed = 1;
+  /// The full stream, when known up front. Metis partitions it offline;
+  /// Greedy and T2S derive their (1 + ε)·⌊n/k⌋ capacity caps from its
+  /// length. An empty span means "stream length unknown" — capacity caps
+  /// are disabled and Metis is unavailable.
+  std::span<const tx::Transaction> stream = {};
+  /// Precomputed partition for the "Static" strategy (part id per tx index).
+  std::span<const std::uint32_t> static_parts = {};
+};
+
+class PlacerRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<placement::Placer>(const PlacerContext&)>;
+
+  /// The process-wide registry, pre-populated with the built-in strategies.
+  static PlacerRegistry& instance();
+
+  /// Registers (or replaces) a strategy. Lookup is case-insensitive; `name`
+  /// is kept verbatim as the canonical spelling reported by names().
+  void register_placer(std::string name, Factory factory);
+
+  bool contains(std::string_view name) const;
+
+  /// Constructs the named strategy. Throws std::invalid_argument for an
+  /// unknown name (the message lists every registered name).
+  std::unique_ptr<placement::Placer> make(std::string_view name,
+                                          const PlacerContext& context) const;
+
+  /// Canonical names in registration order (built-ins first).
+  std::vector<std::string> names() const;
+
+  /// A fresh registry with no built-ins (tests).
+  PlacerRegistry() = default;
+
+ private:
+  struct Entry {
+    std::string canonical;
+    Factory factory;
+  };
+
+  static std::string fold_case(std::string_view name);
+
+  std::map<std::string, Entry> entries_;          // key = case-folded name
+  std::vector<std::string> registration_order_;   // case-folded keys
+};
+
+/// Registers the paper's built-in line-up into `registry` (what
+/// PlacerRegistry::instance() starts with).
+void register_builtin_placers(PlacerRegistry& registry);
+
+}  // namespace optchain::api

@@ -1,0 +1,86 @@
+// RunSpec / RunReport — the config-object pair describing one experiment run
+// and its results, shared by the CLI, the bench harness and the examples.
+//
+//   api::RunSpec spec;
+//   spec.method = "OptChain";
+//   spec.num_shards = 16;
+//   api::RunReport report = api::place(spec, txs);        // Tables I-II
+//   api::RunReport report = api::simulate(spec, txs);     // Figs. 3-11
+//   report.to_table().print();       // aligned text table
+//   report.to_csv();                 // RFC-4180 CSV, same rows
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "sim/simulation.hpp"
+#include "txmodel/transaction.hpp"
+
+namespace optchain::api {
+
+/// Describes one (method, shard count, operating point) run. Placement-only
+/// runs ignore the simulation knobs.
+struct RunSpec {
+  std::string method = "OptChain";  // a PlacerRegistry name
+  std::uint32_t num_shards = 16;
+  std::uint64_t seed = 1;
+
+  // Simulation operating point (simulate() only).
+  /// Seed of the simulator's network/consensus sampling — kept separate from
+  /// `seed` (the method/partition seed) so placement results are comparable
+  /// across operating points.
+  std::uint64_t sim_seed = 42;
+  double rate_tps = 2000.0;
+  sim::ProtocolMode protocol = sim::ProtocolMode::kOmniLedger;
+  double commit_window_s = 50.0;
+  double queue_sample_interval_s = 5.0;
+  double leader_fault_rate = 0.0;
+  std::vector<double> shard_slowdown;
+
+  /// The full SimConfig this spec describes.
+  sim::SimConfig sim_config() const;
+};
+
+/// Unified result of a run: placement statistics always, simulation metrics
+/// when the run went through the simulator.
+struct RunReport {
+  std::string method;
+  std::uint32_t num_shards = 0;
+  /// Denominator of the cross-TX metric: non-coinbase transactions for
+  /// placement runs (Tables I-II convention), every issued transaction for
+  /// simulation runs (SimResult::cross_fraction convention).
+  std::uint64_t total = 0;
+  std::uint64_t cross = 0;
+  std::vector<std::uint64_t> shard_sizes;
+  std::optional<sim::SimResult> sim;
+
+  double cross_fraction() const noexcept {
+    return total == 0 ? 0.0
+                      : static_cast<double>(cross) / static_cast<double>(total);
+  }
+
+  /// metric/value rows: method, shards, cross-TX always; the simulation
+  /// metrics (throughput, latency, ...) when present; then per-shard sizes.
+  TextTable to_table() const;
+  /// The same rows as RFC-4180 CSV (header included).
+  std::string to_csv() const;
+};
+
+/// Placement-only run (Tables I-II): streams `transactions` through the
+/// spec's method. If `warm_parts` is non-empty the first warm_parts.size()
+/// transactions are force-placed per that partition and excluded from the
+/// cross-TX count (Table II's warm start).
+RunReport place(const RunSpec& spec,
+                std::span<const tx::Transaction> transactions,
+                std::span<const std::uint32_t> warm_parts = {});
+
+/// Full simulation run (Figs. 3-11): places online inside the simulator's
+/// event loop, with the client's live shard-timing view feeding the L2S term.
+RunReport simulate(const RunSpec& spec,
+                   std::span<const tx::Transaction> transactions);
+
+}  // namespace optchain::api

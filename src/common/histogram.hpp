@@ -2,8 +2,10 @@
 // (Fig. 2), latency CDFs (Fig. 10), and queue-size tracking (Figs. 6-7).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
+#include <utility>
 #include <vector>
 
 namespace optchain {

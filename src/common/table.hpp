@@ -3,6 +3,7 @@
 // output is directly comparable against the paper.
 #pragma once
 
+#include <cstddef>
 #include <cstdio>
 #include <string>
 #include <vector>

@@ -1,6 +1,8 @@
 #include "core/optchain_placer.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <utility>
 
 namespace optchain::core {
 

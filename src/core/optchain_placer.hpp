@@ -15,8 +15,10 @@
 #pragma once
 
 #include <cstdint>
-#include <limits>
-#include <optional>
+#include <functional>
+#include <span>
+#include <string_view>
+#include <vector>
 
 #include "core/t2s_scorer.hpp"
 #include "graph/dag.hpp"

@@ -24,6 +24,7 @@
 //                       once, so this upper-bounds the final |Nout(v)|).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <span>

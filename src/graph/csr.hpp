@@ -2,8 +2,10 @@
 // the online TaN DAG and the offline partitioner.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/assert.hpp"

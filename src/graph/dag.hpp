@@ -18,6 +18,7 @@
 // computation needs; full reverse adjacency is materialized on demand.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>

@@ -22,7 +22,10 @@
 // markedly improves Greedy and is *not* what the paper measured.
 #pragma once
 
+#include <cstdint>
 #include <limits>
+#include <string_view>
+#include <vector>
 
 #include "placement/placer.hpp"
 

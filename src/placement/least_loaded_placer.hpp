@@ -3,6 +3,8 @@
 // "temporal balance only" from OptChain's combined objective.
 #pragma once
 
+#include <string_view>
+
 #include "placement/placer.hpp"
 
 namespace optchain::placement {

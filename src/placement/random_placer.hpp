@@ -5,6 +5,8 @@
 // transactions cross-shard.
 #pragma once
 
+#include <string_view>
+
 #include "placement/placer.hpp"
 
 namespace optchain::placement {

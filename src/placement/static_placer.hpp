@@ -4,6 +4,8 @@
 // solution and then use the resulting partitions to determine S(u)", §V.A).
 #pragma once
 
+#include <cstdint>
+#include <string_view>
 #include <utility>
 #include <vector>
 

@@ -6,9 +6,11 @@
 // on (determinism is tested in tests/sim_test.cpp).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <utility>
 #include <vector>
 
 #include "common/assert.hpp"

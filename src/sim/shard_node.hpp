@@ -14,6 +14,7 @@
 // for the others).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>

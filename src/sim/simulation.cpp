@@ -55,8 +55,13 @@ std::vector<latency::ShardTiming> Simulation::observe_timings() const {
 }
 
 SimResult Simulation::run(std::span<const tx::Transaction> transactions,
-                          placement::Placer& placer, graph::TanDag& dag) {
-  OPTCHAIN_EXPECTS(dag.num_nodes() == 0);
+                          api::PlacementPipeline& pipeline) {
+  OPTCHAIN_EXPECTS(pipeline.k() == config_.num_shards);
+  // Fresh pipeline only: nothing placed AND nothing previewed (a stale
+  // preview would commit a decision made without the simulator's live
+  // timing view).
+  OPTCHAIN_EXPECTS(pipeline.total() == 0);
+  OPTCHAIN_EXPECTS(pipeline.dag().num_nodes() == 0);
   const std::uint64_t n = transactions.size();
   transactions_ = transactions;
   issue_time_.assign(n, 0.0);
@@ -65,12 +70,11 @@ SimResult Simulation::run(std::span<const tx::Transaction> transactions,
   remaining_ = n;
 
   result_ = SimResult{};
-  result_.placer_name = std::string(placer.name());
+  result_.placer_name = std::string(pipeline.method_name());
   result_.total_txs = n;
   result_.commits_per_window = stats::WindowCounter(config_.commit_window_s);
 
-  placement::ShardAssignment assignment(config_.num_shards);
-  assignment_ = &assignment;
+  assignment_ = &pipeline.assignment();
   constexpr std::uint64_t kMinPayloadBytes = 512;
 
   // Issue events are chained — each schedules the next — to keep the event
@@ -81,32 +85,18 @@ SimResult Simulation::run(std::span<const tx::Transaction> transactions,
     OPTCHAIN_ASSERT(transaction.index == index);
     issue_time_[index] = events_.now();
 
-    // 1. The TaN node must exist before the placer scores it.
-    const std::vector<tx::TxIndex> input_txs =
-        transaction.distinct_input_txs();
-    dag.add_node(input_txs);
-
-    // 2. Client-side placement decision, with the client's current view of
-    //    shard timings for the L2S term.
-    placement::PlacementRequest request;
-    request.index = index;
-    request.input_txs = input_txs;
-    request.hash64 = transaction.txid().low64();
+    // Client-side placement with the client's current view of shard timings
+    // for the L2S term. The pipeline handles the TaN registration, the
+    // decision and the placer bookkeeping.
     const std::vector<latency::ShardTiming> timings = observe_timings();
-    request.timings = timings;
+    const api::StepResult placed = pipeline.step(transaction, timings);
+    const placement::ShardId target = placed.shard;
 
-    const placement::ShardId target = placer.choose(request, assignment);
-    assignment.record(index, target);
-    placer.notify_placed(request, target);
-
-    // 3. Dispatch into the cross-shard protocol.
-    const std::vector<placement::ShardId> input_shards =
-        assignment.input_shards(input_txs);
-    const bool cross = assignment.is_cross_shard(input_txs, target);
+    // Dispatch into the cross-shard protocol.
     const std::uint64_t payload =
         std::max<std::uint64_t>(transaction.serialized_size(),
                                 kMinPayloadBytes);
-    if (!cross) {
+    if (!placed.cross) {
       ShardNode& shard = *shards_[target];
       events_.schedule_in(
           network_.message_delay(client_position_, shard.leader_position(),
@@ -117,9 +107,9 @@ SimResult Simulation::run(std::span<const tx::Transaction> transactions,
     } else {
       ++result_.cross_txs;
       pending_[index].remaining_locks =
-          static_cast<std::uint32_t>(input_shards.size());
+          static_cast<std::uint32_t>(placed.input_shards.size());
       pending_[index].output_shard = target;
-      for (const placement::ShardId s : input_shards) {
+      for (const placement::ShardId s : placed.input_shards) {
         ShardNode& shard = *shards_[s];
         events_.schedule_in(
             network_.message_delay(client_position_, shard.leader_position(),
@@ -171,11 +161,7 @@ SimResult Simulation::run(std::span<const tx::Transaction> transactions,
   for (const auto& shard : shards_) {
     result_.total_blocks += shard->blocks_committed();
   }
-  result_.final_shard_sizes.assign(config_.num_shards, 0);
-  for (std::uint64_t i = 0; i < assignment.total(); ++i) {
-    ++result_.final_shard_sizes[assignment.shard_of(
-        static_cast<tx::TxIndex>(i))];
-  }
+  result_.final_shard_sizes = pipeline.assignment().sizes();
   assignment_ = nullptr;
   return result_;
 }

@@ -28,13 +28,17 @@
 // number in the paper's Figs. 3-11.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
-#include "graph/dag.hpp"
-#include "placement/placer.hpp"
+#include "api/placement_pipeline.hpp"
+#include "latency/l2s_model.hpp"
+#include "placement/shard_assignment.hpp"
 #include "sim/consensus.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/network.hpp"
@@ -107,12 +111,13 @@ class Simulation {
  public:
   explicit Simulation(SimConfig config);
 
-  /// Runs the stream through the placer. `dag` is the online TaN network: it
-  /// must be empty and is filled as transactions are issued, so an
-  /// OptChainPlacer constructed over the same dag sees exactly the prefix
-  /// that has arrived. The transactions must have dense indices 0..n-1.
+  /// Runs the stream through the placement pipeline. The pipeline must be
+  /// fresh (nothing placed yet) and its shard count must match the
+  /// simulation's: its TaN dag fills online as transactions are issued, so a
+  /// placer constructed over it sees exactly the prefix that has arrived.
+  /// The transactions must have dense indices 0..n-1.
   SimResult run(std::span<const tx::Transaction> transactions,
-                placement::Placer& placer, graph::TanDag& dag);
+                api::PlacementPipeline& pipeline);
 
   const SimConfig& config() const noexcept { return config_; }
 

@@ -7,6 +7,7 @@
 //  - CrossTxCounter    → Tables I, II (cross-shard transaction counts)
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -11,6 +11,7 @@
 // All varints are LEB128. Amounts are non-negative by construction.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <string>

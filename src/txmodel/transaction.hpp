@@ -9,6 +9,7 @@
 // determine which shards the transaction will be placed into".
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>

@@ -10,6 +10,7 @@
 // transaction indices are dense arrival-ordered integers.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <span>

@@ -22,6 +22,7 @@
 // bench_account_model).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

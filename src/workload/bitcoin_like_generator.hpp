@@ -26,6 +26,7 @@
 // tests/workload_test.cpp).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -2,7 +2,9 @@
 // one edge to each distinct transaction whose outputs u spends (paper Def. 1).
 #pragma once
 
+#include <cstddef>
 #include <span>
+#include <utility>
 
 #include "graph/dag.hpp"
 #include "txmodel/transaction.hpp"

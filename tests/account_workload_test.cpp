@@ -2,11 +2,12 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
 
+#include "api/placement_pipeline.hpp"
 #include "core/optchain_placer.hpp"
 #include "placement/random_placer.hpp"
 #include "sim/simulation.hpp"
-#include "stats/metrics.hpp"
 #include "txmodel/utxo_set.hpp"
 #include "workload/account_workload.hpp"
 #include "workload/tan_builder.hpp"
@@ -113,33 +114,16 @@ TEST(AccountWorkloadTest, OptChainStillBeatsRandomPlacement) {
   AccountWorkloadGenerator gen({}, 23);
   const auto txs = gen.generate(20000);
 
-  const auto run = [&](placement::Placer& placer, graph::TanDag& dag) {
-    placement::ShardAssignment assignment(8);
-    stats::CrossTxCounter counter;
-    for (const auto& t : txs) {
-      const auto inputs = t.distinct_input_txs();
-      dag.add_node(inputs);
-      placement::PlacementRequest request;
-      request.index = t.index;
-      request.input_txs = inputs;
-      request.hash64 = t.txid().low64();
-      const auto shard = placer.choose(request, assignment);
-      assignment.record(t.index, shard);
-      placer.notify_placed(request, shard);
-      if (!t.inputs.empty()) {
-        counter.record(assignment.is_cross_shard(inputs, shard));
-      }
-    }
-    return counter.fraction();
-  };
-
-  graph::TanDag dag_opt, dag_rnd;
-  core::OptChainConfig config;
-  config.l2s_weight = 0.0;
-  core::OptChainPlacer optchain(dag_opt, config);
-  placement::RandomPlacer random;
-  const double opt_cross = run(optchain, dag_opt);
-  const double rnd_cross = run(random, dag_rnd);
+  // Uncapped T2S (no timing data, no capacity cap) via the pipeline's
+  // factory constructor; the baseline comes from the registry.
+  api::PlacementPipeline optchain(8, [](const graph::TanDag& dag) {
+    core::OptChainConfig config;
+    config.l2s_weight = 0.0;
+    return std::make_unique<core::OptChainPlacer>(dag, config);
+  });
+  api::PlacementPipeline random = api::make_pipeline("OmniLedger", 8, txs);
+  const double opt_cross = optchain.place_stream(txs).fraction();
+  const double rnd_cross = random.place_stream(txs).fraction();
   EXPECT_LT(opt_cross, rnd_cross / 4.0);
 }
 
@@ -150,9 +134,9 @@ TEST(AccountWorkloadTest, RunsThroughSimulator) {
   config.num_shards = 4;
   config.tx_rate_tps = 1000.0;
   sim::Simulation simulation(config);
-  placement::RandomPlacer placer;
-  graph::TanDag dag;
-  const auto result = simulation.run(txs, placer, dag);
+  api::PlacementPipeline pipeline(
+      4, std::make_unique<placement::RandomPlacer>());
+  const auto result = simulation.run(txs, pipeline);
   EXPECT_TRUE(result.completed);
   EXPECT_EQ(result.committed_txs, txs.size());
   EXPECT_EQ(result.aborted_txs, 0u);

@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <vector>
 
+#include "api/placement_pipeline.hpp"
 #include "core/optchain_placer.hpp"
 #include "placement/greedy_placer.hpp"
 #include "placement/static_placer.hpp"
@@ -17,29 +19,40 @@ namespace {
 
 using core::OptChainConfig;
 using core::OptChainPlacer;
-using placement::PlacementRequest;
-using placement::ShardAssignment;
 using placement::ShardId;
 
-/// Drives a hand-built input-list sequence through a placer.
+/// A transaction with the given TaN input list (one outpoint per input tx).
+tx::Transaction tan_tx(tx::TxIndex index,
+                       const std::vector<tx::TxIndex>& inputs) {
+  tx::Transaction transaction;
+  transaction.index = index;
+  for (const tx::TxIndex in : inputs) {
+    transaction.inputs.push_back({in, 0});
+  }
+  transaction.outputs = {{1, 0}};
+  return transaction;
+}
+
+/// Drives a hand-built input-list sequence through a pipeline.
 std::vector<ShardId> place_sequence(
     const std::vector<std::vector<tx::TxIndex>>& input_lists,
-    placement::Placer& placer, graph::TanDag& dag, std::uint32_t k) {
-  ShardAssignment assignment(k);
+    api::PlacementPipeline& pipeline) {
   std::vector<ShardId> shards;
   for (std::size_t i = 0; i < input_lists.size(); ++i) {
-    const auto& inputs = input_lists[i];
-    dag.add_node(inputs);
-    PlacementRequest request;
-    request.index = static_cast<tx::TxIndex>(i);
-    request.input_txs = inputs;
-    request.hash64 = mix64(i);
-    const ShardId shard = placer.choose(request, assignment);
-    assignment.record(request.index, shard);
-    placer.notify_placed(request, shard);
-    shards.push_back(shard);
+    const auto t = tan_tx(static_cast<tx::TxIndex>(i), input_lists[i]);
+    shards.push_back(pipeline.step(t).shard);
   }
   return shards;
+}
+
+/// Pipeline over an OptChain placer with the given config.
+api::PlacementPipeline optchain_pipeline(std::uint32_t k,
+                                         OptChainConfig config,
+                                         std::string_view label = "OptChain") {
+  return api::PlacementPipeline(
+      k, [config, label](const graph::TanDag& dag) {
+        return std::make_unique<OptChainPlacer>(dag, config, label);
+      });
 }
 
 TEST(AdversarialTanTest, UncappedChainStaysInOneShard) {
@@ -48,11 +61,10 @@ TEST(AdversarialTanTest, UncappedChainStaysInOneShard) {
   std::vector<std::vector<tx::TxIndex>> chain{{}};
   for (tx::TxIndex i = 1; i < 200; ++i) chain.push_back({i - 1});
 
-  graph::TanDag dag;
   OptChainConfig config;
   config.l2s_weight = 0.0;
-  OptChainPlacer placer(dag, config);
-  const auto shards = place_sequence(chain, placer, dag, 8);
+  auto pipeline = optchain_pipeline(8, config);
+  const auto shards = place_sequence(chain, pipeline);
   for (std::size_t i = 1; i < shards.size(); ++i) {
     EXPECT_EQ(shards[i], shards[0]) << "chain broke at " << i;
   }
@@ -64,13 +76,12 @@ TEST(AdversarialTanTest, CappedChainBreaksExactlyAtCapacity) {
   std::vector<std::vector<tx::TxIndex>> chain{{}};
   for (tx::TxIndex i = 1; i < 100; ++i) chain.push_back({i - 1});
 
-  graph::TanDag dag;
   OptChainConfig config;
   config.l2s_weight = 0.0;
   config.expected_txs = 100;
   config.epsilon = 0.0;
-  OptChainPlacer placer(dag, config, "T2S");
-  const auto shards = place_sequence(chain, placer, dag, 4);
+  auto pipeline = optchain_pipeline(4, config, "T2S");
+  const auto shards = place_sequence(chain, pipeline);
 
   int switches = 0;
   for (std::size_t i = 1; i < shards.size(); ++i) {
@@ -88,11 +99,10 @@ TEST(AdversarialTanTest, StarSpendersFollowTheHub) {
   std::vector<std::vector<tx::TxIndex>> star{{}};
   for (int i = 0; i < 50; ++i) star.push_back({0});
 
-  graph::TanDag dag;
   OptChainConfig config;
   config.l2s_weight = 0.0;
-  OptChainPlacer placer(dag, config);
-  const auto shards = place_sequence(star, placer, dag, 8);
+  auto pipeline = optchain_pipeline(8, config);
+  const auto shards = place_sequence(star, pipeline);
   for (std::size_t i = 1; i < shards.size(); ++i) {
     EXPECT_EQ(shards[i], shards[0]);
   }
@@ -102,11 +112,10 @@ TEST(AdversarialTanTest, DiamondMergesToCommonShard) {
   // 0 (coinbase) <- 1, 0 <- 2, {1,2} <- 3: both branches inherited node 0's
   // shard, so the merge must land there too.
   const std::vector<std::vector<tx::TxIndex>> diamond{{}, {0}, {0}, {1, 2}};
-  graph::TanDag dag;
   OptChainConfig config;
   config.l2s_weight = 0.0;
-  OptChainPlacer placer(dag, config);
-  const auto shards = place_sequence(diamond, placer, dag, 4);
+  auto pipeline = optchain_pipeline(4, config);
+  const auto shards = place_sequence(diamond, pipeline);
   EXPECT_EQ(shards[1], shards[0]);
   EXPECT_EQ(shards[2], shards[0]);
   EXPECT_EQ(shards[3], shards[0]);
@@ -114,54 +123,37 @@ TEST(AdversarialTanTest, DiamondMergesToCommonShard) {
 
 TEST(AdversarialTanTest, FanInGoesToMajorityShard) {
   // Greedy with 3 inputs in shard A and 1 in shard B picks A.
-  graph::TanDag dag;
-  placement::GreedyPlacer greedy(0);
-  ShardAssignment assignment(4);
+  api::PlacementPipeline pipeline(
+      4, std::make_unique<placement::GreedyPlacer>(0));
   // Pin 4 coinbases: 0,1,2 -> shard 2; 3 -> shard 0.
   for (tx::TxIndex i = 0; i < 4; ++i) {
-    dag.add_node({});
-    assignment.record(i, i < 3 ? 2u : 0u);
+    pipeline.step_forced(tan_tx(i, {}), i < 3 ? 2u : 0u);
   }
-  const std::vector<tx::TxIndex> inputs{0, 1, 2, 3};
-  dag.add_node(inputs);
-  PlacementRequest request;
-  request.index = 4;
-  request.input_txs = inputs;
-  EXPECT_EQ(greedy.choose(request, assignment), 2u);
+  EXPECT_EQ(pipeline.preview(tan_tx(4, {0, 1, 2, 3})), 2u);
 }
 
 TEST(AdversarialTanTest, T2sWeighsDeepAncestryOverSingleParent) {
   // Shard 0 holds a rich chain (0<-1<-2<-3); shard 1 holds one fresh
   // coinbase (4). A transaction spending both 3 and 4 carries far more
   // inherited mass from the chain and must land in shard 0.
-  graph::TanDag dag;
   OptChainConfig config;
   config.l2s_weight = 0.0;
-  core::OptChainPlacer placer(dag, config);
-  ShardAssignment assignment(2);
+  auto pipeline = optchain_pipeline(2, config);
+  const auto& placer =
+      dynamic_cast<const OptChainPlacer&>(pipeline.placer());
 
   const std::vector<std::vector<tx::TxIndex>> prefix{{}, {0}, {1}, {2}, {}};
   const std::vector<ShardId> pinned{0, 0, 0, 0, 1};
   for (std::size_t i = 0; i < prefix.size(); ++i) {
-    dag.add_node(prefix[i]);
-    PlacementRequest request;
-    request.index = static_cast<tx::TxIndex>(i);
-    request.input_txs = prefix[i];
-    placer.choose(request, assignment);  // builds the score vector
-    assignment.record(request.index, pinned[i]);
-    placer.notify_placed(request, pinned[i]);
+    // step_forced still runs choose() first, building the score vector.
+    pipeline.step_forced(tan_tx(static_cast<tx::TxIndex>(i), prefix[i]),
+                         pinned[i]);
   }
-
-  const std::vector<tx::TxIndex> inputs{3, 4};
-  dag.add_node(inputs);
-  PlacementRequest request;
-  request.index = 5;
-  request.input_txs = inputs;
   // Shard sizes: |S0| = 4, |S1| = 1. Raw mass at shard 0 through tx3 is
   // 0.5·(0.5 + 0.5·(0.5 + ...)) ≈ 0.46 vs 0.25 at shard 1 through tx4;
   // normalized: 0.46/4 ≈ 0.116 vs 0.25/1 = 0.25 — size normalization makes
   // the small shard win. This is the paper's balancing bias by design.
-  const ShardId choice = placer.choose(request, assignment);
+  const ShardId choice = pipeline.preview(tan_tx(5, {3, 4}));
   EXPECT_EQ(choice, 1u);
   // Without the size normalization the chain would win: verify the raw
   // masses behind the decision.
@@ -192,13 +184,14 @@ TEST(ProtocolCornerTest, ManyInputShardsGatherAllProofs) {
   txs[5].inputs = {{4, 0}};
   txs[5].outputs = {{400, 9}};
 
-  placement::StaticPlacer placer({0, 1, 2, 3, 0, 0}, "pinned");
+  api::PlacementPipeline pipeline(
+      4, std::make_unique<placement::StaticPlacer>(
+             std::vector<std::uint32_t>{0, 1, 2, 3, 0, 0}, "pinned"));
   sim::SimConfig config;
   config.num_shards = 4;
   config.tx_rate_tps = 10.0;
   sim::Simulation simulation(config);
-  graph::TanDag dag;
-  const auto result = simulation.run(txs, placer, dag);
+  const auto result = simulation.run(txs, pipeline);
 
   EXPECT_TRUE(result.completed);
   EXPECT_EQ(result.committed_txs, 6u);
@@ -221,13 +214,14 @@ TEST(ProtocolCornerTest, InputShardEqualToOutputShardStillLocks) {
   txs[2].inputs = {{0, 0}, {1, 0}};
   txs[2].outputs = {{100, 2}};
 
-  placement::StaticPlacer placer({0, 1, 0}, "pinned");
+  api::PlacementPipeline pipeline(
+      2, std::make_unique<placement::StaticPlacer>(
+             std::vector<std::uint32_t>{0, 1, 0}, "pinned"));
   sim::SimConfig config;
   config.num_shards = 2;
   config.tx_rate_tps = 10.0;
   sim::Simulation simulation(config);
-  graph::TanDag dag;
-  const auto result = simulation.run(txs, placer, dag);
+  const auto result = simulation.run(txs, pipeline);
   EXPECT_TRUE(result.completed);
   EXPECT_EQ(result.committed_txs, 3u);
   EXPECT_EQ(result.cross_txs, 1u);
@@ -246,13 +240,14 @@ TEST(ProtocolCornerTest, DirectDoubleSpendExactlyOneWinner) {
   txs[2].inputs = {{0, 0}};  // conflict
   txs[2].outputs = {{50, 2}};
 
-  placement::StaticPlacer placer({0, 0, 0}, "pinned");
+  api::PlacementPipeline pipeline(
+      2, std::make_unique<placement::StaticPlacer>(
+             std::vector<std::uint32_t>{0, 0, 0}, "pinned"));
   sim::SimConfig config;
   config.num_shards = 2;
   config.tx_rate_tps = 100.0;
   sim::Simulation simulation(config);
-  graph::TanDag dag;
-  const auto result = simulation.run(txs, placer, dag);
+  const auto result = simulation.run(txs, pipeline);
   EXPECT_TRUE(result.completed);
   EXPECT_EQ(result.committed_txs, 2u);
   EXPECT_EQ(result.aborted_txs, 1u);

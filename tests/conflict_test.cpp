@@ -1,7 +1,9 @@
 // Double-spend conflicts and the OmniLedger abort path.
 #include <gtest/gtest.h>
 
-#include "core/optchain_placer.hpp"
+#include <memory>
+
+#include "api/placement_pipeline.hpp"
 #include "placement/random_placer.hpp"
 #include "sim/simulation.hpp"
 #include "workload/bitcoin_like_generator.hpp"
@@ -9,6 +11,11 @@
 
 namespace optchain {
 namespace {
+
+api::PlacementPipeline random_pipeline(std::uint32_t k) {
+  return api::PlacementPipeline(k,
+                                std::make_unique<placement::RandomPlacer>());
+}
 
 workload::ConflictStream conflicted_stream(std::size_t n, double rate,
                                            std::uint64_t seed = 3) {
@@ -66,9 +73,8 @@ TEST(ConflictInjectorTest, ConflictsDuplicateEarlierInputs) {
 TEST(ConflictSimTest, CleanStreamNeverAborts) {
   const auto stream = conflicted_stream(3000, 0.0);
   sim::Simulation simulation(conflict_config(4, 1500.0));
-  placement::RandomPlacer placer;
-  graph::TanDag dag;
-  const auto result = simulation.run(stream.transactions, placer, dag);
+  auto pipeline = random_pipeline(4);
+  const auto result = simulation.run(stream.transactions, pipeline);
   EXPECT_TRUE(result.completed);
   EXPECT_EQ(result.aborted_txs, 0u);
   EXPECT_EQ(result.committed_txs, stream.transactions.size());
@@ -77,9 +83,8 @@ TEST(ConflictSimTest, CleanStreamNeverAborts) {
 TEST(ConflictSimTest, EveryTransactionResolvesOnce) {
   const auto stream = conflicted_stream(4000, 0.05);
   sim::Simulation simulation(conflict_config(8, 2000.0));
-  placement::RandomPlacer placer;
-  graph::TanDag dag;
-  const auto result = simulation.run(stream.transactions, placer, dag);
+  auto pipeline = random_pipeline(8);
+  const auto result = simulation.run(stream.transactions, pipeline);
   EXPECT_TRUE(result.completed);
   EXPECT_EQ(result.committed_txs + result.aborted_txs,
             stream.transactions.size());
@@ -92,9 +97,8 @@ TEST(ConflictSimTest, EveryTransactionResolvesOnce) {
 TEST(ConflictSimTest, AbortsAlsoResolveUnderOptChain) {
   const auto stream = conflicted_stream(4000, 0.08);
   sim::Simulation simulation(conflict_config(8, 2000.0));
-  graph::TanDag dag;
-  core::OptChainPlacer placer(dag);
-  const auto result = simulation.run(stream.transactions, placer, dag);
+  auto pipeline = api::make_pipeline("OptChain", 8);
+  const auto result = simulation.run(stream.transactions, pipeline);
   EXPECT_TRUE(result.completed);
   EXPECT_GE(result.aborted_txs, stream.num_conflicts);
   EXPECT_EQ(result.committed_txs + result.aborted_txs,
@@ -106,21 +110,20 @@ TEST(ConflictSimTest, AbortsAlsoResolveUnderRapidChain) {
   sim::SimConfig config = conflict_config(4, 1500.0);
   config.protocol = sim::ProtocolMode::kRapidChain;
   sim::Simulation simulation(config);
-  placement::RandomPlacer placer;
-  graph::TanDag dag;
-  const auto result = simulation.run(stream.transactions, placer, dag);
+  auto pipeline = random_pipeline(4);
+  const auto result = simulation.run(stream.transactions, pipeline);
   EXPECT_TRUE(result.completed);
   EXPECT_GE(result.aborted_txs, stream.num_conflicts);
 }
 
 TEST(ConflictSimTest, DeterministicWithConflicts) {
   const auto stream = conflicted_stream(2500, 0.05);
-  placement::RandomPlacer placer;
-  graph::TanDag dag_a, dag_b;
+  auto pipeline_a = random_pipeline(4);
+  auto pipeline_b = random_pipeline(4);
   const auto a = sim::Simulation(conflict_config(4, 1200.0))
-                     .run(stream.transactions, placer, dag_a);
+                     .run(stream.transactions, pipeline_a);
   const auto b = sim::Simulation(conflict_config(4, 1200.0))
-                     .run(stream.transactions, placer, dag_b);
+                     .run(stream.transactions, pipeline_b);
   EXPECT_EQ(a.aborted_txs, b.aborted_txs);
   EXPECT_EQ(a.total_events, b.total_events);
   EXPECT_DOUBLE_EQ(a.avg_latency_s, b.avg_latency_s);
@@ -133,9 +136,8 @@ TEST_P(ConflictRateTest, CommitPlusAbortEqualsTotal) {
   const double rate = GetParam();
   const auto stream = conflicted_stream(3000, rate, /*seed=*/17);
   sim::Simulation simulation(conflict_config(8, 1500.0));
-  placement::RandomPlacer placer;
-  graph::TanDag dag;
-  const auto result = simulation.run(stream.transactions, placer, dag);
+  auto pipeline = random_pipeline(8);
+  const auto result = simulation.run(stream.transactions, pipeline);
   EXPECT_TRUE(result.completed);
   EXPECT_EQ(result.committed_txs + result.aborted_txs,
             stream.transactions.size());

@@ -2,13 +2,21 @@
 // slowdowns, and how placement strategies react to them.
 #include <gtest/gtest.h>
 
-#include "core/optchain_placer.hpp"
+#include <memory>
+
+#include "api/placement_pipeline.hpp"
 #include "placement/random_placer.hpp"
 #include "sim/simulation.hpp"
 #include "workload/bitcoin_like_generator.hpp"
 
 namespace optchain::sim {
 namespace {
+
+/// Fresh hash-placement pipeline for k shards.
+api::PlacementPipeline random_pipeline(std::uint32_t k) {
+  return api::PlacementPipeline(k,
+                                std::make_unique<placement::RandomPlacer>());
+}
 
 std::vector<tx::Transaction> stream(std::size_t n, std::uint64_t seed = 4) {
   workload::BitcoinLikeGenerator gen({}, seed);
@@ -73,35 +81,34 @@ TEST(FaultSimTest, CompletesUnderLeaderFaults) {
   SimConfig config = base_config(8, 2000.0);
   config.leader_fault_rate = 0.3;
   Simulation sim(config);
-  placement::RandomPlacer placer;
-  graph::TanDag dag;
-  const auto result = sim.run(txs, placer, dag);
+  auto pipeline = random_pipeline(8);
+  const auto result = sim.run(txs, pipeline);
   EXPECT_TRUE(result.completed);
   EXPECT_EQ(result.committed_txs, txs.size());
 }
 
 TEST(FaultSimTest, FaultsRaiseLatency) {
   const auto txs = stream(8000);
-  placement::RandomPlacer placer;
 
-  graph::TanDag dag_clean, dag_faulty;
   SimConfig clean = base_config(8, 2000.0);
   SimConfig faulty = clean;
   faulty.leader_fault_rate = 0.5;
   faulty.view_change_penalty_s = 8.0;
-  const auto clean_result = Simulation(clean).run(txs, placer, dag_clean);
-  const auto faulty_result = Simulation(faulty).run(txs, placer, dag_faulty);
+  auto pipeline_clean = random_pipeline(8);
+  auto pipeline_faulty = random_pipeline(8);
+  const auto clean_result = Simulation(clean).run(txs, pipeline_clean);
+  const auto faulty_result = Simulation(faulty).run(txs, pipeline_faulty);
   EXPECT_GT(faulty_result.avg_latency_s, clean_result.avg_latency_s * 1.3);
 }
 
 TEST(FaultSimTest, DeterministicUnderFaults) {
   const auto txs = stream(4000);
-  placement::RandomPlacer placer;
   SimConfig config = base_config(4, 1500.0);
   config.leader_fault_rate = 0.2;
-  graph::TanDag dag_a, dag_b;
-  const auto a = Simulation(config).run(txs, placer, dag_a);
-  const auto b = Simulation(config).run(txs, placer, dag_b);
+  auto pipeline_a = random_pipeline(4);
+  auto pipeline_b = random_pipeline(4);
+  const auto a = Simulation(config).run(txs, pipeline_a);
+  const auto b = Simulation(config).run(txs, pipeline_b);
   EXPECT_DOUBLE_EQ(a.avg_latency_s, b.avg_latency_s);
   EXPECT_EQ(a.total_events, b.total_events);
 }
@@ -114,11 +121,10 @@ TEST(FaultSimTest, OptChainRoutesAroundChronicallySlowShard) {
   SimConfig config = base_config(8, 3000.0);
   config.shard_slowdown = {6.0};
 
-  graph::TanDag dag_opt, dag_rnd;
-  core::OptChainPlacer optchain(dag_opt);
-  placement::RandomPlacer random;
-  const auto opt = Simulation(config).run(txs, optchain, dag_opt);
-  const auto rnd = Simulation(config).run(txs, random, dag_rnd);
+  auto optchain = api::make_pipeline("OptChain", 8);
+  auto random = random_pipeline(8);
+  const auto opt = Simulation(config).run(txs, optchain);
+  const auto rnd = Simulation(config).run(txs, random);
 
   const double uniform_share = 1.0 / 8.0;
   const double opt_share =
@@ -139,9 +145,8 @@ TEST(FaultSimTest, SlowShardOnlyHurtsLocally) {
   const auto txs = stream(20000);
   SimConfig config = base_config(8, 2000.0);
   config.shard_slowdown = {5.0};
-  graph::TanDag dag;
-  core::OptChainPlacer placer(dag);
-  const auto result = Simulation(config).run(txs, placer, dag);
+  auto pipeline = api::make_pipeline("OptChain", 8);
+  const auto result = Simulation(config).run(txs, pipeline);
   EXPECT_TRUE(result.completed);
   EXPECT_LT(result.avg_latency_s, 30.0);
 }

@@ -5,16 +5,14 @@
 
 #include <chrono>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "api/placement_pipeline.hpp"
 #include "core/optchain_placer.hpp"
 #include "metis/kway_partitioner.hpp"
-#include "placement/greedy_placer.hpp"
-#include "placement/random_placer.hpp"
-#include "placement/static_placer.hpp"
 #include "sim/simulation.hpp"
-#include "stats/metrics.hpp"
 #include "workload/bitcoin_like_generator.hpp"
 #include "workload/tan_builder.hpp"
 
@@ -54,56 +52,19 @@ struct MethodResult {
 
 std::map<std::string, MethodResult> run_all_methods(
     std::span<const tx::Transaction> txs, std::uint32_t k, double rate) {
+  // Registry names: OmniLedger = random hashing; T2S = Table I's "T2S-based"
+  // variant (no L2S term, ε-capped like Greedy).
+  const std::map<std::string, std::string> methods{
+      {"random", "OmniLedger"}, {"greedy", "Greedy"}, {"metis", "Metis"},
+      {"optchain", "OptChain"}, {"t2s", "T2S"}};
   std::map<std::string, MethodResult> results;
-
-  {
-    graph::TanDag dag;
-    placement::RandomPlacer placer;
+  for (const auto& [label, method] : methods) {
+    api::PlacementPipeline pipeline = api::make_pipeline(method, k, txs);
     sim::Simulation simulation(test_config(k, rate));
     MethodResult r;
-    r.sim = simulation.run(txs, placer, dag);
+    r.sim = simulation.run(txs, pipeline);
     r.cross_fraction = r.sim.cross_fraction();
-    results["random"] = std::move(r);
-  }
-  {
-    graph::TanDag dag;
-    placement::GreedyPlacer placer(txs.size());
-    sim::Simulation simulation(test_config(k, rate));
-    MethodResult r;
-    r.sim = simulation.run(txs, placer, dag);
-    r.cross_fraction = r.sim.cross_fraction();
-    results["greedy"] = std::move(r);
-  }
-  {
-    graph::TanDag dag;
-    placement::StaticPlacer placer(metis_partition(txs, k), "Metis");
-    sim::Simulation simulation(test_config(k, rate));
-    MethodResult r;
-    r.sim = simulation.run(txs, placer, dag);
-    r.cross_fraction = r.sim.cross_fraction();
-    results["metis"] = std::move(r);
-  }
-  {
-    graph::TanDag dag;
-    core::OptChainPlacer placer(dag);
-    sim::Simulation simulation(test_config(k, rate));
-    MethodResult r;
-    r.sim = simulation.run(txs, placer, dag);
-    r.cross_fraction = r.sim.cross_fraction();
-    results["optchain"] = std::move(r);
-  }
-  {
-    // Table I's "T2S-based" variant: no L2S term, ε-capped like Greedy.
-    graph::TanDag dag;
-    core::OptChainConfig config;
-    config.l2s_weight = 0.0;
-    config.expected_txs = txs.size();
-    core::OptChainPlacer placer(dag, config, "T2S");
-    sim::Simulation simulation(test_config(k, rate));
-    MethodResult r;
-    r.sim = simulation.run(txs, placer, dag);
-    r.cross_fraction = r.sim.cross_fraction();
-    results["t2s"] = std::move(r);
+    results[label] = std::move(r);
   }
   return results;
 }
@@ -135,13 +96,10 @@ TEST(IntegrationTest, CrossTxOrderingMatchesTableOne) {
 TEST(IntegrationTest, OptChainCutsCrossTxByLargeFactor) {
   // Paper headline: up to 10x cross-TX reduction vs random placement.
   const auto txs = stream(20000);
-  graph::TanDag dag_r, dag_o;
-  placement::RandomPlacer random;
-  core::OptChainPlacer optchain(dag_o);
-  const auto r = sim::Simulation(test_config(16, 2000.0)).run(txs, random,
-                                                              dag_r);
-  const auto o = sim::Simulation(test_config(16, 2000.0)).run(txs, optchain,
-                                                              dag_o);
+  auto random = api::make_pipeline("OmniLedger", 16, txs);
+  auto optchain = api::make_pipeline("OptChain", 16, txs);
+  const auto r = sim::Simulation(test_config(16, 2000.0)).run(txs, random);
+  const auto o = sim::Simulation(test_config(16, 2000.0)).run(txs, optchain);
   EXPECT_GT(r.cross_fraction(), 0.75);
   EXPECT_LT(o.cross_fraction(), r.cross_fraction() / 2.5);
 }
@@ -171,12 +129,11 @@ TEST(IntegrationTest, MetisSuffersTemporalImbalance) {
   config.tx_rate_tps = 4500.0;
   config.queue_sample_interval_s = 1.0;
 
-  graph::TanDag dag_metis, dag_opt;
-  placement::StaticPlacer metis_placer(metis_partition(txs, 8), "Metis");
-  core::OptChainPlacer optchain(dag_opt);
+  auto metis_pipeline = api::make_pipeline("Metis", 8, txs);
+  auto opt_pipeline = api::make_pipeline("OptChain", 8, txs);
   const auto metis_result =
-      sim::Simulation(config).run(txs, metis_placer, dag_metis);
-  const auto opt_result = sim::Simulation(config).run(txs, optchain, dag_opt);
+      sim::Simulation(config).run(txs, metis_pipeline);
+  const auto opt_result = sim::Simulation(config).run(txs, opt_pipeline);
 
   EXPECT_GT(static_cast<double>(metis_result.queue_tracker.global_max()),
             1.5 * static_cast<double>(opt_result.queue_tracker.global_max()));
@@ -184,10 +141,9 @@ TEST(IntegrationTest, MetisSuffersTemporalImbalance) {
 
 TEST(IntegrationTest, OptChainShardSizesStayBalanced) {
   const auto txs = stream(30000);
-  graph::TanDag dag;
-  core::OptChainPlacer placer(dag);
+  auto pipeline = api::make_pipeline("OptChain", 8, txs);
   const auto result =
-      sim::Simulation(test_config(8, 3000.0)).run(txs, placer, dag);
+      sim::Simulation(test_config(8, 3000.0)).run(txs, pipeline);
   std::uint64_t max_size = 0, min_size = UINT64_MAX;
   for (const auto s : result.final_shard_sizes) {
     max_size = std::max(max_size, s);
@@ -203,15 +159,12 @@ TEST(IntegrationTest, OptChainShardSizesStayBalanced) {
 TEST(IntegrationTest, HigherShardCountReducesLatencyUnderLoad) {
   // Fig. 3 shape: at a fixed rate, more shards => lower average latency.
   const auto txs = stream(30000);
-  graph::TanDag dag_small, dag_large;
-  core::OptChainPlacer placer_small(dag_small);
-  core::OptChainPlacer placer_large(dag_large);
+  auto pipeline_small = api::make_pipeline("OptChain", 4, txs);
+  auto pipeline_large = api::make_pipeline("OptChain", 16, txs);
   const auto small =
-      sim::Simulation(test_config(4, 3000.0)).run(txs, placer_small,
-                                                  dag_small);
+      sim::Simulation(test_config(4, 3000.0)).run(txs, pipeline_small);
   const auto large =
-      sim::Simulation(test_config(16, 3000.0)).run(txs, placer_large,
-                                                   dag_large);
+      sim::Simulation(test_config(16, 3000.0)).run(txs, pipeline_large);
   EXPECT_LT(large.avg_latency_s, small.avg_latency_s);
 }
 
@@ -227,44 +180,17 @@ TEST(IntegrationTest, WarmStartPlacementStillFavorsT2s) {
   const auto prefix_parts = metis_partition(
       std::span<const tx::Transaction>(txs).subspan(0, warm), k);
 
-  const auto run_tail = [&](placement::Placer& placer,
-                            graph::TanDag& dag) -> double {
-    placement::ShardAssignment assignment(k);
-    stats::CrossTxCounter counter;
-    for (const auto& transaction : txs) {
-      const auto inputs = transaction.distinct_input_txs();
-      dag.add_node(inputs);
-      placement::PlacementRequest request;
-      request.index = transaction.index;
-      request.input_txs = inputs;
-      request.hash64 = transaction.txid().low64();
-      // choose() must run for every transaction (stateful placers build
-      // their per-transaction score vectors there); the warm prefix then
-      // overrides the decision with the precomputed partition.
-      placement::ShardId shard = placer.choose(request, assignment);
-      if (transaction.index < warm) {
-        shard = prefix_parts[transaction.index];
-      }
-      assignment.record(transaction.index, shard);
-      placer.notify_placed(request, shard);
-      if (transaction.index >= warm && !transaction.is_coinbase()) {
-        counter.record(assignment.is_cross_shard(inputs, shard));
-      }
-    }
-    return counter.fraction();
+  // The pipeline's warm-start handling: the prefix is force-placed per the
+  // precomputed partition (choose() still runs so stateful placers build
+  // their score vectors) and only the tail is counted.
+  const auto run_tail = [&](const char* method) -> double {
+    api::PlacementPipeline pipeline = api::make_pipeline(method, k, txs);
+    return pipeline.place_stream(txs, prefix_parts).fraction();
   };
 
-  graph::TanDag dag_t2s, dag_greedy, dag_random;
-  core::OptChainConfig t2s_config;
-  t2s_config.l2s_weight = 0.0;
-  t2s_config.expected_txs = txs.size();
-  core::OptChainPlacer t2s(dag_t2s, t2s_config, "T2S-based");
-  placement::GreedyPlacer greedy(txs.size());
-  placement::RandomPlacer random;
-
-  const double t2s_cross = run_tail(t2s, dag_t2s);
-  const double greedy_cross = run_tail(greedy, dag_greedy);
-  const double random_cross = run_tail(random, dag_random);
+  const double t2s_cross = run_tail("T2S");
+  const double greedy_cross = run_tail("Greedy");
+  const double random_cross = run_tail("OmniLedger");
 
   EXPECT_LT(t2s_cross, greedy_cross);
   EXPECT_LT(greedy_cross, random_cross);
@@ -274,22 +200,15 @@ TEST(IntegrationTest, WarmStartPlacementStillFavorsT2s) {
 // sparse-entry work, far below a millisecond.
 TEST(IntegrationTest, PlacementThroughputIsPractical) {
   const auto txs = stream(20000);
-  graph::TanDag dag;
-  core::OptChainConfig config;
-  config.l2s_weight = 0.0;
-  core::OptChainPlacer placer(dag, config);
-  placement::ShardAssignment assignment(16);
+  api::PlacementPipeline pipeline(16, [](const graph::TanDag& dag) {
+    core::OptChainConfig config;
+    config.l2s_weight = 0.0;
+    return std::make_unique<core::OptChainPlacer>(dag, config);
+  });
 
   const auto start = std::chrono::steady_clock::now();
   for (const auto& transaction : txs) {
-    const auto inputs = transaction.distinct_input_txs();
-    dag.add_node(inputs);
-    placement::PlacementRequest request;
-    request.index = transaction.index;
-    request.input_txs = inputs;
-    const auto shard = placer.choose(request, assignment);
-    assignment.record(transaction.index, shard);
-    placer.notify_placed(request, shard);
+    pipeline.step(transaction);
   }
   const auto elapsed = std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - start)

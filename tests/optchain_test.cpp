@@ -5,10 +5,10 @@
 
 #include <vector>
 
+#include "api/placement_pipeline.hpp"
 #include "core/optchain_placer.hpp"
 #include "placement/greedy_placer.hpp"
 #include "placement/random_placer.hpp"
-#include "stats/metrics.hpp"
 #include "workload/bitcoin_like_generator.hpp"
 #include "workload/tan_builder.hpp"
 
@@ -20,28 +20,13 @@ using placement::PlacementRequest;
 using placement::ShardAssignment;
 using placement::ShardId;
 
-/// Streams a transaction batch through a placer (the dag grows online, as in
-/// the real deployment); returns the cross-TX fraction over non-coinbase txs.
+/// Streams a transaction batch through a registry method (the pipeline's
+/// dag grows online, as in the real deployment); returns the cross-TX
+/// fraction over non-coinbase txs.
 double run_placement(std::span<const tx::Transaction> txs,
-                     placement::Placer& placer, std::uint32_t k,
-                     graph::TanDag& dag) {
-  ShardAssignment assignment(k);
-  stats::CrossTxCounter counter;
-  for (const auto& transaction : txs) {
-    const auto inputs = transaction.distinct_input_txs();
-    dag.add_node(inputs);
-    PlacementRequest request;
-    request.index = transaction.index;
-    request.input_txs = inputs;
-    request.hash64 = transaction.txid().low64();
-    const ShardId shard = placer.choose(request, assignment);
-    assignment.record(transaction.index, shard);
-    placer.notify_placed(request, shard);
-    if (!transaction.is_coinbase()) {
-      counter.record(assignment.is_cross_shard(inputs, shard));
-    }
-  }
-  return counter.fraction();
+                     const char* method, std::uint32_t k) {
+  api::PlacementPipeline pipeline = api::make_pipeline(method, k, txs);
+  return pipeline.place_stream(txs).fraction();
 }
 
 TEST(OptChainPlacerTest, CoinbaseBalancesAcrossShards) {
@@ -212,18 +197,9 @@ TEST_P(CrossTxQualityTest, InformedMethodsCrushRandomPlacement) {
   workload::BitcoinLikeGenerator gen({}, seed);
   const auto txs = gen.generate(30000);
 
-  graph::TanDag dag_t2s, dag_greedy, dag_random;
-  OptChainConfig t2s_config;
-  t2s_config.l2s_weight = 0.0;
-  t2s_config.expected_txs = txs.size();
-  OptChainPlacer t2s(dag_t2s, t2s_config, "T2S-based");
-  const double t2s_cross = run_placement(txs, t2s, k, dag_t2s);
-
-  placement::GreedyPlacer greedy(txs.size());
-  const double greedy_cross = run_placement(txs, greedy, k, dag_greedy);
-
-  placement::RandomPlacer random;
-  const double random_cross = run_placement(txs, random, k, dag_random);
+  const double t2s_cross = run_placement(txs, "T2S", k);
+  const double greedy_cross = run_placement(txs, "Greedy", k);
+  const double random_cross = run_placement(txs, "OmniLedger", k);
 
   // Random placement approaches 1 - 1/k for related transactions; with ~2
   // distinct inputs it should be far above 60% for k >= 4.

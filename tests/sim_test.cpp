@@ -3,9 +3,10 @@
 // determinism, protocol semantics).
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
-#include "core/optchain_placer.hpp"
+#include "api/placement_pipeline.hpp"
 #include "placement/random_placer.hpp"
 #include "sim/consensus.hpp"
 #include "sim/event_queue.hpp"
@@ -234,12 +235,17 @@ std::vector<tx::Transaction> small_stream(std::size_t n,
   return gen.generate(n);
 }
 
+/// Fresh hash-placement pipeline for k shards.
+api::PlacementPipeline random_pipeline(std::uint32_t k) {
+  return api::PlacementPipeline(k,
+                                std::make_unique<placement::RandomPlacer>());
+}
+
 TEST(SimulationTest, AllTransactionsCommitExactlyOnce) {
   const auto txs = small_stream(2000);
   Simulation sim(small_config(4, 500.0));
-  placement::RandomPlacer placer;
-  graph::TanDag dag;
-  const SimResult result = sim.run(txs, placer, dag);
+  auto pipeline = random_pipeline(4);
+  const SimResult result = sim.run(txs, pipeline);
   EXPECT_TRUE(result.completed);
   EXPECT_EQ(result.committed_txs, txs.size());
   EXPECT_EQ(result.latencies.count(), txs.size());
@@ -252,15 +258,13 @@ TEST(SimulationTest, DeterministicForSameSeed) {
   SimResult a, b;
   {
     Simulation sim(small_config(4, 500.0));
-    placement::RandomPlacer placer;
-    graph::TanDag dag;
-    a = sim.run(txs, placer, dag);
+    auto pipeline = random_pipeline(4);
+    a = sim.run(txs, pipeline);
   }
   {
     Simulation sim(small_config(4, 500.0));
-    placement::RandomPlacer placer;
-    graph::TanDag dag;
-    b = sim.run(txs, placer, dag);
+    auto pipeline = random_pipeline(4);
+    b = sim.run(txs, pipeline);
   }
   EXPECT_DOUBLE_EQ(a.duration_s, b.duration_s);
   EXPECT_DOUBLE_EQ(a.avg_latency_s, b.avg_latency_s);
@@ -273,19 +277,18 @@ TEST(SimulationTest, DifferentSeedsChangeTopology) {
   SimConfig config_a = small_config(4, 500.0);
   SimConfig config_b = config_a;
   config_b.seed = 777;
-  placement::RandomPlacer placer;
-  graph::TanDag dag_a, dag_b;
-  const SimResult a = Simulation(config_a).run(txs, placer, dag_a);
-  const SimResult b = Simulation(config_b).run(txs, placer, dag_b);
+  auto pipeline_a = random_pipeline(4);
+  auto pipeline_b = random_pipeline(4);
+  const SimResult a = Simulation(config_a).run(txs, pipeline_a);
+  const SimResult b = Simulation(config_b).run(txs, pipeline_b);
   EXPECT_NE(a.avg_latency_s, b.avg_latency_s);
 }
 
 TEST(SimulationTest, LatencyAtLeastNetworkFloor) {
   const auto txs = small_stream(500);
   Simulation sim(small_config(4, 200.0));
-  placement::RandomPlacer placer;
-  graph::TanDag dag;
-  const SimResult result = sim.run(txs, placer, dag);
+  auto pipeline = random_pipeline(4);
+  const SimResult result = sim.run(txs, pipeline);
   // No commit can beat one client->shard hop: > 100 ms.
   EXPECT_GT(result.latencies.quantile(0.0), 0.1);
 }
@@ -295,24 +298,21 @@ TEST(SimulationTest, CrossFractionMatchesPlacementTheory) {
   // probability ~1/k per input; the measured cross fraction must be high.
   const auto txs = small_stream(3000);
   Simulation sim(small_config(8, 1000.0));
-  placement::RandomPlacer placer;
-  graph::TanDag dag;
-  const SimResult result = sim.run(txs, placer, dag);
+  auto pipeline = random_pipeline(8);
+  const SimResult result = sim.run(txs, pipeline);
   EXPECT_GT(result.cross_fraction(), 0.6);
 }
 
 TEST(SimulationTest, OptChainReducesCrossAndLatency) {
   const auto txs = small_stream(3000);
 
-  graph::TanDag dag_random;
-  placement::RandomPlacer random;
+  auto random = random_pipeline(8);
   const SimResult r_random =
-      Simulation(small_config(8, 1000.0)).run(txs, random, dag_random);
+      Simulation(small_config(8, 1000.0)).run(txs, random);
 
-  graph::TanDag dag_opt;
-  core::OptChainPlacer optchain(dag_opt);
+  auto optchain = api::make_pipeline("OptChain", 8);
   const SimResult r_opt =
-      Simulation(small_config(8, 1000.0)).run(txs, optchain, dag_opt);
+      Simulation(small_config(8, 1000.0)).run(txs, optchain);
 
   EXPECT_LT(r_opt.cross_txs, r_random.cross_txs / 2);
   EXPECT_LT(r_opt.avg_latency_s, r_random.avg_latency_s);
@@ -323,9 +323,8 @@ TEST(SimulationTest, RapidChainModeAlsoCompletes) {
   SimConfig config = small_config(4, 500.0);
   config.protocol = ProtocolMode::kRapidChain;
   Simulation sim(config);
-  placement::RandomPlacer placer;
-  graph::TanDag dag;
-  const SimResult result = sim.run(txs, placer, dag);
+  auto pipeline = random_pipeline(4);
+  const SimResult result = sim.run(txs, pipeline);
   EXPECT_TRUE(result.completed);
   EXPECT_EQ(result.committed_txs, txs.size());
 }
@@ -334,34 +333,33 @@ TEST(SimulationTest, RapidChainFasterThanOmniLedgerOnCrossTxs) {
   // Yanking skips the client round trip, so under identical placement the
   // average latency cannot be (meaningfully) worse.
   const auto txs = small_stream(2000);
-  placement::RandomPlacer placer;
   SimConfig omni_config = small_config(4, 400.0);
   SimConfig rapid_config = omni_config;
   rapid_config.protocol = ProtocolMode::kRapidChain;
-  graph::TanDag dag_a, dag_b;
-  const SimResult omni = Simulation(omni_config).run(txs, placer, dag_a);
-  const SimResult rapid = Simulation(rapid_config).run(txs, placer, dag_b);
+  auto pipeline_a = random_pipeline(4);
+  auto pipeline_b = random_pipeline(4);
+  const SimResult omni = Simulation(omni_config).run(txs, pipeline_a);
+  const SimResult rapid = Simulation(rapid_config).run(txs, pipeline_b);
   EXPECT_LT(rapid.avg_latency_s, omni.avg_latency_s * 1.02);
 }
 
 TEST(SimulationTest, OverloadBacklogRaisesLatency) {
   // Same stream, same shards; 4x the arrival rate must raise avg latency.
   const auto txs = small_stream(3000);
-  placement::RandomPlacer placer;
-  graph::TanDag dag_slow, dag_fast;
+  auto pipeline_slow = random_pipeline(2);
+  auto pipeline_fast = random_pipeline(2);
   const SimResult slow =
-      Simulation(small_config(2, 200.0)).run(txs, placer, dag_slow);
+      Simulation(small_config(2, 200.0)).run(txs, pipeline_slow);
   const SimResult fast =
-      Simulation(small_config(2, 2000.0)).run(txs, placer, dag_fast);
+      Simulation(small_config(2, 2000.0)).run(txs, pipeline_fast);
   EXPECT_GT(fast.avg_latency_s, slow.avg_latency_s);
 }
 
 TEST(SimulationTest, QueueTrackerSamples) {
   const auto txs = small_stream(2000);
   Simulation sim(small_config(4, 500.0));
-  placement::RandomPlacer placer;
-  graph::TanDag dag;
-  const SimResult result = sim.run(txs, placer, dag);
+  auto pipeline = random_pipeline(4);
+  const SimResult result = sim.run(txs, pipeline);
   EXPECT_GT(result.queue_tracker.snapshots().size(), 2u);
   // Snapshot times are non-decreasing.
   double prev = -1.0;
@@ -375,9 +373,8 @@ TEST(SimulationTest, QueueTrackerSamples) {
 TEST(SimulationTest, WindowCountsSumToTotal) {
   const auto txs = small_stream(2000);
   Simulation sim(small_config(4, 500.0));
-  placement::RandomPlacer placer;
-  graph::TanDag dag;
-  const SimResult result = sim.run(txs, placer, dag);
+  auto pipeline = random_pipeline(4);
+  const SimResult result = sim.run(txs, pipeline);
   std::uint64_t sum = 0;
   for (const auto c : result.commits_per_window.counts()) sum += c;
   EXPECT_EQ(sum, txs.size());
@@ -386,9 +383,8 @@ TEST(SimulationTest, WindowCountsSumToTotal) {
 TEST(SimulationTest, ShardSizesSumToTotal) {
   const auto txs = small_stream(1000);
   Simulation sim(small_config(4, 500.0));
-  placement::RandomPlacer placer;
-  graph::TanDag dag;
-  const SimResult result = sim.run(txs, placer, dag);
+  auto pipeline = random_pipeline(4);
+  const SimResult result = sim.run(txs, pipeline);
   std::uint64_t sum = 0;
   for (const auto s : result.final_shard_sizes) sum += s;
   EXPECT_EQ(sum, txs.size());
@@ -399,9 +395,8 @@ TEST(SimulationTest, HorizonAbortReportsIncomplete) {
   SimConfig config = small_config(1, 100000.0);  // 1 shard, hopeless rate
   config.max_sim_time_s = 1.0;
   Simulation sim(config);
-  placement::RandomPlacer placer;
-  graph::TanDag dag;
-  const SimResult result = sim.run(txs, placer, dag);
+  auto pipeline = random_pipeline(1);
+  const SimResult result = sim.run(txs, pipeline);
   EXPECT_FALSE(result.completed);
   EXPECT_LT(result.committed_txs, txs.size());
 }
@@ -420,9 +415,8 @@ TEST_P(SimConservationTest, EveryTxCommitsOnce) {
   SimConfig config = small_config(shards, 600.0);
   config.protocol = protocol;
   Simulation sim(config);
-  placement::RandomPlacer placer;
-  graph::TanDag dag;
-  const SimResult result = sim.run(txs, placer, dag);
+  auto pipeline = random_pipeline(shards);
+  const SimResult result = sim.run(txs, pipeline);
   EXPECT_TRUE(result.completed);
   EXPECT_EQ(result.committed_txs, txs.size());
   EXPECT_EQ(result.latencies.count(), txs.size());

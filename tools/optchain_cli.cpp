@@ -1,30 +1,36 @@
-// optchain — command-line driver for the library.
+// optchain — command-line driver for the library, built on the optchain::api
+// layer (PlacerRegistry + PlacementPipeline + RunSpec/RunReport).
 //
 //   optchain generate  --txs=N [--seed=S] [--account] --out=stream.bin
 //   optchain stats     --in=stream.bin
-//   optchain place     --in=stream.bin --method=optchain|t2s|greedy|random
-//                      --shards=K
+//   optchain methods                          # list registered strategies
+//   optchain place     --in=stream.bin --method=<name> --shards=K
+//                      [--csv=out.csv]
 //   optchain partition --in=stream.bin --shards=K [--epsilon=0.1]
-//   optchain simulate  --in=stream.bin --method=... --shards=K --rate=TPS
+//   optchain simulate  --in=stream.bin --method=<name> --shards=K --rate=TPS
 //                      [--protocol=omniledger|rapidchain]
 //                      [--fault_rate=P] [--csv=out.csv]
+//
+// --method accepts any PlacerRegistry name (case-insensitive): OptChain,
+// T2S, Greedy, OmniLedger (alias: Random), LeastLoaded, Static, Metis.
+// New strategies registered via PlacerRegistry::register_placer() are
+// reachable here with no CLI changes.
 //
 // Streams are the binary codec of txmodel/serialization.hpp; `generate`
 // creates them, everything else consumes them, so a workload is generated
 // once and replayed across experiments.
+#include <algorithm>
 #include <cstdio>
-#include <memory>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
+#include "api/placer_registry.hpp"
+#include "api/run_spec.hpp"
 #include "common/flags.hpp"
 #include "common/table.hpp"
-#include "core/optchain_placer.hpp"
 #include "graph/dag.hpp"
 #include "metis/kway_partitioner.hpp"
-#include "placement/greedy_placer.hpp"
-#include "placement/random_placer.hpp"
-#include "sim/simulation.hpp"
-#include "stats/metrics.hpp"
 #include "txmodel/serialization.hpp"
 #include "workload/account_workload.hpp"
 #include "workload/bitcoin_like_generator.hpp"
@@ -36,8 +42,8 @@ using namespace optchain;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: optchain <generate|stats|place|partition|simulate> "
-               "[--flags]\n"
+               "usage: optchain "
+               "<generate|stats|methods|place|partition|simulate> [--flags]\n"
                "run `optchain <command>` with no flags for that command's "
                "options\n");
   return 2;
@@ -51,28 +57,28 @@ std::vector<tx::Transaction> load_stream(const Flags& flags) {
   return tx::load_transactions(path);
 }
 
-/// Builds the requested placer over `dag`; `txs` provides stream length for
-/// capacity caps.
-std::unique_ptr<placement::Placer> make_placer(
-    const std::string& method, graph::TanDag& dag,
-    std::span<const tx::Transaction> txs) {
-  if (method == "optchain") {
-    return std::make_unique<core::OptChainPlacer>(dag);
+/// The run description shared by place/simulate, read off the flags.
+api::RunSpec spec_from_flags(const Flags& flags) {
+  api::RunSpec spec;
+  spec.method = flags.get_string("method", "OptChain");
+  spec.num_shards = static_cast<std::uint32_t>(flags.get_int("shards", 16));
+  spec.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  spec.rate_tps = flags.get_double("rate", 2000.0);
+  spec.leader_fault_rate = flags.get_double("fault_rate", 0.0);
+  if (flags.get_string("protocol", "omniledger") == "rapidchain") {
+    spec.protocol = sim::ProtocolMode::kRapidChain;
   }
-  if (method == "t2s") {
-    core::OptChainConfig config;
-    config.l2s_weight = 0.0;
-    config.expected_txs = txs.size();
-    return std::make_unique<core::OptChainPlacer>(dag, config, "T2S");
+  return spec;
+}
+
+void print_and_maybe_save(const api::RunReport& report, const Flags& flags) {
+  const TextTable table = report.to_table();
+  table.print();
+  const std::string csv = flags.get_string("csv", "");
+  if (!csv.empty()) {
+    table.save_csv(csv);
+    std::printf("wrote %s\n", csv.c_str());
   }
-  if (method == "greedy") {
-    return std::make_unique<placement::GreedyPlacer>(txs.size());
-  }
-  if (method == "random") {
-    return std::make_unique<placement::RandomPlacer>();
-  }
-  throw std::runtime_error("unknown --method: " + method +
-                           " (optchain|t2s|greedy|random)");
 }
 
 int cmd_generate(const Flags& flags) {
@@ -113,41 +119,25 @@ int cmd_stats(const Flags& flags) {
   return 0;
 }
 
+int cmd_methods(const Flags& /*flags*/) {
+  std::printf("registered placement methods (case-insensitive):\n");
+  for (const std::string& name : api::PlacerRegistry::instance().names()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  return 0;
+}
+
 int cmd_place(const Flags& flags) {
   const auto txs = load_stream(flags);
-  const auto k = static_cast<std::uint32_t>(flags.get_int("shards", 16));
-  const std::string method = flags.get_string("method", "optchain");
-
-  graph::TanDag dag;
-  const auto placer = make_placer(method, dag, txs);
-  placement::ShardAssignment assignment(k);
-  stats::CrossTxCounter counter;
-  for (const auto& transaction : txs) {
-    const auto inputs = transaction.distinct_input_txs();
-    dag.add_node(inputs);
-    placement::PlacementRequest request;
-    request.index = transaction.index;
-    request.input_txs = inputs;
-    request.hash64 = transaction.txid().low64();
-    const auto shard = placer->choose(request, assignment);
-    assignment.record(transaction.index, shard);
-    placer->notify_placed(request, shard);
-    if (!transaction.is_coinbase()) {
-      counter.record(assignment.is_cross_shard(inputs, shard));
-    }
-  }
+  const api::RunSpec spec = spec_from_flags(flags);
+  const api::RunReport report = api::place(spec, txs);
 
   std::printf("%s over %u shards: %.2f %% cross-shard (%llu / %llu)\n",
-              method.c_str(), k, 100.0 * counter.fraction(),
-              static_cast<unsigned long long>(counter.cross()),
-              static_cast<unsigned long long>(counter.total()));
-  TextTable sizes({"shard", "transactions"});
-  for (std::uint32_t s = 0; s < k; ++s) {
-    sizes.add_row({std::to_string(s),
-                   TextTable::fmt_int(
-                       static_cast<long long>(assignment.size_of(s)))});
-  }
-  sizes.print();
+              report.method.c_str(), report.num_shards,
+              100.0 * report.cross_fraction(),
+              static_cast<unsigned long long>(report.cross),
+              static_cast<unsigned long long>(report.total));
+  print_and_maybe_save(report, flags);
   return 0;
 }
 
@@ -175,42 +165,9 @@ int cmd_partition(const Flags& flags) {
 
 int cmd_simulate(const Flags& flags) {
   const auto txs = load_stream(flags);
-  const auto k = static_cast<std::uint32_t>(flags.get_int("shards", 16));
-  const std::string method = flags.get_string("method", "optchain");
-
-  sim::SimConfig config;
-  config.num_shards = k;
-  config.tx_rate_tps = flags.get_double("rate", 2000.0);
-  config.leader_fault_rate = flags.get_double("fault_rate", 0.0);
-  if (flags.get_string("protocol", "omniledger") == "rapidchain") {
-    config.protocol = sim::ProtocolMode::kRapidChain;
-  }
-
-  graph::TanDag dag;
-  const auto placer = make_placer(method, dag, txs);
-  sim::Simulation simulation(config);
-  const auto result = simulation.run(txs, *placer, dag);
-
-  TextTable table({"metric", "value"});
-  table.add_row({"method", result.placer_name});
-  table.add_row({"committed", TextTable::fmt_int(static_cast<long long>(
-                                  result.committed_txs))});
-  table.add_row({"aborted", TextTable::fmt_int(static_cast<long long>(
-                                result.aborted_txs))});
-  table.add_row({"cross-shard", TextTable::fmt_percent(
-                                    result.cross_fraction())});
-  table.add_row({"throughput (tps)", TextTable::fmt(result.throughput_tps,
-                                                    0)});
-  table.add_row({"avg latency (s)", TextTable::fmt(result.avg_latency_s, 2)});
-  table.add_row({"max latency (s)", TextTable::fmt(result.max_latency_s, 2)});
-  table.add_row({"completed", result.completed ? "yes" : "no"});
-  table.print();
-
-  const std::string csv = flags.get_string("csv", "");
-  if (!csv.empty()) {
-    table.save_csv(csv);
-    std::printf("wrote %s\n", csv.c_str());
-  }
+  const api::RunSpec spec = spec_from_flags(flags);
+  const api::RunReport report = api::simulate(spec, txs);
+  print_and_maybe_save(report, flags);
   return 0;
 }
 
@@ -223,6 +180,7 @@ int main(int argc, char** argv) {
     const Flags flags(argc - 1, argv + 1);
     if (command == "generate") return cmd_generate(flags);
     if (command == "stats") return cmd_stats(flags);
+    if (command == "methods") return cmd_methods(flags);
     if (command == "place") return cmd_place(flags);
     if (command == "partition") return cmd_partition(flags);
     if (command == "simulate") return cmd_simulate(flags);
