@@ -9,6 +9,7 @@
 // rows mirror the paper's tables/figure series.
 #pragma once
 
+#include <concepts>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -22,6 +23,46 @@
 #include "workload/bitcoin_like_generator.hpp"
 
 namespace optchain::bench {
+
+/// Minimal ordered JSON emitter for machine-readable bench artifacts
+/// (BENCH_*.json): nested objects, string/number/bool fields, no external
+/// dependency. Keys are emitted verbatim — callers use plain identifiers.
+class JsonWriter {
+ public:
+  JsonWriter() { out_ = "{"; }
+
+  JsonWriter& field(const std::string& key, const std::string& value);
+  JsonWriter& field(const std::string& key, const char* value) {
+    return field(key, std::string(value));
+  }
+  JsonWriter& field(const std::string& key, double value);
+  JsonWriter& field(const std::string& key, bool value);
+  /// One overload for every integer width/signedness, so call sites never
+  /// need casts to dodge overload ambiguity.
+  JsonWriter& field(const std::string& name,
+                    std::integral auto value) requires(
+      !std::same_as<decltype(value), bool>) {
+    key(name);
+    out_ += std::to_string(value);
+    return *this;
+  }
+  JsonWriter& begin_object(const std::string& key);
+  JsonWriter& end_object();
+
+  /// Closes the root object and returns the document.
+  std::string finish();
+
+  /// Writes finish() to `path` (with a trailing newline).
+  void save(const std::string& path);
+
+ private:
+  void comma();
+  void key(const std::string& name);
+
+  std::string out_;
+  bool needs_comma_ = false;
+  int depth_ = 1;
+};
 
 /// Names used across the harness, matching the paper's method line-up.
 /// All of them (and more) resolve through the api::PlacerRegistry.

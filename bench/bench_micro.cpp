@@ -93,17 +93,28 @@ void BM_L2sScoreAll(benchmark::State& state) {
 }
 BENCHMARK(BM_L2sScoreAll)->Arg(4)->Arg(16)->Arg(64);
 
+struct NullHandler final : sim::EventHandler {
+  void on_event(const sim::Event&) override {}
+};
+
+/// schedule + dispatch of one typed POD event (no allocation, no indirect
+/// closure call). Arg = number of events already pending in the heap.
 void BM_EventQueue(benchmark::State& state) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
   sim::EventQueue queue;
+  NullHandler handler;
   double t = 0.0;
+  for (std::size_t i = 0; i < depth; ++i) {
+    queue.schedule(1e12 + static_cast<double>(i), sim::Event::tx_issue(0));
+  }
   for (auto _ : state) {
-    queue.schedule(t + 1.0, [] {});
-    queue.run_one();
+    queue.schedule(t + 1.0, sim::Event::tx_issue(0));
+    queue.run_one(handler);
     t += 1.0;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(BM_EventQueue);
+BENCHMARK(BM_EventQueue)->Arg(0)->Arg(1024);
 
 void BM_MetisPartition(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

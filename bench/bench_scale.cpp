@@ -1,0 +1,152 @@
+// bench_scale — the million-transaction engine benchmark.
+//
+// Streams a paper-scale generated workload (default 1M transactions;
+// the paper's headline runs use the first 10M of the MIT Bitcoin dataset,
+// §V.A) through two paths and emits a machine-readable BENCH_scale.json so
+// the perf trajectory accumulates per PR:
+//
+//   1. placement-only: GeneratorTxSource -> PlacementPipeline::place_stream
+//      (OptChain, no materialized stream — O(1) transactions in memory)
+//   2. full-sim: a (smaller, default 100k) streamed run through the typed
+//      POD event engine and the OmniLedger cross-shard protocol
+//
+// Flags:
+//   --txs=N       placement stream length   (default 1,000,000)
+//   --sim_txs=N   full-sim stream length    (default 100,000)
+//   --shards=K    shard count               (default 16)
+//   --rate=TPS    sim issue rate            (default 4000)
+//   --seed=S      workload seed             (default 1)
+//   --method=M    placement strategy        (default OptChain)
+//   --out=PATH    JSON output path          (default BENCH_scale.json)
+//   --smoke       CI smoke mode: 20k placement / 4k sim transactions
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include <sys/resource.h>
+
+#include "bench_common.hpp"
+#include "workload/tx_source.hpp"
+
+namespace optchain::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Peak resident set size of this process, in MiB (Linux ru_maxrss is KiB).
+double peak_rss_mib() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+int run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const bool smoke = flags.get_bool("smoke", false);
+  const auto txs =
+      static_cast<std::uint64_t>(flags.get_int("txs", smoke ? 20'000
+                                                            : 1'000'000));
+  const auto sim_txs =
+      static_cast<std::uint64_t>(flags.get_int("sim_txs", smoke ? 4'000
+                                                                : 100'000));
+  const auto shards = static_cast<std::uint32_t>(flags.get_int("shards", 16));
+  const double rate = flags.get_double("rate", 4000.0);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const std::string method = flags.get_string("method", "OptChain");
+  const std::string out_path = flags.get_string("out", "BENCH_scale.json");
+
+  print_header("bench_scale — million-transaction engine",
+               "engine scaling (paper §V.A runs 10M-tx streams)",
+               std::to_string(txs) + " placement txs + " +
+                   std::to_string(sim_txs) + " simulated txs, k=" +
+                   std::to_string(shards));
+
+  JsonWriter json;
+  json.field("bench", "bench_scale");
+  json.begin_object("config")
+      .field("txs", txs)
+      .field("sim_txs", sim_txs)
+      .field("shards", shards)
+      .field("rate_tps", rate)
+      .field("seed", seed)
+      .field("method", method)
+      .field("smoke", smoke)
+      .end_object();
+
+  // ---- placement-only streaming path -----------------------------------
+  {
+    workload::GeneratorTxSource source({}, seed, txs);
+    api::PlacementPipeline pipeline =
+        api::make_pipeline(method, shards, {}, seed, {}, txs);
+    const auto start = Clock::now();
+    const api::StreamOutcome outcome = pipeline.place_stream(source);
+    const double elapsed = seconds_since(start);
+    const double tx_per_s = static_cast<double>(txs) / elapsed;
+
+    std::printf("placement : %llu txs in %.2f s  (%.0f tx/s, cross %.2f%%)\n",
+                static_cast<unsigned long long>(txs), elapsed, tx_per_s,
+                100.0 * outcome.fraction());
+    json.begin_object("placement")
+        .field("txs", txs)
+        .field("seconds", elapsed)
+        .field("tx_per_s", tx_per_s)
+        .field("cross_fraction", outcome.fraction())
+        .field("tan_edges", pipeline.dag().num_edges())
+        .end_object();
+  }
+
+  // ---- full-sim streaming path -----------------------------------------
+  {
+    sim::SimConfig config;
+    config.num_shards = shards;
+    config.tx_rate_tps = rate;
+    config.seed = seed;
+    config.commit_window_s = 10.0;
+    workload::GeneratorTxSource source({}, seed, sim_txs);
+    api::PlacementPipeline pipeline =
+        api::make_pipeline(method, shards, {}, seed, {}, sim_txs);
+    sim::Simulation simulation(config);
+    const auto start = Clock::now();
+    const sim::SimResult result = simulation.run(source, pipeline);
+    const double elapsed = seconds_since(start);
+    const double events_per_s =
+        static_cast<double>(result.total_events) / elapsed;
+
+    std::printf(
+        "simulation: %llu txs, %llu events in %.2f s  (%.0f events/s, "
+        "%.0f sim-tx/s, cross %.2f%%)\n",
+        static_cast<unsigned long long>(sim_txs),
+        static_cast<unsigned long long>(result.total_events), elapsed,
+        events_per_s, static_cast<double>(sim_txs) / elapsed,
+        100.0 * result.cross_fraction());
+    json.begin_object("simulation")
+        .field("txs", sim_txs)
+        .field("events", result.total_events)
+        .field("seconds", elapsed)
+        .field("events_per_s", events_per_s)
+        .field("sim_tx_per_s", static_cast<double>(sim_txs) / elapsed)
+        .field("committed", result.committed_txs)
+        .field("aborted", result.aborted_txs)
+        .field("completed", result.completed)
+        .field("cross_fraction", result.cross_fraction())
+        .field("avg_latency_s", result.avg_latency_s)
+        .field("throughput_tps", result.throughput_tps)
+        .end_object();
+  }
+
+  const double rss_mib = peak_rss_mib();
+  json.field("peak_rss_mib", rss_mib);
+  std::printf("peak RSS  : %.1f MiB\n", rss_mib);
+  json.save(out_path);
+  std::printf("(wrote %s)\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace optchain::bench
+
+int main(int argc, char** argv) { return optchain::bench::run(argc, argv); }

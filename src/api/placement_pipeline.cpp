@@ -42,13 +42,13 @@ placement::ShardId PlacementPipeline::preview(
   if (previewed_.has_value() && previewed_->first == transaction.index) {
     return previewed_->second;
   }
-  const std::vector<tx::TxIndex> inputs = transaction.distinct_input_txs();
-  add_tan_node(transaction, inputs);
+  transaction.distinct_input_txs(inputs_scratch_);
+  add_tan_node(transaction, inputs_scratch_);
 
   placement::PlacementRequest request;
   request.index = transaction.index;
-  request.input_txs = inputs;
-  request.hash64 = transaction.txid().low64();
+  request.input_txs = inputs_scratch_;
+  request.transaction = &transaction;
   request.timings = timings;
   const placement::ShardId shard = placer_->choose(request, assignment_);
   previewed_ = {transaction.index, shard};
@@ -60,13 +60,13 @@ StepResult PlacementPipeline::step_impl(
     std::optional<placement::ShardId> forced,
     std::span<const latency::ShardTiming> timings) {
   OPTCHAIN_EXPECTS(transaction.index == assignment_.total());
-  const std::vector<tx::TxIndex> inputs = transaction.distinct_input_txs();
-  add_tan_node(transaction, inputs);
+  transaction.distinct_input_txs(inputs_scratch_);
+  add_tan_node(transaction, inputs_scratch_);
 
   placement::PlacementRequest request;
   request.index = transaction.index;
-  request.input_txs = inputs;
-  request.hash64 = transaction.txid().low64();
+  request.input_txs = inputs_scratch_;
+  request.transaction = &transaction;
   request.timings = timings;
 
   // choose() always runs exactly once per transaction — stateful placers
@@ -87,13 +87,13 @@ StepResult PlacementPipeline::step_impl(
   StepResult result;
   result.shard = shard;
   result.coinbase = transaction.is_coinbase();
-  result.cross = assignment_.is_cross_shard(inputs, shard);
+  result.cross = assignment_.is_cross_shard(inputs_scratch_, shard);
   // Sin(u) is only materialized when the protocol actually has remote locks
   // to take — for same-shard transactions it is trivially {shard}, and
   // skipping the allocation keeps the hot placement loop at the
   // pre-refactor cost.
   if (result.cross) {
-    result.input_shards = assignment_.input_shards(inputs);
+    result.input_shards = assignment_.input_shards(inputs_scratch_);
   }
   result.counted = !forced.has_value() && !result.coinbase;
   if (result.counted) counter_.record(result.cross);
@@ -131,15 +131,51 @@ StreamOutcome PlacementPipeline::place_stream(
   return outcome;
 }
 
+StreamOutcome PlacementPipeline::place_stream(
+    workload::TxSource& source, std::span<const std::uint32_t> warm_parts) {
+  if (const auto hint = source.size_hint()) {
+    reserve(*hint);
+  }
+  const std::uint64_t counted_before = counter_.total();
+  const std::uint64_t cross_before = counter_.cross();
+  tx::Transaction transaction;
+  while (source.next(transaction)) {
+    if (transaction.index < warm_parts.size()) {
+      step_forced(transaction, warm_parts[transaction.index]);
+    } else {
+      step(transaction);
+    }
+  }
+  StreamOutcome outcome;
+  outcome.total = counter_.total() - counted_before;
+  outcome.cross = counter_.cross() - cross_before;
+  outcome.shard_sizes = assignment_.sizes();
+  return outcome;
+}
+
+void PlacementPipeline::reserve(std::uint64_t expected_txs) {
+  const auto n = static_cast<std::size_t>(expected_txs);
+  // Bitcoin-like TaN networks carry ~2 edges per node (paper Fig. 2); a
+  // generous factor here only rounds the reservation up.
+  dag_->reserve(n, 2 * n);
+  assignment_.reserve(n);
+  placer_->reserve(expected_txs);
+}
+
 PlacementPipeline make_pipeline(std::string_view method, std::uint32_t k,
                                 std::span<const tx::Transaction> stream,
                                 std::uint64_t seed,
-                                std::span<const std::uint32_t> static_parts) {
-  return PlacementPipeline(
+                                std::span<const std::uint32_t> static_parts,
+                                std::uint64_t expected_txs) {
+  if (expected_txs == 0) expected_txs = stream.size();
+  PlacementPipeline pipeline(
       k, [&](const graph::TanDag& dag) {
-        const PlacerContext context{dag, k, seed, stream, static_parts};
+        const PlacerContext context{dag, k, seed, stream, static_parts,
+                                    expected_txs};
         return PlacerRegistry::instance().make(method, context);
       });
+  if (expected_txs > 0) pipeline.reserve(expected_txs);
+  return pipeline;
 }
 
 }  // namespace optchain::api

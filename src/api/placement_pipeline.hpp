@@ -32,6 +32,7 @@
 #include "placement/shard_assignment.hpp"
 #include "stats/metrics.hpp"
 #include "txmodel/transaction.hpp"
+#include "workload/tx_source.hpp"
 
 namespace optchain::api {
 
@@ -113,6 +114,17 @@ class PlacementPipeline {
   StreamOutcome place_stream(std::span<const tx::Transaction> transactions,
                              std::span<const std::uint32_t> warm_parts = {});
 
+  /// Streams from a pull source without materializing the stream: a
+  /// 10M-transaction run needs O(1) transactions in memory (the pipeline's
+  /// own per-tx state — dag, assignment, scorer — is pre-sized from the
+  /// source's size hint).
+  StreamOutcome place_stream(workload::TxSource& source,
+                             std::span<const std::uint32_t> warm_parts = {});
+
+  /// Pre-sizes everything that scales with the stream: the TaN dag (nodes +
+  /// ~2n edges), the assignment table and the placer's per-transaction state.
+  void reserve(std::uint64_t expected_txs);
+
   std::uint32_t k() const noexcept { return assignment_.k(); }
   /// Transactions placed so far.
   std::uint64_t total() const noexcept { return assignment_.total(); }
@@ -143,16 +155,24 @@ class PlacementPipeline {
   stats::CrossTxCounter counter_;
   /// Decision cached by preview() for the next index, if any.
   std::optional<std::pair<tx::TxIndex, placement::ShardId>> previewed_;
+  /// Scratch Nin(u) buffer reused across steps (allocation-free steady
+  /// state).
+  std::vector<tx::TxIndex> inputs_scratch_;
 };
 
 /// One-stop construction through the PlacerRegistry: builds the pipeline and
 /// the named strategy over it. `stream` is the full batch when known up front
-/// (Metis and the capacity-capped methods need it); `static_parts` feeds the
-/// "Static" strategy.
+/// (Metis needs it); `static_parts` feeds the "Static" strategy.
+/// `expected_txs` is the stream-length hint for streamed runs where the
+/// batch is NOT materialized — it sizes the capacity caps of the
+/// capacity-capped methods (Greedy, T2S) and pre-reserves the pipeline
+/// (dag/assignment/scorer). When a non-empty `stream` is given its length is
+/// used automatically.
 PlacementPipeline make_pipeline(std::string_view method, std::uint32_t k,
                                 std::span<const tx::Transaction> stream = {},
                                 std::uint64_t seed = 1,
                                 std::span<const std::uint32_t> static_parts =
-                                    {});
+                                    {},
+                                std::uint64_t expected_txs = 0);
 
 }  // namespace optchain::api

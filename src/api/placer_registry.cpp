@@ -103,11 +103,12 @@ void register_builtin_placers(PlacerRegistry& registry) {
   registry.register_placer("T2S", [](const PlacerContext& context) {
     core::OptChainConfig config;  // ε-capped, no L2S (paper §IV.B)
     config.l2s_weight = 0.0;
-    config.expected_txs = context.stream.size();
+    config.expected_txs = context.stream_size_hint();
     return std::make_unique<core::OptChainPlacer>(context.dag, config, "T2S");
   });
   registry.register_placer("Greedy", [](const PlacerContext& context) {
-    return std::make_unique<placement::GreedyPlacer>(context.stream.size());
+    return std::make_unique<placement::GreedyPlacer>(
+        context.stream_size_hint());
   });
   registry.register_placer("OmniLedger", [](const PlacerContext&) {
     return std::make_unique<placement::RandomPlacer>();

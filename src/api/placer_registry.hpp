@@ -40,11 +40,20 @@ struct PlacerContext {
   std::uint64_t seed = 1;
   /// The full stream, when known up front. Metis partitions it offline;
   /// Greedy and T2S derive their (1 + ε)·⌊n/k⌋ capacity caps from its
-  /// length. An empty span means "stream length unknown" — capacity caps
-  /// are disabled and Metis is unavailable.
+  /// length. An empty span means "stream is not materialized" — Metis is
+  /// unavailable, and capacity caps fall back to expected_txs.
   std::span<const tx::Transaction> stream = {};
   /// Precomputed partition for the "Static" strategy (part id per tx index).
   std::span<const std::uint32_t> static_parts = {};
+  /// Stream-length hint for streamed runs where the batch is not
+  /// materialized (0 = unknown). stream_size_hint() folds the two sources.
+  std::uint64_t expected_txs = 0;
+
+  /// The best known stream length: the materialized stream's size, else the
+  /// explicit hint, else 0 (unknown — capacity caps disabled).
+  std::uint64_t stream_size_hint() const noexcept {
+    return stream.empty() ? expected_txs : stream.size();
+  }
 };
 
 class PlacerRegistry {

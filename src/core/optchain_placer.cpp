@@ -23,32 +23,49 @@ placement::ShardId OptChainPlacer::choose(
   const std::uint32_t k = assignment.k();
   OPTCHAIN_EXPECTS(request.index < dag_.num_nodes());
 
-  // Step 1-2: normalized T2S scores (all-zero for coinbase).
-  last_scores_ = scorer_.score(dag_, request.index, assignment);
+  // Step 1-2: normalized T2S scores (all-zero for coinbase), computed into
+  // the reused member buffer.
+  scorer_.score(dag_, request.index, assignment, last_scores_);
 
   // Step 3: subtract the weighted L2S expectation when timing data exists.
   if (!request.timings.empty() && config_.l2s_weight > 0.0) {
     OPTCHAIN_EXPECTS(request.timings.size() == k);
-    const std::vector<placement::ShardId> input_shards =
-        assignment.input_shards(request.input_txs);
-    const std::vector<double> l2s =
-        l2s_.score_all(request.timings, input_shards);
+    assignment.input_shards(request.input_txs, input_shards_scratch_);
+    l2s_.score_all(request.timings, input_shards_scratch_, l2s_scratch_);
     for (std::uint32_t j = 0; j < k; ++j) {
-      last_scores_[j] -= config_.l2s_weight * l2s[j];
+      last_scores_[j] -= config_.l2s_weight * l2s_scratch_[j];
     }
   }
-
-  // Optional capacity cap (T2S-based variant): full shards are ineligible.
-  const std::uint64_t cap =
-      config_.expected_txs == 0
-          ? std::numeric_limits<std::uint64_t>::max()
-          : static_cast<std::uint64_t>(
-                (1.0 + config_.epsilon) *
-                static_cast<double>(config_.expected_txs / k));
 
   // Step 4: argmax of temporal fitness. Ties (typically all-zero coinbase
   // scores without timing data) go to the smaller shard, keeping startup
   // placement balanced; final tie on the lower shard id for determinism.
+  if (config_.expected_txs == 0) {
+    // No capacity cap (full OptChain): every shard is eligible, so the loop
+    // reduces to a running (score, size) argmax whose common case — a score
+    // strictly below the incumbent, true for the ~k-|support| zero entries
+    // of a sparse T2S vector — is a single compare, no size loads.
+    placement::ShardId best = 0;
+    double best_score = last_scores_[0];
+    std::uint64_t best_size = assignment.size_of(0);
+    for (std::uint32_t j = 1; j < k; ++j) {
+      const double score = last_scores_[j];
+      if (score < best_score) continue;
+      const std::uint64_t size = assignment.size_of(j);
+      if (score > best_score || size < best_size) {
+        best = j;
+        best_score = score;
+        best_size = size;
+      }
+    }
+    return best;
+  }
+
+  // Capacity cap (1 + ε)·⌊n/k⌋ (T2S-based variant): full shards are
+  // ineligible.
+  const std::uint64_t cap = static_cast<std::uint64_t>(
+      (1.0 + config_.epsilon) *
+      static_cast<double>(config_.expected_txs / k));
   placement::ShardId best = placement::kUnplaced;
   for (std::uint32_t j = 0; j < k; ++j) {
     if (assignment.size_of(j) >= cap) continue;

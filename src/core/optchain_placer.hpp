@@ -57,6 +57,11 @@ class OptChainPlacer final : public placement::Placer {
   void notify_placed(const placement::PlacementRequest& request,
                      placement::ShardId shard) override;
 
+  /// Pre-sizes the T2S score store for the expected stream length.
+  void reserve(std::uint64_t expected_txs) override {
+    scorer_.reserve(expected_txs);
+  }
+
   std::string_view name() const noexcept override { return label_; }
 
   const T2sScorer& scorer() const noexcept { return scorer_; }
@@ -72,6 +77,9 @@ class OptChainPlacer final : public placement::Placer {
   T2sScorer scorer_;
   latency::L2sEstimator l2s_;
   std::vector<double> last_scores_;
+  // Scratch reused across choose() calls (allocation-free steady state).
+  std::vector<placement::ShardId> input_shards_scratch_;
+  std::vector<double> l2s_scratch_;
 };
 
 }  // namespace optchain::core

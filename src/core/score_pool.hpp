@@ -1,0 +1,138 @@
+// ScorePool — append-only paged slab storage for sparse T2S score vectors.
+//
+// The incremental T2S scheme (paper §IV.B) works because p'(v) is *final*
+// once v has been placed, so the natural storage is one append per node. A
+// vector<vector<ScoreEntry>> pays a heap allocation (plus malloc metadata
+// and pointer-chasing) per node — ruinous at 10M nodes. The pool instead
+// bump-allocates entries out of large contiguous pages and keeps one
+// {page, offset, len} handle per node: appending is a memcpy into the
+// current page, reading is a span, and steady-state growth performs one
+// allocation per page (65k entries), not per node.
+//
+// One wrinkle: the scorer finalizes the *latest* node after placement by
+// adding α to its own shard's entry, which may need to INSERT an entry. The
+// pool therefore reserves one slack slot after every append; commit_to_last
+// can grow the last vector in place, and the next append reclaims the slot
+// if it went unused (the bump pointer is rewound). Net waste: zero.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace optchain::core {
+
+/// One sparse entry of a p' vector.
+struct ScoreEntry {
+  std::uint32_t shard;
+  double value;
+};
+
+class ScorePool {
+ public:
+  static constexpr std::uint32_t kDefaultPageEntries = 1u << 16;
+
+  explicit ScorePool(std::uint32_t page_entries = kDefaultPageEntries)
+      : page_entries_(page_entries) {
+    OPTCHAIN_EXPECTS(page_entries_ >= 2);
+  }
+
+  /// Pre-sizes the handle table (and the page directory) for an expected
+  /// node count.
+  void reserve(std::size_t nodes) {
+    handles_.reserve(nodes);
+    // ~entries-per-node is workload-dependent; reserving the directory is
+    // cheap either way (one pointer per 65k entries).
+    pages_.reserve(nodes / page_entries_ + 1);
+  }
+
+  std::size_t num_nodes() const noexcept { return handles_.size(); }
+  std::size_t total_entries() const noexcept { return total_entries_; }
+
+  std::span<const ScoreEntry> vector_of(std::uint32_t node) const noexcept {
+    OPTCHAIN_EXPECTS(node < handles_.size());
+    const Handle& handle = handles_[node];
+    return {pages_[handle.page].get() + handle.offset, handle.len};
+  }
+
+  /// Appends the next node's vector (entries sorted by shard id). Reserves
+  /// one extra slot so a following add_to_last() can insert in place.
+  void append_node(std::span<const ScoreEntry> entries) {
+    const auto len = static_cast<std::uint32_t>(entries.size());
+    ScoreEntry* slot = allocate(len + 1);
+    std::copy(entries.begin(), entries.end(), slot);
+    handles_.push_back(Handle{static_cast<std::uint32_t>(pages_.size() - 1),
+                             static_cast<std::uint32_t>(slot - current_page()),
+                             len});
+    total_entries_ += len;
+  }
+
+  /// Adds `value` to the last appended node's entry for `shard`, inserting
+  /// (sorted) into the reserved slack slot if the shard is absent. Only the
+  /// most recent node is mutable — everything older is final by the T2S
+  /// invariant.
+  void add_to_last(std::uint32_t node, std::uint32_t shard, double value) {
+    OPTCHAIN_EXPECTS(!handles_.empty() && node == handles_.size() - 1);
+    Handle& handle = handles_.back();
+    ScoreEntry* begin = pages_[handle.page].get() + handle.offset;
+    ScoreEntry* end = begin + handle.len;
+    ScoreEntry* it = begin;
+    while (it != end && it->shard < shard) ++it;
+    if (it != end && it->shard == shard) {
+      it->value += value;
+      return;
+    }
+    // Insert into the slack slot, keeping shard order. The slot is only
+    // valid while this node is the last allocation, which add_to_last's
+    // precondition guarantees.
+    OPTCHAIN_ASSERT(slack_available_);
+    for (ScoreEntry* p = end; p != it; --p) *p = *(p - 1);
+    *it = {shard, value};
+    ++handle.len;
+    ++total_entries_;
+    slack_available_ = false;
+    ++page_fill_;  // the slack slot became a real entry
+  }
+
+ private:
+  struct Handle {
+    std::uint32_t page;
+    std::uint32_t offset;
+    std::uint32_t len;
+  };
+
+  ScoreEntry* current_page() const noexcept { return pages_.back().get(); }
+
+  /// Bump-allocates `count` contiguous entries, reclaiming the previous
+  /// append's unused slack slot and opening a new page when the current one
+  /// cannot fit the run (oversized runs get a dedicated page).
+  ScoreEntry* allocate(std::uint32_t count) {
+    slack_available_ = true;
+    if (pages_.empty() || page_fill_ + count > page_capacity_back_) {
+      const std::uint32_t page_size = std::max(page_entries_, count);
+      pages_.push_back(std::make_unique<ScoreEntry[]>(page_size));
+      page_capacity_back_ = page_size;
+      page_fill_ = 0;
+    }
+    ScoreEntry* slot = current_page() + page_fill_;
+    page_fill_ += count - 1;  // the +1 slack slot is not counted as filled:
+                              // the next allocate() starts on top of it
+                              // unless add_to_last claimed it
+    return slot;
+  }
+
+  std::uint32_t page_entries_;
+  std::vector<std::unique_ptr<ScoreEntry[]>> pages_;
+  std::uint32_t page_fill_ = 0;           // filled entries in the last page
+  std::uint32_t page_capacity_back_ = 0;  // capacity of the last page
+  bool slack_available_ = false;
+  std::vector<Handle> handles_;
+  std::size_t total_entries_ = 0;
+};
+
+}  // namespace optchain::core

@@ -15,15 +15,16 @@ T2sScorer::T2sScorer(T2sConfig config,
   }
 }
 
-std::vector<double> T2sScorer::score(
-    const graph::TanDag& dag, tx::TxIndex u,
-    const placement::ShardAssignment& assignment) {
-  OPTCHAIN_EXPECTS(u == vectors_.size());  // dense arrival order
+void T2sScorer::score(const graph::TanDag& dag, tx::TxIndex u,
+                      const placement::ShardAssignment& assignment,
+                      std::vector<double>& normalized) {
+  OPTCHAIN_EXPECTS(u == pool_.num_nodes());  // dense arrival order
   OPTCHAIN_EXPECTS(u < dag.num_nodes());
 
   const std::uint32_t k = assignment.k();
   // Accumulate (1 − α) Σ p'(v)/divisor(v) sparsely: collect entries, then
-  // merge by shard id.
+  // merge by shard id. Both scratch buffers retain their capacity across
+  // calls, so the steady-state loop is allocation-free.
   accumulator_.clear();
   for (const graph::NodeId v : dag.inputs(u)) {
     const double divisor =
@@ -32,72 +33,51 @@ std::vector<double> T2sScorer::score(
             : static_cast<double>(std::max<std::uint32_t>(
                   1, declared_outputs_(v)));
     OPTCHAIN_ASSERT(divisor >= 1.0);  // u itself spends v
-    for (const ScoreEntry& entry : vectors_[v]) {
+    for (const ScoreEntry& entry : pool_.vector_of(v)) {
       accumulator_.push_back({entry.shard, entry.value / divisor});
     }
   }
 
-  std::vector<ScoreEntry> merged;
+  merged_.clear();
   if (!accumulator_.empty()) {
     std::sort(accumulator_.begin(), accumulator_.end(),
               [](const ScoreEntry& a, const ScoreEntry& b) {
                 return a.shard < b.shard;
               });
     double total = 0.0;
-    merged.reserve(accumulator_.size());
     for (const ScoreEntry& entry : accumulator_) {
-      if (!merged.empty() && merged.back().shard == entry.shard) {
-        merged.back().value += entry.value;
+      if (!merged_.empty() && merged_.back().shard == entry.shard) {
+        merged_.back().value += entry.value;
       } else {
-        merged.push_back(entry);
+        merged_.push_back(entry);
       }
     }
     const double scale = 1.0 - config_.alpha;
-    for (ScoreEntry& entry : merged) {
+    for (ScoreEntry& entry : merged_) {
       entry.value *= scale;
       total += entry.value;
     }
     // Prune negligible mass to bound per-node memory.
     if (config_.prune_threshold > 0.0 && total > 0.0) {
       const double cutoff = total * config_.prune_threshold;
-      std::erase_if(merged,
+      std::erase_if(merged_,
                     [cutoff](const ScoreEntry& e) { return e.value < cutoff; });
     }
   }
 
-  std::vector<double> normalized(k, 0.0);
-  for (const ScoreEntry& entry : merged) {
+  normalized.assign(k, 0.0);
+  for (const ScoreEntry& entry : merged_) {
     const std::uint64_t shard_size = assignment.size_of(entry.shard);
     if (shard_size > 0) {
       normalized[entry.shard] =
           entry.value / static_cast<double>(shard_size);
     }
   }
-  vectors_.push_back(std::move(merged));
-  return normalized;
+  pool_.append_node(merged_);
 }
 
 void T2sScorer::commit(tx::TxIndex u, std::uint32_t shard) {
-  OPTCHAIN_EXPECTS(u < vectors_.size());
-  auto& vec = vectors_[u];
-  const auto it = std::find_if(
-      vec.begin(), vec.end(),
-      [shard](const ScoreEntry& e) { return e.shard == shard; });
-  if (it != vec.end()) {
-    it->value += config_.alpha;
-  } else {
-    // Keep the vector sorted by shard id for cheap merging downstream.
-    const auto pos = std::find_if(
-        vec.begin(), vec.end(),
-        [shard](const ScoreEntry& e) { return e.shard > shard; });
-    vec.insert(pos, {shard, config_.alpha});
-  }
-}
-
-std::size_t T2sScorer::total_entries() const noexcept {
-  std::size_t total = 0;
-  for (const auto& vec : vectors_) total += vec.size();
-  return total;
+  pool_.add_to_last(u, shard, config_.alpha);
 }
 
 std::vector<std::vector<double>> recompute_all_scores_dense(

@@ -14,7 +14,10 @@
 // p' vectors are stored sparsely (mass decays by (1 − α) per hop, so only a
 // handful of shards carry non-negligible weight); entries below
 // prune_threshold × total are dropped, bounding memory by a small constant
-// per node in practice.
+// per node in practice. Finality is also a storage gift: vectors live in an
+// append-only paged slab (core::ScorePool) — one handle per node, one heap
+// allocation per 65k entries — and score() runs entirely on reused scratch
+// buffers, so the steady-state scoring loop allocates nothing.
 //
 // |Nout(v)| — the out-neighborhood size of v — grows as later transactions
 // spend v's outputs. The divisor policy selects the online reading:
@@ -31,6 +34,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "core/score_pool.hpp"
 #include "graph/dag.hpp"
 #include "placement/shard_assignment.hpp"
 
@@ -48,12 +52,6 @@ struct T2sConfig {
   double prune_threshold = 1e-7;
 };
 
-/// One sparse entry of a p' vector.
-struct ScoreEntry {
-  std::uint32_t shard;
-  double value;
-};
-
 class T2sScorer {
  public:
   /// `declared_outputs(v)` is consulted only under kDeclaredOutputs; it must
@@ -63,31 +61,46 @@ class T2sScorer {
                          declared_outputs = nullptr);
 
   /// Computes p'(u) for the arriving node u (already inserted into `dag`,
-  /// edges included) and caches it. Returns the *normalized* dense T2S score
-  /// vector p(u): p'(u)[i] / |S_i| (zero for empty shards).
-  std::vector<double> score(const graph::TanDag& dag, tx::TxIndex u,
-                            const placement::ShardAssignment& assignment);
+  /// edges included) and caches it. Fills `normalized` with the dense T2S
+  /// score vector p(u): p'(u)[i] / |S_i| (zero for empty shards). The output
+  /// buffer is assign()ed, so a caller that reuses one across calls pays no
+  /// allocation.
+  void score(const graph::TanDag& dag, tx::TxIndex u,
+             const placement::ShardAssignment& assignment,
+             std::vector<double>& normalized);
 
-  /// Finalizes u after placement into `shard`: p'(u)[shard] += α.
+  /// Convenience overload returning a fresh vector.
+  std::vector<double> score(const graph::TanDag& dag, tx::TxIndex u,
+                            const placement::ShardAssignment& assignment) {
+    std::vector<double> normalized;
+    score(dag, u, assignment, normalized);
+    return normalized;
+  }
+
+  /// Finalizes u after placement into `shard`: p'(u)[shard] += α. Only valid
+  /// for the most recently scored node (vectors are final after that).
   void commit(tx::TxIndex u, std::uint32_t shard);
+
+  /// Pre-sizes the score store for an expected stream length.
+  void reserve(std::size_t expected_txs) { pool_.reserve(expected_txs); }
 
   /// Sparse unnormalized vector of a placed (or scored) node.
   std::span<const ScoreEntry> raw_vector(tx::TxIndex u) const {
-    OPTCHAIN_EXPECTS(u < vectors_.size());
-    return vectors_[u];
+    return pool_.vector_of(u);
   }
 
   double alpha() const noexcept { return config_.alpha; }
   const T2sConfig& config() const noexcept { return config_; }
 
   /// Number of sparse entries across all nodes (memory telemetry).
-  std::size_t total_entries() const noexcept;
+  std::size_t total_entries() const noexcept { return pool_.total_entries(); }
 
  private:
   T2sConfig config_;
   std::function<std::uint32_t(tx::TxIndex)> declared_outputs_;
-  std::vector<std::vector<ScoreEntry>> vectors_;  // indexed by TxIndex
-  std::vector<ScoreEntry> accumulator_;           // scratch for score()
+  ScorePool pool_;                        // p' vectors, indexed by TxIndex
+  std::vector<ScoreEntry> accumulator_;   // scratch: gathered input entries
+  std::vector<ScoreEntry> merged_;        // scratch: merged/pruned p'(u)
 };
 
 /// Reference implementation: recomputes every p' vector from scratch by

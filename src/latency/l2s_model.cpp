@@ -95,19 +95,27 @@ double L2sEstimator::score(std::span<const ShardTiming> timings,
 
 std::vector<double> L2sEstimator::score_all(
     std::span<const ShardTiming> timings,
-    std::span<const std::uint32_t> input_shards) const {
+    std::span<const std::uint32_t> input_shards) {
+  std::vector<double> scores;
+  score_all(timings, input_shards, scores);
+  return scores;
+}
+
+void L2sEstimator::score_all(std::span<const ShardTiming> timings,
+                             std::span<const std::uint32_t> input_shards,
+                             std::vector<double>& out) {
   const std::size_t k = timings.size();
-  std::vector<double> scores(k);
+  out.assign(k, 0.0);
   // The proof-gathering set is the input-shard set, independent of the
   // candidate; compute its expectation once.
-  std::vector<ShardTiming> proof_set;
-  proof_set.reserve(input_shards.size());
+  proof_scratch_.clear();
+  proof_scratch_.reserve(input_shards.size());
   for (const std::uint32_t s : input_shards) {
     OPTCHAIN_EXPECTS(s < k);
-    proof_set.push_back(timings[s]);
+    proof_scratch_.push_back(timings[s]);
   }
   const double proof_phase =
-      proof_set.empty() ? 0.0 : expected_max_two_phase(proof_set);
+      proof_scratch_.empty() ? 0.0 : expected_max_two_phase(proof_scratch_);
 
   for (std::uint32_t j = 0; j < k; ++j) {
     const bool same_shard =
@@ -115,14 +123,13 @@ std::vector<double> L2sEstimator::score_all(
         std::all_of(input_shards.begin(), input_shards.end(),
                     [j](std::uint32_t s) { return s == j; });
     if (same_shard) {
-      scores[j] = expected_two_phase(timings[j]);
+      out[j] = expected_two_phase(timings[j]);
     } else if (config_.mode == L2sMode::kPaperSelfConvolution) {
-      scores[j] = 2.0 * proof_phase;
+      out[j] = 2.0 * proof_phase;
     } else {
-      scores[j] = proof_phase + expected_two_phase(timings[j]);
+      out[j] = proof_phase + expected_two_phase(timings[j]);
     }
   }
-  return scores;
 }
 
 }  // namespace optchain::latency

@@ -74,12 +74,23 @@ class L2sEstimator {
                std::uint32_t candidate) const;
 
   /// Scores all k candidates at once (reuses the proof-phase integral across
-  /// candidates that share the same proof set).
+  /// candidates that share the same proof set). Non-const: the proof-set
+  /// scratch buffer is reused across calls, so a shared estimator is not
+  /// concurrently callable — which the signature now says out loud.
   std::vector<double> score_all(std::span<const ShardTiming> timings,
-                                std::span<const std::uint32_t> input_shards) const;
+                                std::span<const std::uint32_t> input_shards);
+
+  /// As above, into a caller-reused buffer (assign semantics) — the per-issue
+  /// hot path of the simulator.
+  void score_all(std::span<const ShardTiming> timings,
+                 std::span<const std::uint32_t> input_shards,
+                 std::vector<double>& out);
 
  private:
   L2sConfig config_;
+  /// Scratch for the proof-gathering set (input-shard timings); reused so
+  /// score_all allocates nothing in steady state.
+  std::vector<ShardTiming> proof_scratch_;
 };
 
 }  // namespace optchain::latency

@@ -5,4 +5,6 @@ namespace optchain::placement {
 void Placer::notify_placed(const PlacementRequest& /*request*/,
                            ShardId /*shard*/) {}
 
+void Placer::reserve(std::uint64_t /*expected_txs*/) {}
+
 }  // namespace optchain::placement

@@ -28,10 +28,24 @@ struct PlacementRequest {
   /// coinbase.
   std::span<const tx::TxIndex> input_txs;
   /// 64-bit transaction hash (txid truncation); drives random placement.
+  /// Usually left 0 with `transaction` set instead — hash() then derives it
+  /// on demand, so strategies that never look at it (OptChain, Greedy, ...)
+  /// never pay the SHA-256.
   std::uint64_t hash64 = 0;
+  /// The transaction being placed, when the caller has it (the pipeline
+  /// always sets it). Strategies needing fields beyond the TaN neighborhood
+  /// (the txid hash, output counts) read it lazily.
+  const tx::Transaction* transaction = nullptr;
   /// Client-observed per-shard timing estimates for the L2S score; empty when
   /// no latency information is available (placement-only experiments).
   std::span<const latency::ShardTiming> timings;
+
+  /// The hash driving random placement: hash64 when set explicitly,
+  /// otherwise computed from the transaction.
+  std::uint64_t hash() const {
+    if (hash64 != 0 || transaction == nullptr) return hash64;
+    return transaction->txid().low64();
+  }
 };
 
 class Placer {
@@ -44,6 +58,11 @@ class Placer {
 
   /// Called after the decision has been recorded in the assignment.
   virtual void notify_placed(const PlacementRequest& request, ShardId shard);
+
+  /// Size hint: the stream is expected to carry `expected_txs` transactions.
+  /// Stateful strategies pre-size their per-transaction stores (OptChain's
+  /// ScorePool); the default does nothing.
+  virtual void reserve(std::uint64_t expected_txs);
 
   virtual std::string_view name() const noexcept = 0;
 };

@@ -15,7 +15,7 @@ class RandomPlacer final : public Placer {
  public:
   ShardId choose(const PlacementRequest& request,
                  const ShardAssignment& assignment) override {
-    return static_cast<ShardId>(request.hash64 % assignment.k());
+    return static_cast<ShardId>(request.hash() % assignment.k());
   }
 
   std::string_view name() const noexcept override { return "OmniLedger"; }

@@ -7,14 +7,20 @@ namespace optchain::placement {
 std::vector<ShardId> ShardAssignment::input_shards(
     std::span<const tx::TxIndex> inputs) const {
   std::vector<ShardId> shards;
-  shards.reserve(inputs.size());
+  input_shards(inputs, shards);
+  return shards;
+}
+
+void ShardAssignment::input_shards(std::span<const tx::TxIndex> inputs,
+                                   std::vector<ShardId>& out) const {
+  out.clear();
+  out.reserve(inputs.size());
   for (const tx::TxIndex input : inputs) {
     const ShardId s = shard_of(input);
-    if (std::find(shards.begin(), shards.end(), s) == shards.end()) {
-      shards.push_back(s);
+    if (std::find(out.begin(), out.end(), s) == out.end()) {
+      out.push_back(s);
     }
   }
-  return shards;
 }
 
 bool ShardAssignment::is_cross_shard(std::span<const tx::TxIndex> inputs,

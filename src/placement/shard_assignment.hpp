@@ -47,9 +47,17 @@ class ShardAssignment {
   std::uint64_t total() const noexcept { return shard_of_.size(); }
   const std::vector<std::uint64_t>& sizes() const noexcept { return sizes_; }
 
+  /// Pre-sizes the per-transaction table for an expected stream length.
+  void reserve(std::size_t expected_txs) { shard_of_.reserve(expected_txs); }
+
   /// Distinct shards containing the given (already placed) transactions —
   /// the input-shard set Sin(u). Order is first-seen.
   std::vector<ShardId> input_shards(std::span<const tx::TxIndex> inputs) const;
+
+  /// As above, into a caller-reused buffer (assign semantics): the hot
+  /// placement loop calls this once per cross-candidate transaction.
+  void input_shards(std::span<const tx::TxIndex> inputs,
+                    std::vector<ShardId>& out) const;
 
   /// A transaction with the given inputs, placed into `shard`, is cross-shard
   /// iff some input lives elsewhere (Sin(u) ≠ {S(u)}; coinbase is never

@@ -35,36 +35,38 @@ void ShardNode::try_start_round() {
 
   const std::uint32_t take = static_cast<std::uint32_t>(
       std::min<std::size_t>(queue_.size(), model_.config().txs_per_block));
-  std::vector<QueueItem> block;
-  block.reserve(take);
+  round_block_.clear();
   for (std::uint32_t i = 0; i < take; ++i) {
-    block.push_back(queue_.front());
+    round_block_.push_back(queue_.front());
     queue_.pop_front();
   }
 
   round_in_progress_ = true;
   double duration = model_.round_duration(take) * faults_.slowdown;
+  bool view_change = false;
   if (faults_.leader_fault_rate > 0.0 &&
       fault_rng_.bernoulli(faults_.leader_fault_rate)) {
     duration += faults_.view_change_penalty_s;
+    view_change = true;
     ++view_changes_;
   }
-  events_.schedule_in(duration,
-                      [this, block = std::move(block), duration]() mutable {
-                        finish_round(std::move(block), duration);
-                      });
+  round_duration_ = duration;
+  events_.schedule_in(duration, Event::round_complete(id_, view_change));
 }
 
-void ShardNode::finish_round(std::vector<QueueItem> block, double duration) {
+void ShardNode::complete_round() {
   OPTCHAIN_ASSERT(round_in_progress_);
   round_in_progress_ = false;
   ++blocks_committed_;
-  items_committed_ += block.size();
+  items_committed_ += round_block_.size();
   // Clients estimate verification time from the most recent observed round;
   // faults and slowdowns are visible to them through this value.
-  last_round_duration_ = duration;
+  last_round_duration_ = round_duration_;
   const SimTime now = events_.now();
-  for (const QueueItem& item : block) on_commit_(id_, item, now);
+  // The commit callback never enqueues into this shard synchronously (every
+  // protocol reaction travels through the event queue), so iterating the
+  // member block buffer is safe until try_start_round() refills it below.
+  for (const QueueItem& item : round_block_) on_commit_(id_, item, now);
   try_start_round();
 }
 

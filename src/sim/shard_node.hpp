@@ -9,9 +9,13 @@
 //
 // The leader packs up to txs_per_block queued items into a block whenever it
 // is not already running a round; the round's duration comes from the
-// ConsensusModel. When a round finishes, every item in the block is reported
-// through the commit callback (proof-of-acceptance for locks, final commit
-// for the others).
+// ConsensusModel. Round completion is scheduled as a typed kBlockCommit /
+// kViewChange event carrying this shard's id; whoever dispatches the event
+// queue (the Simulation, or a test harness) routes it back via
+// complete_round(), which reports every item in the block through the commit
+// callback (proof-of-acceptance for locks, final commit for the others).
+// The in-flight block lives in a member buffer reused across rounds, so the
+// steady-state block loop performs no heap allocation.
 #pragma once
 
 #include <cstddef>
@@ -67,6 +71,24 @@ class ShardNode {
   /// block round if the leader is idle.
   void enqueue(const QueueItem& item);
 
+  /// Completes the round whose kBlockCommit / kViewChange event just fired:
+  /// commits the in-flight block and starts the next round if work is queued.
+  /// The event-queue dispatcher must route round events here (see
+  /// route_round_event for the common case).
+  void complete_round();
+
+  /// True if `event` is a round-completion event addressed to this shard;
+  /// routes it via complete_round(). Convenience for dispatch switches.
+  bool route_round_event(const Event& event) {
+    if ((event.type != EventType::kBlockCommit &&
+         event.type != EventType::kViewChange) ||
+        event.shard != id_) {
+      return false;
+    }
+    complete_round();
+    return true;
+  }
+
   std::uint32_t id() const noexcept { return id_; }
   const Position& leader_position() const noexcept { return leader_position_; }
   std::size_t queue_size() const noexcept { return queue_.size(); }
@@ -83,7 +105,6 @@ class ShardNode {
 
  private:
   void try_start_round();
-  void finish_round(std::vector<QueueItem> block, double duration);
 
   std::uint32_t id_;
   Position leader_position_;
@@ -94,6 +115,8 @@ class ShardNode {
   Rng fault_rng_;
 
   std::deque<QueueItem> queue_;
+  std::vector<QueueItem> round_block_;  // in-flight block, reused per round
+  double round_duration_ = 0.0;         // duration of the in-flight round
   bool round_in_progress_ = false;
   std::uint64_t blocks_committed_ = 0;
   std::uint64_t items_committed_ = 0;

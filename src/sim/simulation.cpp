@@ -1,7 +1,6 @@
 #include "sim/simulation.hpp"
 
 #include <algorithm>
-#include <functional>
 
 #include "common/assert.hpp"
 
@@ -35,26 +34,31 @@ Simulation::Simulation(SimConfig config)
   }
 }
 
-std::vector<latency::ShardTiming> Simulation::observe_timings() const {
+void Simulation::observe_timings() {
   // What a client can see of each shard (paper §IV.C): the round-trip time it
   // samples itself, and a verification-time estimate formed from the shard's
   // recent consensus duration scaled by the mempool backlog.
-  std::vector<latency::ShardTiming> timings(shards_.size());
+  timings_.resize(shards_.size());
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     const ShardNode& shard = *shards_[s];
-    timings[s].mean_comm =
+    timings_[s].mean_comm =
         2.0 * network_.propagation_delay(client_position_,
                                          shard.leader_position());
     const double backlog_blocks =
         static_cast<double>(shard.queue_size()) /
         static_cast<double>(config_.consensus.txs_per_block);
-    timings[s].mean_verify =
+    timings_[s].mean_verify =
         shard.last_round_duration() * (1.0 + backlog_blocks);
   }
-  return timings;
 }
 
 SimResult Simulation::run(std::span<const tx::Transaction> transactions,
+                          api::PlacementPipeline& pipeline) {
+  workload::SpanTxSource source(transactions);
+  return run(source, pipeline);
+}
+
+SimResult Simulation::run(workload::TxSource& source,
                           api::PlacementPipeline& pipeline) {
   OPTCHAIN_EXPECTS(pipeline.k() == config_.num_shards);
   // Fresh pipeline only: nothing placed AND nothing previewed (a stale
@@ -62,94 +66,53 @@ SimResult Simulation::run(std::span<const tx::Transaction> transactions,
   // timing view).
   OPTCHAIN_EXPECTS(pipeline.total() == 0);
   OPTCHAIN_EXPECTS(pipeline.dag().num_nodes() == 0);
-  const std::uint64_t n = transactions.size();
-  transactions_ = transactions;
-  issue_time_.assign(n, 0.0);
-  pending_.assign(n, PendingCross{});
+
+  source_ = &source;
+  pipeline_ = &pipeline;
+  assignment_ = &pipeline.assignment();
+  issued_ = 0;
+  outstanding_ = 0;
+  committed_ = 0;
+  inflight_.clear();
   outpoint_state_.clear();
-  remaining_ = n;
 
   result_ = SimResult{};
   result_.placer_name = std::string(pipeline.method_name());
-  result_.total_txs = n;
   result_.commits_per_window = stats::WindowCounter(config_.commit_window_s);
 
-  assignment_ = &pipeline.assignment();
-  constexpr std::uint64_t kMinPayloadBytes = 512;
-
-  // Issue events are chained — each schedules the next — to keep the event
-  // heap small. issue_fn lives on this frame, which outlives the event queue
-  // processing loop below.
-  std::function<void(std::uint32_t)> issue_fn = [&](std::uint32_t index) {
-    const tx::Transaction& transaction = transactions_[index];
-    OPTCHAIN_ASSERT(transaction.index == index);
-    issue_time_[index] = events_.now();
-
-    // Client-side placement with the client's current view of shard timings
-    // for the L2S term. The pipeline handles the TaN registration, the
-    // decision and the placer bookkeeping.
-    const std::vector<latency::ShardTiming> timings = observe_timings();
-    const api::StepResult placed = pipeline.step(transaction, timings);
-    const placement::ShardId target = placed.shard;
-
-    // Dispatch into the cross-shard protocol.
-    const std::uint64_t payload =
-        std::max<std::uint64_t>(transaction.serialized_size(),
-                                kMinPayloadBytes);
-    if (!placed.cross) {
-      ShardNode& shard = *shards_[target];
-      events_.schedule_in(
-          network_.message_delay(client_position_, shard.leader_position(),
-                                 payload),
-          [&shard, index] {
-            shard.enqueue(QueueItem{index, ItemKind::kSameShard});
-          });
-    } else {
-      ++result_.cross_txs;
-      pending_[index].remaining_locks =
-          static_cast<std::uint32_t>(placed.input_shards.size());
-      pending_[index].output_shard = target;
-      for (const placement::ShardId s : placed.input_shards) {
-        ShardNode& shard = *shards_[s];
-        events_.schedule_in(
-            network_.message_delay(client_position_, shard.leader_position(),
-                                   payload),
-            [&shard, index] {
-              shard.enqueue(QueueItem{index, ItemKind::kLock});
-            });
-      }
-    }
-
-    // 4. Chain the next issue event at its nominal time index/rate.
-    const std::uint32_t next = index + 1;
-    if (next < transactions_.size()) {
-      const double next_time =
-          static_cast<double>(next) / config_.tx_rate_tps;
-      events_.schedule(next_time, [&issue_fn, next] { issue_fn(next); });
-    }
-  };
-
-  if (n > 0) {
-    events_.schedule(0.0, [&issue_fn] { issue_fn(0); });
+  const auto hint = source.size_hint();
+  if (hint.has_value()) {
+    // Pre-size everything that scales with the stream so the run never
+    // rehashes or reallocates per-transaction state mid-flight: the
+    // lock/spend ledger sees ~2 entries per transaction on Bitcoin-like
+    // workloads, and the pipeline forwards the hint to its dag, assignment
+    // and placer (TanDag::reserve / ScorePool::reserve).
+    outpoint_state_.reserve(static_cast<std::size_t>(*hint * 2));
+    pipeline.reserve(*hint);
   }
+  inflight_.reserve(1024);
+  events_.reserve(4096);
 
+  // The issue chain pulls one transaction ahead: the prefetched transaction
+  // is what the pending kTxIssue event will issue, and its existence is what
+  // tells us whether to chain another issue event (the stream length need
+  // not be known).
+  staged_valid_ = source_->next(staged_);
+  if (staged_valid_) {
+    events_.schedule(0.0, Event::tx_issue(0));
+  }
   // Periodic queue sampling (Figs. 6-7); stops once everything committed.
-  std::function<void()> sampler = [this, &sampler] {
-    sample_queues();
-    if (remaining_ > 0) {
-      events_.schedule_in(config_.queue_sample_interval_s, sampler);
-    }
-  };
-  events_.schedule(0.0, sampler);
+  events_.schedule(0.0, Event::queue_sample());
 
-  while (remaining_ > 0 && !events_.empty() &&
+  while (work_remaining() && !events_.empty() &&
          events_.now() <= config_.max_sim_time_s) {
-    events_.run_one();
+    events_.run_one(*this);
     ++result_.total_events;
   }
 
-  result_.committed_txs = n - remaining_ - result_.aborted_txs;
-  result_.completed = (remaining_ == 0);
+  result_.total_txs = hint.has_value() ? *hint : issued_;
+  result_.committed_txs = committed_;
+  result_.completed = !work_remaining();
   if (result_.latencies.count() > 0) {
     result_.avg_latency_s = result_.latencies.average();
     result_.max_latency_s = result_.latencies.maximum();
@@ -163,34 +126,126 @@ SimResult Simulation::run(std::span<const tx::Transaction> transactions,
   }
   result_.final_shard_sizes = pipeline.assignment().sizes();
   assignment_ = nullptr;
+  pipeline_ = nullptr;
+  source_ = nullptr;
   return result_;
 }
 
-std::vector<tx::OutPoint> Simulation::inputs_owned_by(
-    std::uint32_t index, std::uint32_t shard) const {
-  std::vector<tx::OutPoint> owned;
-  for (const tx::OutPoint& point : transactions_[index].inputs) {
-    if (assignment_->shard_of(point.tx) == shard) owned.push_back(point);
+void Simulation::on_event(const Event& event) {
+  switch (event.type) {
+    case EventType::kTxIssue:
+      issue_transaction(event.tx);
+      break;
+    case EventType::kTxDeliver:
+      shards_[event.shard]->enqueue(QueueItem{event.tx, ItemKind::kSameShard});
+      break;
+    case EventType::kLockRequest:
+      shards_[event.shard]->enqueue(QueueItem{event.tx, ItemKind::kLock});
+      break;
+    case EventType::kUnlockCommit:
+      shards_[event.shard]->enqueue(QueueItem{event.tx, ItemKind::kCommit});
+      break;
+    case EventType::kProof:
+      handle_proof(event.tx, event.flag != 0, event.shard);
+      break;
+    case EventType::kUnlockAbort: {
+      release_locks(event.tx, event.shard);
+      Inflight& flight = inflight_.at(event.tx);
+      OPTCHAIN_ASSERT(flight.releases_in_flight > 0);
+      --flight.releases_in_flight;
+      erase_if_settled(event.tx);
+      break;
+    }
+    case EventType::kBlockCommit:
+    case EventType::kViewChange:
+      shards_[event.shard]->complete_round();
+      break;
+    case EventType::kQueueSample:
+      sample_queues();
+      if (work_remaining()) {
+        events_.schedule_in(config_.queue_sample_interval_s,
+                            Event::queue_sample());
+      }
+      break;
+    case EventType::kGossipHop:
+      OPTCHAIN_ASSERT(false);  // tree gossip runs on its own queue
+      break;
   }
-  return owned;
+}
+
+void Simulation::issue_transaction(std::uint32_t index) {
+  OPTCHAIN_ASSERT(staged_valid_);
+  OPTCHAIN_ASSERT(staged_.index == index);
+  constexpr std::uint64_t kMinPayloadBytes = 512;
+
+  Inflight flight;
+  flight.issue_time = events_.now();
+
+  // Client-side placement with the client's current view of shard timings
+  // for the L2S term. The pipeline handles the TaN registration, the
+  // decision and the placer bookkeeping.
+  observe_timings();
+  const api::StepResult placed = pipeline_->step(staged_, timings_);
+  const placement::ShardId target = placed.shard;
+
+  // Dispatch into the cross-shard protocol.
+  const std::uint64_t payload =
+      std::max<std::uint64_t>(staged_.serialized_size(), kMinPayloadBytes);
+  if (!placed.cross) {
+    events_.schedule_in(
+        network_.message_delay(client_position_,
+                               shards_[target]->leader_position(), payload),
+        Event::deliver(EventType::kTxDeliver, target, index));
+  } else {
+    ++result_.cross_txs;
+    flight.cross.remaining_locks =
+        static_cast<std::uint32_t>(placed.input_shards.size());
+    flight.cross.output_shard = target;
+    for (const placement::ShardId s : placed.input_shards) {
+      events_.schedule_in(
+          network_.message_delay(client_position_,
+                                 shards_[s]->leader_position(), payload),
+          Event::deliver(EventType::kLockRequest, s, index));
+    }
+  }
+
+  // The protocol only needs the inputs from here on; steal them instead of
+  // copying (staged_ is overwritten by the prefetch below anyway).
+  flight.inputs = std::move(staged_.inputs);
+  inflight_.emplace(index, std::move(flight));
+  ++outstanding_;
+  ++issued_;
+
+  // Chain the next issue event at its nominal time index/rate, if the
+  // stream has one.
+  staged_valid_ = source_->next(staged_);
+  if (staged_valid_) {
+    const double next_time =
+        static_cast<double>(index + 1) / config_.tx_rate_tps;
+    events_.schedule(next_time, Event::tx_issue(index + 1));
+  }
 }
 
 bool Simulation::try_lock_inputs(std::uint32_t index, std::uint32_t shard) {
-  const std::vector<tx::OutPoint> owned = inputs_owned_by(index, shard);
-  for (const tx::OutPoint& point : owned) {
+  const Inflight& flight = inflight_.at(index);
+  for (const tx::OutPoint& point : flight.inputs) {
+    if (assignment_->shard_of(point.tx) != shard) continue;
     const auto it = outpoint_state_.find(outpoint_key(point));
     if (it != outpoint_state_.end() && it->second.second != index) {
       return false;  // held or spent by a conflicting transaction
     }
   }
-  for (const tx::OutPoint& point : owned) {
+  for (const tx::OutPoint& point : flight.inputs) {
+    if (assignment_->shard_of(point.tx) != shard) continue;
     outpoint_state_[outpoint_key(point)] = {OutpointState::kLocked, index};
   }
   return true;
 }
 
 void Simulation::release_locks(std::uint32_t index, std::uint32_t shard) {
-  for (const tx::OutPoint& point : inputs_owned_by(index, shard)) {
+  const Inflight& flight = inflight_.at(index);
+  for (const tx::OutPoint& point : flight.inputs) {
+    if (assignment_->shard_of(point.tx) != shard) continue;
     const auto it = outpoint_state_.find(outpoint_key(point));
     if (it != outpoint_state_.end() &&
         it->second == std::make_pair(OutpointState::kLocked, index)) {
@@ -200,7 +255,8 @@ void Simulation::release_locks(std::uint32_t index, std::uint32_t shard) {
 }
 
 void Simulation::spend_inputs(std::uint32_t index) {
-  for (const tx::OutPoint& point : transactions_[index].inputs) {
+  const Inflight& flight = inflight_.at(index);
+  for (const tx::OutPoint& point : flight.inputs) {
     auto& entry = outpoint_state_[outpoint_key(point)];
     OPTCHAIN_ASSERT(entry.first != OutpointState::kSpent ||
                     entry.second == index);
@@ -219,6 +275,8 @@ void Simulation::on_item_committed(std::uint32_t shard, const QueueItem& item,
         commit_transaction(item.tx, time);
       } else {
         abort_transaction(item.tx, time);
+        inflight_.at(item.tx).aborted = true;
+        erase_if_settled(item.tx);
       }
       break;
     }
@@ -233,16 +291,15 @@ void Simulation::on_item_committed(std::uint32_t shard, const QueueItem& item,
       // the output committee in RapidChain.
       const std::uint32_t index = item.tx;
       const bool accepted = try_lock_inputs(index, shard);
-      ShardNode& origin = *shards_[shard];
+      const ShardNode& origin = *shards_[shard];
       const Position decision_point =
           config_.protocol == ProtocolMode::kOmniLedger
               ? client_position_
-              : shards_[pending_[index].output_shard]->leader_position();
+              : shards_[inflight_.at(index).cross.output_shard]
+                    ->leader_position();
       const double delay = network_.message_delay(
           origin.leader_position(), decision_point, config_.proof_bytes);
-      events_.schedule_in(delay, [this, index, accepted, shard] {
-        handle_proof(index, accepted, shard);
-      });
+      events_.schedule_in(delay, Event::proof(index, shard, accepted));
       break;
     }
   }
@@ -250,7 +307,8 @@ void Simulation::on_item_committed(std::uint32_t shard, const QueueItem& item,
 
 void Simulation::handle_proof(std::uint32_t index, bool accepted,
                               std::uint32_t from_shard) {
-  PendingCross& pending = pending_[index];
+  Inflight& flight = inflight_.at(index);
+  PendingCross& pending = flight.cross;
   OPTCHAIN_ASSERT(pending.remaining_locks > 0);
   if (accepted) {
     pending.accepted_shards.push_back(from_shard);
@@ -259,7 +317,7 @@ void Simulation::handle_proof(std::uint32_t index, bool accepted,
   }
   if (--pending.remaining_locks > 0) return;
 
-  ShardNode& output = *shards_[pending.output_shard];
+  const ShardNode& output = *shards_[pending.output_shard];
   const Position decision_point =
       config_.protocol == ProtocolMode::kOmniLedger
           ? client_position_
@@ -269,41 +327,58 @@ void Simulation::handle_proof(std::uint32_t index, bool accepted,
     // All proofs of acceptance: unlock-to-commit to the output shard.
     const double to_output = network_.message_delay(
         decision_point, output.leader_position(), config_.proof_bytes + 512);
-    events_.schedule_in(to_output, [index, &output] {
-      output.enqueue(QueueItem{index, ItemKind::kCommit});
-    });
+    events_.schedule_in(
+        to_output,
+        Event::deliver(EventType::kUnlockCommit, pending.output_shard, index));
     return;
   }
 
   // At least one proof-of-rejection: unlock-to-abort reclaims the locks at
-  // every shard that accepted, and the transaction is abandoned.
+  // every shard that accepted, and the transaction is abandoned. The
+  // in-flight record stays alive until the releases land (they need the
+  // input list).
   for (const std::uint32_t shard : pending.accepted_shards) {
     const double to_shard = network_.message_delay(
         decision_point, shards_[shard]->leader_position(),
         config_.proof_bytes);
-    events_.schedule_in(to_shard, [this, index, shard] {
-      release_locks(index, shard);
-    });
+    events_.schedule_in(to_shard,
+                        Event::deliver(EventType::kUnlockAbort, shard, index));
   }
+  flight.releases_in_flight =
+      static_cast<std::uint32_t>(pending.accepted_shards.size());
+  flight.aborted = true;
   abort_transaction(index, events_.now());
+  erase_if_settled(index);
 }
 
 void Simulation::commit_transaction(std::uint32_t index, SimTime time) {
-  OPTCHAIN_ASSERT(remaining_ > 0);
-  const double latency = time - issue_time_[index];
+  OPTCHAIN_ASSERT(outstanding_ > 0);
+  const auto it = inflight_.find(index);
+  OPTCHAIN_ASSERT(it != inflight_.end());
+  const double latency = time - it->second.issue_time;
   OPTCHAIN_ASSERT(latency >= 0.0);
   result_.latencies.record(latency);
   result_.commits_per_window.record(time);
   result_.duration_s = std::max(result_.duration_s, time);
-  --remaining_;
+  ++committed_;
+  --outstanding_;
+  inflight_.erase(it);
 }
 
 void Simulation::abort_transaction(std::uint32_t index, SimTime time) {
   (void)index;
-  OPTCHAIN_ASSERT(remaining_ > 0);
+  OPTCHAIN_ASSERT(outstanding_ > 0);
   ++result_.aborted_txs;
   result_.duration_s = std::max(result_.duration_s, time);
-  --remaining_;
+  --outstanding_;
+}
+
+void Simulation::erase_if_settled(std::uint32_t index) {
+  const auto it = inflight_.find(index);
+  OPTCHAIN_ASSERT(it != inflight_.end());
+  if (it->second.aborted && it->second.releases_in_flight == 0) {
+    inflight_.erase(it);
+  }
 }
 
 void Simulation::sample_queues() {

@@ -26,6 +26,13 @@
 // latency + bandwidth costs, and every lock/commit consumes mempool and
 // block space at its shard — the mechanism behind every throughput/latency
 // number in the paper's Figs. 3-11.
+//
+// Engine shape: the simulation IS the event dispatcher. Every scheduled
+// action is a typed POD Event (sim/event_queue.hpp) dispatched by the
+// on_event() switch — no per-event closures — and the transaction stream is
+// pulled from a workload::TxSource one transaction at a time, so a run
+// retains only the in-flight transactions (plus the O(1)-per-tx placement
+// state the pipeline owns), not the whole stream.
 #pragma once
 
 #include <cstdint>
@@ -45,6 +52,7 @@
 #include "sim/shard_node.hpp"
 #include "stats/metrics.hpp"
 #include "txmodel/transaction.hpp"
+#include "workload/tx_source.hpp"
 
 namespace optchain::sim {
 
@@ -107,15 +115,19 @@ struct SimResult {
   }
 };
 
-class Simulation {
+class Simulation final : private EventHandler {
  public:
   explicit Simulation(SimConfig config);
 
-  /// Runs the stream through the placement pipeline. The pipeline must be
-  /// fresh (nothing placed yet) and its shard count must match the
-  /// simulation's: its TaN dag fills online as transactions are issued, so a
-  /// placer constructed over it sees exactly the prefix that has arrived.
-  /// The transactions must have dense indices 0..n-1.
+  /// Streams transactions from `source` through the placement pipeline and
+  /// the cross-shard protocol. The pipeline must be fresh (nothing placed
+  /// yet) and its shard count must match the simulation's: its TaN dag fills
+  /// online as transactions are issued, so a placer constructed over it sees
+  /// exactly the prefix that has arrived. The source must yield dense
+  /// indices 0..n-1. Working memory is O(in-flight transactions), not O(n).
+  SimResult run(workload::TxSource& source, api::PlacementPipeline& pipeline);
+
+  /// Convenience for pre-materialized streams (adapts a SpanTxSource).
   SimResult run(std::span<const tx::Transaction> transactions,
                 api::PlacementPipeline& pipeline);
 
@@ -129,28 +141,49 @@ class Simulation {
     std::vector<std::uint32_t> accepted_shards;
   };
 
+  /// Everything the protocol still needs about an issued, not-yet-terminal
+  /// transaction. Erased once the transaction commits (or aborts and every
+  /// unlock-to-abort has released its locks), which is what keeps streamed
+  /// runs at O(in-flight) memory.
+  struct Inflight {
+    double issue_time = 0.0;
+    std::vector<tx::OutPoint> inputs;
+    PendingCross cross;
+    /// Unlock-to-abort messages still traveling after an abort; the entry
+    /// stays alive until they have all released their locks.
+    std::uint32_t releases_in_flight = 0;
+    bool aborted = false;
+  };
+
   enum class OutpointState : std::uint8_t { kLocked, kSpent };
 
+  void on_event(const Event& event) override;
+  void issue_transaction(std::uint32_t index);
   void on_item_committed(std::uint32_t shard, const QueueItem& item,
                          SimTime time);
   void commit_transaction(std::uint32_t index, SimTime time);
   void abort_transaction(std::uint32_t index, SimTime time);
   void sample_queues();
-  std::vector<latency::ShardTiming> observe_timings() const;
+  void observe_timings();
+
+  /// Transactions issued but not yet terminal, or not yet issued: the run
+  /// loop's continue condition (the streaming equivalent of the old
+  /// "remaining > 0").
+  bool work_remaining() const noexcept {
+    return staged_valid_ || outstanding_ > 0;
+  }
 
   static std::uint64_t outpoint_key(const tx::OutPoint& point) noexcept {
     return (static_cast<std::uint64_t>(point.tx) << 32) | point.vout;
   }
-  /// Inputs of `index` whose owning transaction is placed in `shard`.
-  std::vector<tx::OutPoint> inputs_owned_by(std::uint32_t index,
-                                            std::uint32_t shard) const;
-  /// Attempts to lock those inputs for `index`; returns false (and locks
-  /// nothing) if any is held or spent by another transaction.
+  /// Attempts to lock `index`'s inputs owned by `shard`; returns false (and
+  /// locks nothing) if any is held or spent by another transaction.
   bool try_lock_inputs(std::uint32_t index, std::uint32_t shard);
   void release_locks(std::uint32_t index, std::uint32_t shard);
   void spend_inputs(std::uint32_t index);
   void handle_proof(std::uint32_t index, bool accepted,
                     std::uint32_t from_shard);
+  void erase_if_settled(std::uint32_t index);
 
   SimConfig config_;
   EventQueue events_;
@@ -160,15 +193,23 @@ class Simulation {
   std::vector<std::unique_ptr<ShardNode>> shards_;
 
   // Per-run state.
-  std::span<const tx::Transaction> transactions_;
-  std::vector<double> issue_time_;
-  std::vector<PendingCross> pending_;
+  workload::TxSource* source_ = nullptr;
+  tx::Transaction staged_;    // prefetched next transaction (buffer reused)
+  bool staged_valid_ = false;
+  std::uint64_t issued_ = 0;
+  std::uint64_t outstanding_ = 0;  // issued, not yet terminal
+  std::uint64_t committed_ = 0;
+  std::unordered_map<std::uint32_t, Inflight> inflight_;
+  api::PlacementPipeline* pipeline_ = nullptr;
   const placement::ShardAssignment* assignment_ = nullptr;
-  // Lock/spend ledger state per outpoint; absent key = available.
+  std::vector<latency::ShardTiming> timings_;  // scratch for observe_timings
+  // Lock/spend ledger state per outpoint; absent key = available. Spent
+  // entries persist (double-spend detection), so this is the one per-run
+  // structure that grows with the stream — bucket-reserved from the size
+  // hint to avoid rehash storms mid-run.
   std::unordered_map<std::uint64_t, std::pair<OutpointState, std::uint32_t>>
       outpoint_state_;
   SimResult result_;
-  std::uint64_t remaining_ = 0;
 };
 
 }  // namespace optchain::sim

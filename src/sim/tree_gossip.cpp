@@ -13,8 +13,10 @@ namespace {
 /// when the root holds every response. Returns the phase duration.
 ///
 /// Node 0 is the leader; nodes 1..n are validators; the parent of node i
-/// (i >= 1) is (i - 1) / branching.
-class TreePhase {
+/// (i >= 1) is (i - 1) / branching. Messages are typed kGossipHop events
+/// (flag 0 = payload downward to `shard`, flag 1 = response upward to
+/// `shard`), dispatched by the on_event switch below.
+class TreePhase final : public EventHandler {
  public:
   TreePhase(const NetworkModel& network, std::vector<Position> positions,
             std::uint32_t branching, std::uint64_t down_bytes,
@@ -37,9 +39,25 @@ class TreePhase {
     }
     // Deliver downward from the root at t=0.
     deliver_down(0, 0.0);
-    while (events_.run_one()) {
+    while (events_.run_one(*this)) {
     }
     return done_time_;
+  }
+
+  void on_event(const Event& event) override {
+    OPTCHAIN_ASSERT(event.type == EventType::kGossipHop);
+    if (event.flag == 0) {
+      deliver_down(event.shard, events_.now());
+    } else {
+      // A child's response reaches its parent; the parent aggregates once
+      // all children reported — its own response (already validated on the
+      // way down) joins the aggregate.
+      const std::size_t parent = event.shard;
+      OPTCHAIN_ASSERT(pending_children_[parent] > 0);
+      if (--pending_children_[parent] == 0) {
+        respond_up(parent, events_.now());
+      }
+    }
   }
 
  private:
@@ -57,9 +75,9 @@ class TreePhase {
       has_children = true;
       const double delay = network_.message_delay(
           positions_[node], positions_[child], down_bytes_);
-      events_.schedule(ready + delay, [this, child] {
-        deliver_down(child, events_.now());
-      });
+      events_.schedule(
+          ready + delay,
+          Event::gossip(static_cast<std::uint32_t>(child), /*upward=*/false));
     }
     if (!has_children) {
       // Leaf: respond immediately after validation.
@@ -76,14 +94,9 @@ class TreePhase {
     const std::size_t parent = parent_of(node);
     const double delay = network_.message_delay(positions_[node],
                                                 positions_[parent], up_bytes_);
-    events_.schedule(now + delay, [this, parent] {
-      OPTCHAIN_ASSERT(pending_children_[parent] > 0);
-      if (--pending_children_[parent] == 0) {
-        // Parent aggregates once all children reported; its own response
-        // (already validated on the way down) joins the aggregate.
-        respond_up(parent, events_.now());
-      }
-    });
+    events_.schedule(
+        now + delay,
+        Event::gossip(static_cast<std::uint32_t>(parent), /*upward=*/true));
   }
 
   const NetworkModel& network_;

@@ -6,13 +6,18 @@ namespace optchain::tx {
 
 std::vector<TxIndex> Transaction::distinct_input_txs() const {
   std::vector<TxIndex> out;
+  distinct_input_txs(out);
+  return out;
+}
+
+void Transaction::distinct_input_txs(std::vector<TxIndex>& out) const {
+  out.clear();
   out.reserve(inputs.size());
   for (const auto& in : inputs) {
     if (std::find(out.begin(), out.end(), in.tx) == out.end()) {
       out.push_back(in.tx);
     }
   }
-  return out;
 }
 
 Digest256 Transaction::txid() const {

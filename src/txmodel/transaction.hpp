@@ -59,6 +59,10 @@ struct Transaction {
   /// neighborhood Nin (first-seen order).
   std::vector<TxIndex> distinct_input_txs() const;
 
+  /// As above, into a caller-reused buffer (assign semantics): the streaming
+  /// placement loop calls this once per transaction.
+  void distinct_input_txs(std::vector<TxIndex>& out) const;
+
   /// SHA-256 over the canonical little-endian encoding of index, inputs and
   /// outputs. Stable across platforms.
   Digest256 txid() const;

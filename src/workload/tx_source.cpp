@@ -1,0 +1,77 @@
+#include "workload/tx_source.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace optchain::workload {
+namespace {
+
+[[noreturn]] void fail(const std::string& path, tx::TxIndex index,
+                       const std::string& what) {
+  throw std::runtime_error(path + ": tx " + std::to_string(index) + ": " +
+                           what);
+}
+
+}  // namespace
+
+EdgeListFileTxSource::EdgeListFileTxSource(const std::string& path)
+    : file_(path), path_(path) {
+  if (!file_) throw std::runtime_error("cannot open TaN dataset: " + path);
+}
+
+bool EdgeListFileTxSource::next(tx::Transaction& out) {
+  while (std::getline(file_, line_)) {
+    if (line_.empty() || line_[0] == '#') continue;
+
+    const std::size_t colon = line_.find(':');
+    if (colon == std::string::npos) fail(path_, next_index_, "missing ':'");
+
+    std::uint32_t index = 0;
+    const auto [iptr, iec] =
+        std::from_chars(line_.data(), line_.data() + colon, index);
+    if (iec != std::errc{} || iptr != line_.data() + colon) {
+      fail(path_, next_index_, "bad transaction index");
+    }
+    if (index != next_index_) {
+      fail(path_, next_index_, "non-dense transaction index");
+    }
+
+    out.index = index;
+    out.inputs.clear();
+    out.outputs.clear();
+    const char* cursor = line_.data() + colon + 1;
+    const char* end = line_.data() + line_.size();
+    while (cursor < end) {
+      while (cursor < end && *cursor == ' ') ++cursor;
+      if (cursor == end) break;
+      std::uint32_t input = 0;
+      const auto [ptr, ec] = std::from_chars(cursor, end, input);
+      if (ec != std::errc{}) fail(path_, next_index_, "bad input index");
+      if (input >= index) fail(path_, next_index_, "forward/self reference");
+      // Unique synthesized outpoint: the input transaction's next unspent
+      // slot. Keeps the lock/spend ledger free of false double spends.
+      out.inputs.push_back({input, spend_counts_[input]++});
+      cursor = ptr;
+    }
+    out.outputs.push_back({1, 0});
+    spend_counts_.push_back(0);
+    ++next_index_;
+    return true;
+  }
+  if (file_.bad()) throw std::runtime_error("read failed: " + path_);
+  return false;
+}
+
+std::vector<tx::Transaction> materialize(TxSource& source) {
+  std::vector<tx::Transaction> transactions;
+  if (const auto hint = source.size_hint()) {
+    transactions.reserve(*hint);
+  }
+  tx::Transaction transaction;
+  while (source.next(transaction)) {
+    transactions.push_back(std::move(transaction));
+  }
+  return transactions;
+}
+
+}  // namespace optchain::workload

@@ -1,0 +1,126 @@
+// Pull-based transaction sources — the streaming seam between workloads and
+// the engines that consume them (api::PlacementPipeline::place_stream,
+// sim::Simulation::run).
+//
+// The paper's headline experiments run the first 10M transactions of the MIT
+// Bitcoin dataset (§V.A). Materializing such a stream as one
+// std::vector<Transaction> costs gigabytes before a single placement
+// happens; a TxSource instead yields transactions one at a time into a
+// caller-owned buffer, so a full run holds O(in-flight) transactions — the
+// generator (or file reader) is the only thing that knows the whole stream.
+//
+// Adapters:
+//   GeneratorTxSource    — streams a BitcoinLikeGenerator (same seed ⇒ same
+//                          stream as materializing via generate())
+//   SpanTxSource         — adapts an already-materialized vector/span (the
+//                          bridge that keeps every span-based call site
+//                          working on top of the streaming engines)
+//   EdgeListFileTxSource — replays an on-disk TaN edge list (the
+//                          save_tan_edge_list format) as a transaction
+//                          stream, for dataset-driven placement runs
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "txmodel/transaction.hpp"
+#include "workload/bitcoin_like_generator.hpp"
+
+namespace optchain::workload {
+
+class TxSource {
+ public:
+  virtual ~TxSource() = default;
+
+  /// Fills `out` with the next transaction of the stream; returns false at
+  /// end of stream (out is unspecified then). Indices are dense 0, 1, 2, ...
+  /// The same source yields each transaction exactly once.
+  virtual bool next(tx::Transaction& out) = 0;
+
+  /// Total stream length when known up front. Engines use it to pre-size
+  /// their per-transaction structures (TaN dag, score pool, outpoint map);
+  /// nullopt means "unbounded / unknown" and everything grows amortized.
+  virtual std::optional<std::uint64_t> size_hint() const {
+    return std::nullopt;
+  }
+};
+
+/// Streams `count` transactions from a BitcoinLikeGenerator without ever
+/// materializing them.
+class GeneratorTxSource final : public TxSource {
+ public:
+  GeneratorTxSource(WorkloadConfig config, std::uint64_t seed,
+                    std::uint64_t count)
+      : generator_(config, seed), remaining_(count), count_(count) {}
+
+  bool next(tx::Transaction& out) override {
+    if (remaining_ == 0) return false;
+    --remaining_;
+    out = generator_.next();
+    return true;
+  }
+
+  std::optional<std::uint64_t> size_hint() const override { return count_; }
+
+ private:
+  BitcoinLikeGenerator generator_;
+  std::uint64_t remaining_;
+  std::uint64_t count_;
+};
+
+/// Adapts a pre-materialized stream (non-owning; the span must outlive the
+/// source).
+class SpanTxSource final : public TxSource {
+ public:
+  explicit SpanTxSource(std::span<const tx::Transaction> transactions)
+      : transactions_(transactions) {}
+
+  bool next(tx::Transaction& out) override {
+    if (pos_ >= transactions_.size()) return false;
+    out = transactions_[pos_++];
+    return true;
+  }
+
+  std::optional<std::uint64_t> size_hint() const override {
+    return transactions_.size();
+  }
+
+ private:
+  std::span<const tx::Transaction> transactions_;
+  std::size_t pos_ = 0;
+};
+
+/// Streams a TaN edge-list file (the workload::save_tan_edge_list format:
+/// "<tx_index>: <input_tx> ..." per line, '#' comments) as transactions.
+///
+/// The TaN format keeps only the spend graph, so the loader synthesizes the
+/// UTXO details: each input transaction contributes one OutPoint whose vout
+/// is that transaction's running spend count (outpoints stay distinct, so
+/// the simulator's lock/spend ledger sees no false conflicts), and every
+/// transaction declares a single output. Placement and TaN construction over
+/// the synthesized stream reproduce the file's DAG exactly.
+///
+/// Throws std::runtime_error on I/O failure or malformed input (non-dense
+/// indices, forward references).
+class EdgeListFileTxSource final : public TxSource {
+ public:
+  explicit EdgeListFileTxSource(const std::string& path);
+
+  bool next(tx::Transaction& out) override;
+
+ private:
+  std::ifstream file_;
+  std::string path_;
+  std::string line_;
+  tx::TxIndex next_index_ = 0;
+  std::vector<std::uint32_t> spend_counts_;  // next vout per past transaction
+};
+
+/// Drains `source` into a vector (tests / small offline runs).
+std::vector<tx::Transaction> materialize(TxSource& source);
+
+}  // namespace optchain::workload

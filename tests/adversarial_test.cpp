@@ -254,18 +254,26 @@ TEST(ProtocolCornerTest, DirectDoubleSpendExactlyOneWinner) {
 }
 
 TEST(EventQueueStressTest, LargeRandomScheduleRunsInOrder) {
+  struct TimeLog final : sim::EventHandler {
+    explicit TimeLog(sim::EventQueue& queue) : queue(&queue) {}
+    void on_event(const sim::Event&) override {
+      fired.push_back(queue->now());
+    }
+    sim::EventQueue* queue;
+    std::vector<double> fired;
+  };
   sim::EventQueue queue;
+  TimeLog log(queue);
+  log.fired.reserve(50000);
   Rng rng(99);
-  std::vector<double> fired;
-  fired.reserve(50000);
   for (int i = 0; i < 50000; ++i) {
     const double t = rng.uniform(0.0, 1000.0);
-    queue.schedule(t, [&fired, &queue] { fired.push_back(queue.now()); });
+    queue.schedule(t, sim::Event::tx_issue(static_cast<std::uint32_t>(i)));
   }
-  while (queue.run_one()) {
+  while (queue.run_one(log)) {
   }
-  ASSERT_EQ(fired.size(), 50000u);
-  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+  ASSERT_EQ(log.fired.size(), 50000u);
+  EXPECT_TRUE(std::is_sorted(log.fired.begin(), log.fired.end()));
 }
 
 }  // namespace

@@ -12,6 +12,15 @@
 namespace optchain::sim {
 namespace {
 
+/// Routes round-completion events to a standalone ShardNode.
+struct ShardRouter final : EventHandler {
+  explicit ShardRouter(ShardNode& node) : node(&node) {}
+  void on_event(const Event& event) override {
+    EXPECT_TRUE(node->route_round_event(event));
+  }
+  ShardNode* node;
+};
+
 /// Fresh hash-placement pipeline for k shards.
 api::PlacementPipeline random_pipeline(std::uint32_t k) {
   return api::PlacementPipeline(k,
@@ -46,8 +55,9 @@ TEST(ShardFaultsTest, ViewChangeExtendsRound) {
                     commit_time = t;
                   },
                   always_faulty);
+  ShardRouter router(shard);
   shard.enqueue(QueueItem{0, ItemKind::kSameShard});
-  while (events.run_one()) {
+  while (events.run_one(router)) {
   }
   EXPECT_NEAR(commit_time, base_round + 7.0, 1e-9);
   EXPECT_EQ(shard.view_changes(), 1u);
@@ -70,8 +80,9 @@ TEST(ShardFaultsTest, SlowdownScalesRounds) {
                     commit_time = t;
                   },
                   slow);
+  ShardRouter router(shard);
   shard.enqueue(QueueItem{0, ItemKind::kSameShard});
-  while (events.run_one()) {
+  while (events.run_one(router)) {
   }
   EXPECT_NEAR(commit_time, 3.0 * base_round, 1e-9);
 }

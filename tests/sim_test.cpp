@@ -20,57 +20,101 @@ namespace {
 
 // -------------------------------------------------------------- EventQueue
 
+/// Records every dispatched event and its dispatch time.
+struct RecordingHandler final : EventHandler {
+  explicit RecordingHandler(EventQueue& queue) : queue(&queue) {}
+  void on_event(const Event& event) override {
+    events.push_back(event);
+    times.push_back(queue->now());
+  }
+  EventQueue* queue;
+  std::vector<Event> events;
+  std::vector<double> times;
+};
+
 TEST(EventQueueTest, RunsInTimeOrder) {
   EventQueue queue;
-  std::vector<int> order;
-  queue.schedule(3.0, [&] { order.push_back(3); });
-  queue.schedule(1.0, [&] { order.push_back(1); });
-  queue.schedule(2.0, [&] { order.push_back(2); });
-  while (queue.run_one()) {
+  RecordingHandler handler(queue);
+  queue.schedule(3.0, Event::tx_issue(3));
+  queue.schedule(1.0, Event::tx_issue(1));
+  queue.schedule(2.0, Event::tx_issue(2));
+  while (queue.run_one(handler)) {
   }
-  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  ASSERT_EQ(handler.events.size(), 3u);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(handler.events[i].tx, i + 1);
+    EXPECT_DOUBLE_EQ(handler.times[i], static_cast<double>(i + 1));
+  }
   EXPECT_DOUBLE_EQ(queue.now(), 3.0);
 }
 
 TEST(EventQueueTest, TieBreaksByScheduleOrder) {
   EventQueue queue;
-  std::vector<int> order;
-  queue.schedule(1.0, [&] { order.push_back(1); });
-  queue.schedule(1.0, [&] { order.push_back(2); });
-  queue.schedule(1.0, [&] { order.push_back(3); });
-  while (queue.run_one()) {
+  RecordingHandler handler(queue);
+  queue.schedule(1.0, Event::tx_issue(1));
+  queue.schedule(1.0, Event::tx_issue(2));
+  queue.schedule(1.0, Event::tx_issue(3));
+  while (queue.run_one(handler)) {
   }
-  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  ASSERT_EQ(handler.events.size(), 3u);
+  EXPECT_EQ(handler.events[0].tx, 1u);
+  EXPECT_EQ(handler.events[1].tx, 2u);
+  EXPECT_EQ(handler.events[2].tx, 3u);
 }
 
 TEST(EventQueueTest, EventsMayScheduleEvents) {
+  // A handler reacting to one event by scheduling another (the issue-chain /
+  // block-round pattern).
+  struct ChainingHandler final : EventHandler {
+    explicit ChainingHandler(EventQueue& queue) : queue(&queue) {}
+    void on_event(const Event& event) override {
+      ++fired;
+      if (event.tx == 0) queue->schedule_in(0.5, Event::tx_issue(1));
+    }
+    EventQueue* queue;
+    int fired = 0;
+  };
   EventQueue queue;
-  int fired = 0;
-  queue.schedule(1.0, [&] {
-    ++fired;
-    queue.schedule_in(0.5, [&] { ++fired; });
-  });
-  while (queue.run_one()) {
+  ChainingHandler handler(queue);
+  queue.schedule(1.0, Event::tx_issue(0));
+  while (queue.run_one(handler)) {
   }
-  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(handler.fired, 2);
   EXPECT_DOUBLE_EQ(queue.now(), 1.5);
 }
 
 TEST(EventQueueTest, RunUntilRespectsHorizon) {
   EventQueue queue;
-  int fired = 0;
-  queue.schedule(1.0, [&] { ++fired; });
-  queue.schedule(5.0, [&] { ++fired; });
-  EXPECT_EQ(queue.run_until(2.0), 1u);
-  EXPECT_EQ(fired, 1);
+  RecordingHandler handler(queue);
+  queue.schedule(1.0, Event::tx_issue(1));
+  queue.schedule(5.0, Event::tx_issue(2));
+  EXPECT_EQ(queue.run_until(2.0, handler), 1u);
+  EXPECT_EQ(handler.events.size(), 1u);
   EXPECT_EQ(queue.pending(), 1u);
 }
 
 TEST(EventQueueDeathTest, PastSchedulingRejected) {
   EventQueue queue;
-  queue.schedule(2.0, [] {});
-  queue.run_one();
-  EXPECT_DEATH(queue.schedule(1.0, [] {}), "Precondition");
+  RecordingHandler handler(queue);
+  queue.schedule(2.0, Event::tx_issue(0));
+  queue.run_one(handler);
+  EXPECT_DEATH(queue.schedule(1.0, Event::tx_issue(1)), "Precondition");
+}
+
+TEST(EventQueueTest, PodEventRoundTripsPayload) {
+  EventQueue queue;
+  RecordingHandler handler(queue);
+  queue.schedule(1.0, Event::proof(/*tx=*/7, /*from_shard=*/3, true));
+  queue.schedule(2.0, Event::round_complete(/*shard=*/5, /*view_change=*/true));
+  while (queue.run_one(handler)) {
+  }
+  ASSERT_EQ(handler.events.size(), 2u);
+  EXPECT_EQ(handler.events[0].type, EventType::kProof);
+  EXPECT_EQ(handler.events[0].tx, 7u);
+  EXPECT_EQ(handler.events[0].shard, 3u);
+  EXPECT_EQ(handler.events[0].flag, 1u);
+  EXPECT_EQ(handler.events[1].type, EventType::kViewChange);
+  EXPECT_EQ(handler.events[1].shard, 5u);
 }
 
 // -------------------------------------------------------------- Network
@@ -149,6 +193,18 @@ struct CommitLog {
   std::vector<std::pair<QueueItem, SimTime>> items;
 };
 
+/// Minimal dispatcher for standalone ShardNode tests: routes round events to
+/// the node and kTxDeliver events into its mempool.
+struct ShardRouter final : EventHandler {
+  explicit ShardRouter(ShardNode& node) : node(&node) {}
+  void on_event(const Event& event) override {
+    if (node->route_round_event(event)) return;
+    ASSERT_EQ(event.type, EventType::kTxDeliver);
+    node->enqueue(QueueItem{event.tx, ItemKind::kSameShard});
+  }
+  ShardNode* node;
+};
+
 TEST(ShardNodeTest, ProcessesQueueInBlocks) {
   EventQueue events;
   NetworkModel net;
@@ -160,11 +216,12 @@ TEST(ShardNodeTest, ProcessesQueueInBlocks) {
                   events, [&](std::uint32_t, const QueueItem& item, SimTime t) {
                     log.items.emplace_back(item, t);
                   });
+  ShardRouter router(shard);
 
   for (std::uint32_t i = 0; i < 5; ++i) {
     shard.enqueue(QueueItem{i, ItemKind::kSameShard});
   }
-  while (events.run_one()) {
+  while (events.run_one(router)) {
   }
   ASSERT_EQ(log.items.size(), 5u);
   // The first enqueue starts a round immediately with just item 0; the rest
@@ -191,11 +248,10 @@ TEST(ShardNodeTest, IdleUntilWorkArrives) {
                   events, [&](std::uint32_t, const QueueItem& item, SimTime t) {
                     log.items.emplace_back(item, t);
                   });
+  ShardRouter router(shard);
   EXPECT_TRUE(events.empty());
-  events.schedule(10.0, [&] {
-    shard.enqueue(QueueItem{0, ItemKind::kSameShard});
-  });
-  while (events.run_one()) {
+  events.schedule(10.0, Event::deliver(EventType::kTxDeliver, 0, 0));
+  while (events.run_one(router)) {
   }
   ASSERT_EQ(log.items.size(), 1u);
   EXPECT_GT(log.items[0].second, 10.0);
@@ -207,9 +263,10 @@ TEST(ShardNodeTest, LastRoundDurationTracksBlockSize) {
   Rng rng(6);
   ShardNode shard(0, {0.5, 0.5}, ConsensusModel({}, net, {0.5, 0.5}, rng),
                   events, [](std::uint32_t, const QueueItem&, SimTime) {});
+  ShardRouter router(shard);
   const double initial = shard.last_round_duration();
   shard.enqueue(QueueItem{0, ItemKind::kSameShard});
-  while (events.run_one()) {
+  while (events.run_one(router)) {
   }
   // One item instead of a full 2000-tx block: the observed round is shorter.
   EXPECT_LT(shard.last_round_duration(), initial);

@@ -1,0 +1,225 @@
+// Tests for the workload::TxSource streaming seam: generator/span adapter
+// equivalence, edge-list file round-trips, and the streaming place_stream /
+// Simulation::run overloads.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "api/placement_pipeline.hpp"
+#include "sim/simulation.hpp"
+#include "workload/bitcoin_like_generator.hpp"
+#include "workload/dataset_loader.hpp"
+#include "workload/tan_builder.hpp"
+#include "workload/tx_source.hpp"
+
+namespace optchain::workload {
+namespace {
+
+/// Unique-ish temp path per test (the gtest name keeps them apart).
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(TxSourceTest, GeneratorSourceMatchesGenerateCall) {
+  constexpr std::uint64_t kSeed = 77;
+  constexpr std::size_t kCount = 500;
+  BitcoinLikeGenerator generator({}, kSeed);
+  const std::vector<tx::Transaction> expected = generator.generate(kCount);
+
+  GeneratorTxSource source({}, kSeed, kCount);
+  ASSERT_TRUE(source.size_hint().has_value());
+  EXPECT_EQ(*source.size_hint(), kCount);
+
+  tx::Transaction transaction;
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_TRUE(source.next(transaction)) << "tx " << i;
+    EXPECT_EQ(transaction.index, expected[i].index);
+    EXPECT_EQ(transaction.inputs, expected[i].inputs);
+    EXPECT_EQ(transaction.outputs, expected[i].outputs);
+  }
+  EXPECT_FALSE(source.next(transaction));
+  EXPECT_FALSE(source.next(transaction));  // stays exhausted
+}
+
+TEST(TxSourceTest, SpanSourceYieldsEverythingOnce) {
+  BitcoinLikeGenerator generator({}, 3);
+  const auto txs = generator.generate(100);
+  SpanTxSource source(txs);
+  const auto drained = materialize(source);
+  ASSERT_EQ(drained.size(), txs.size());
+  for (std::size_t i = 0; i < txs.size(); ++i) {
+    EXPECT_EQ(drained[i].inputs, txs[i].inputs);
+  }
+  tx::Transaction transaction;
+  EXPECT_FALSE(source.next(transaction));
+}
+
+TEST(TxSourceTest, StreamedPlacementMatchesMaterialized) {
+  // Same seed ⇒ identical placements whether the stream is materialized
+  // up front or pulled transaction by transaction.
+  constexpr std::uint64_t kSeed = 5;
+  constexpr std::size_t kCount = 2000;
+  BitcoinLikeGenerator generator({}, kSeed);
+  const auto txs = generator.generate(kCount);
+
+  api::PlacementPipeline materialized = api::make_pipeline("OptChain", 8, txs);
+  const api::StreamOutcome expected = materialized.place_stream(txs);
+
+  GeneratorTxSource source({}, kSeed, kCount);
+  api::PlacementPipeline streamed =
+      api::make_pipeline("OptChain", 8, {}, 1, {}, kCount);
+  const api::StreamOutcome outcome = streamed.place_stream(source);
+
+  EXPECT_EQ(outcome.total, expected.total);
+  EXPECT_EQ(outcome.cross, expected.cross);
+  EXPECT_EQ(outcome.shard_sizes, expected.shard_sizes);
+  ASSERT_EQ(streamed.total(), materialized.total());
+  for (tx::TxIndex i = 0; i < kCount; ++i) {
+    ASSERT_EQ(streamed.assignment().shard_of(i),
+              materialized.assignment().shard_of(i))
+        << "tx " << i;
+  }
+}
+
+TEST(TxSourceTest, StreamedWarmStartMatchesMaterialized) {
+  constexpr std::size_t kCount = 600;
+  BitcoinLikeGenerator generator({}, 11);
+  const auto txs = generator.generate(kCount);
+  std::vector<std::uint32_t> warm(200);
+  for (std::size_t i = 0; i < warm.size(); ++i) {
+    warm[i] = static_cast<std::uint32_t>(i % 4);
+  }
+
+  api::PlacementPipeline materialized = api::make_pipeline("T2S", 4, txs);
+  const auto expected = materialized.place_stream(txs, warm);
+
+  GeneratorTxSource source({}, 11, kCount);
+  api::PlacementPipeline streamed =
+      api::make_pipeline("T2S", 4, {}, 1, {}, kCount);
+  const auto outcome = streamed.place_stream(source, warm);
+
+  EXPECT_EQ(outcome.total, expected.total);
+  EXPECT_EQ(outcome.cross, expected.cross);
+  EXPECT_EQ(outcome.shard_sizes, expected.shard_sizes);
+}
+
+TEST(TxSourceTest, EdgeListFileRoundTrip) {
+  // generate -> TaN -> save_tan_edge_list -> EdgeListFileTxSource -> TaN
+  // must reproduce the DAG exactly.
+  BitcoinLikeGenerator generator({}, 9);
+  const auto txs = generator.generate(400);
+  const graph::TanDag original = build_tan(txs);
+  const std::string path = temp_path("roundtrip.tan");
+  save_tan_edge_list(original, path);
+
+  EdgeListFileTxSource source(path);
+  const auto replayed = materialize(source);
+  ASSERT_EQ(replayed.size(), original.num_nodes());
+  const graph::TanDag rebuilt = build_tan(replayed);
+  ASSERT_EQ(rebuilt.num_nodes(), original.num_nodes());
+  ASSERT_EQ(rebuilt.num_edges(), original.num_edges());
+  for (graph::NodeId u = 0; u < original.num_nodes(); ++u) {
+    const auto a = original.inputs(u);
+    const auto b = rebuilt.inputs(u);
+    ASSERT_EQ(std::vector<graph::NodeId>(a.begin(), a.end()),
+              std::vector<graph::NodeId>(b.begin(), b.end()))
+        << "node " << u;
+    EXPECT_EQ(rebuilt.spender_count(u), original.spender_count(u));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TxSourceTest, EdgeListSourceSynthesizesDistinctOutpoints) {
+  // Two spends of the same transaction must consume different vouts, so the
+  // simulator's lock/spend ledger sees no false double spends.
+  const std::string path = temp_path("spends.tan");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("# comment\n0:\n1: 0\n2: 0\n3: 0 1\n", f);
+    std::fclose(f);
+  }
+  EdgeListFileTxSource source(path);
+  const auto txs = materialize(source);
+  ASSERT_EQ(txs.size(), 4u);
+  EXPECT_TRUE(txs[0].is_coinbase());
+  ASSERT_EQ(txs[1].inputs.size(), 1u);
+  ASSERT_EQ(txs[2].inputs.size(), 1u);
+  EXPECT_EQ(txs[1].inputs[0].tx, 0u);
+  EXPECT_EQ(txs[2].inputs[0].tx, 0u);
+  EXPECT_NE(txs[1].inputs[0].vout, txs[2].inputs[0].vout);
+  ASSERT_EQ(txs[3].inputs.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(TxSourceTest, EdgeListSourceRejectsMalformedInput) {
+  const std::string path = temp_path("bad.tan");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("0:\n2: 0\n", f);  // non-dense index
+    std::fclose(f);
+  }
+  EdgeListFileTxSource source(path);
+  tx::Transaction transaction;
+  ASSERT_TRUE(source.next(transaction));
+  EXPECT_THROW(source.next(transaction), std::runtime_error);
+  std::remove(path.c_str());
+  EXPECT_THROW(EdgeListFileTxSource("/nonexistent/file.tan"),
+               std::runtime_error);
+}
+
+TEST(TxSourceTest, EdgeListStreamPlacesEndToEnd) {
+  // A dataset-driven placement run through the streaming pipeline.
+  BitcoinLikeGenerator generator({}, 21);
+  const auto txs = generator.generate(300);
+  const std::string path = temp_path("placed.tan");
+  save_tan_edge_list(build_tan(txs), path);
+
+  EdgeListFileTxSource source(path);
+  api::PlacementPipeline pipeline = api::make_pipeline("Greedy", 4, {}, 1, {},
+                                                       txs.size());
+  const api::StreamOutcome outcome = pipeline.place_stream(source);
+  EXPECT_EQ(pipeline.total(), txs.size());
+  std::uint64_t placed = 0;
+  for (const std::uint64_t s : outcome.shard_sizes) placed += s;
+  EXPECT_EQ(placed, txs.size());
+  std::remove(path.c_str());
+}
+
+TEST(TxSourceTest, StreamedSimulationMatchesMaterialized) {
+  constexpr std::size_t kCount = 1500;
+  BitcoinLikeGenerator generator({}, 31);
+  const auto txs = generator.generate(kCount);
+
+  sim::SimConfig config;
+  config.num_shards = 4;
+  config.tx_rate_tps = 500.0;
+  config.consensus.txs_per_block = 100;
+  config.consensus.block_bytes = 50'000;
+  config.consensus.committee_size = 64;
+
+  api::PlacementPipeline pipeline_a = api::make_pipeline("OptChain", 4, txs);
+  const sim::SimResult materialized =
+      sim::Simulation(config).run(txs, pipeline_a);
+
+  GeneratorTxSource source({}, 31, kCount);
+  api::PlacementPipeline pipeline_b =
+      api::make_pipeline("OptChain", 4, {}, 1, {}, kCount);
+  const sim::SimResult streamed =
+      sim::Simulation(config).run(source, pipeline_b);
+
+  EXPECT_TRUE(streamed.completed);
+  EXPECT_EQ(streamed.total_txs, materialized.total_txs);
+  EXPECT_EQ(streamed.committed_txs, materialized.committed_txs);
+  EXPECT_EQ(streamed.cross_txs, materialized.cross_txs);
+  EXPECT_EQ(streamed.total_events, materialized.total_events);
+  EXPECT_DOUBLE_EQ(streamed.duration_s, materialized.duration_s);
+  EXPECT_DOUBLE_EQ(streamed.avg_latency_s, materialized.avg_latency_s);
+  EXPECT_DOUBLE_EQ(streamed.max_latency_s, materialized.max_latency_s);
+}
+
+}  // namespace
+}  // namespace optchain::workload
