@@ -1,117 +1,8 @@
 #include "bench_common.hpp"
 
 #include <cstdio>
-#include <fstream>
-#include <stdexcept>
 
 namespace optchain::bench {
-
-void JsonWriter::comma() {
-  if (needs_comma_) out_ += ",";
-  needs_comma_ = true;
-}
-
-void JsonWriter::key(const std::string& name) {
-  comma();
-  out_ += "\"" + name + "\":";
-}
-
-JsonWriter& JsonWriter::field(const std::string& k, const std::string& value) {
-  key(k);
-  out_ += "\"";
-  for (const char c : value) {
-    if (c == '"' || c == '\\') {
-      out_ += '\\';
-      out_ += c;
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char escaped[8];
-      std::snprintf(escaped, sizeof(escaped), "\\u%04x",
-                    static_cast<unsigned>(static_cast<unsigned char>(c)));
-      out_ += escaped;
-    } else {
-      out_ += c;
-    }
-  }
-  out_ += "\"";
-  return *this;
-}
-
-JsonWriter& JsonWriter::field(const std::string& k, double value) {
-  char buffer[64];
-  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
-  key(k);
-  out_ += buffer;
-  return *this;
-}
-
-JsonWriter& JsonWriter::field(const std::string& k, bool value) {
-  key(k);
-  out_ += value ? "true" : "false";
-  return *this;
-}
-
-JsonWriter& JsonWriter::begin_object(const std::string& k) {
-  key(k);
-  out_ += "{";
-  needs_comma_ = false;
-  ++depth_;
-  return *this;
-}
-
-JsonWriter& JsonWriter::end_object() {
-  out_ += "}";
-  needs_comma_ = true;
-  --depth_;
-  return *this;
-}
-
-std::string JsonWriter::finish() {
-  while (depth_ > 0) {
-    out_ += "}";
-    --depth_;
-  }
-  return out_;
-}
-
-void JsonWriter::save(const std::string& path) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot write " + path);
-  out << finish() << "\n";
-  if (!out) throw std::runtime_error("write failed: " + path);
-}
-
-std::vector<tx::Transaction> make_stream(std::size_t n, std::uint64_t seed,
-                                         workload::WorkloadConfig config) {
-  workload::BitcoinLikeGenerator generator(config, seed);
-  return generator.generate(n);
-}
-
-std::size_t stream_size(const Flags& flags, double rate_tps,
-                        double default_issue_seconds) {
-  const std::int64_t fixed = flags.get_int("txs", 0);
-  if (fixed > 0) return static_cast<std::size_t>(fixed);
-  const double issue_seconds =
-      flags.get_double("issue_seconds", default_issue_seconds);
-  return static_cast<std::size_t>(rate_tps * issue_seconds);
-}
-
-api::PlacementPipeline make_method(const std::string& name,
-                                   std::span<const tx::Transaction> txs,
-                                   std::uint32_t k, std::uint64_t seed) {
-  return api::make_pipeline(name, k, txs, seed);
-}
-
-sim::SimResult run_sim(std::span<const tx::Transaction> txs,
-                       api::PlacementPipeline& pipeline, double rate_tps,
-                       sim::ProtocolMode protocol, double commit_window_s) {
-  sim::SimConfig config;
-  config.num_shards = pipeline.k();
-  config.tx_rate_tps = rate_tps;
-  config.protocol = protocol;
-  config.commit_window_s = commit_window_s;
-  sim::Simulation simulation(config);
-  return simulation.run(txs, pipeline);
-}
 
 void print_header(const std::string& title, const std::string& paper_ref,
                   const std::string& scale_note) {
@@ -119,15 +10,6 @@ void print_header(const std::string& title, const std::string& paper_ref,
   std::printf("reproduces: %s\n", paper_ref.c_str());
   std::printf("scale: %s (paper: 10,000,000 transactions)\n\n",
               scale_note.c_str());
-}
-
-void maybe_save_csv(const Flags& flags, const std::string& name,
-                    const TextTable& table) {
-  const std::string dir = flags.get_string("csv_dir", "");
-  if (dir.empty()) return;
-  const std::string path = dir + "/" + name + ".csv";
-  table.save_csv(path);
-  std::printf("(wrote %s)\n", path.c_str());
 }
 
 }  // namespace optchain::bench

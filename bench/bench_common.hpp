@@ -1,112 +1,24 @@
-// Shared harness code for the per-table/per-figure benchmark binaries,
-// built on the optchain::api layer (PlacerRegistry + PlacementPipeline).
-//
-// Every binary accepts:
-//   --txs=N       stream length (per-bench default; paper scale via flags)
-//   --seed=S      workload seed
-//   --shards=a,b  shard-count list        --rates=a,b   tx-rate list
-// plus bench-specific flags. Output is printed as aligned text tables whose
-// rows mirror the paper's tables/figure series.
+// Shared harness code for the benchmark binaries (bench_scale, bench_micro,
+// optchain-bench). The per-figure driver scaffolding that used to live here
+// (method/stream construction, run_sim, CSV plumbing) is gone: scenarios are
+// declarative api::ScenarioSpec grids executed by api::SweepRunner — see
+// bench/scenarios.{hpp,cpp} and the optchain-bench tool.
 #pragma once
 
-#include <concepts>
-#include <cstdint>
-#include <span>
 #include <string>
-#include <vector>
 
-#include "api/placement_pipeline.hpp"
 #include "common/flags.hpp"
-#include "common/table.hpp"
-#include "sim/simulation.hpp"
-#include "txmodel/transaction.hpp"
-#include "workload/bitcoin_like_generator.hpp"
+#include "common/json_writer.hpp"
 
 namespace optchain::bench {
 
-/// Minimal ordered JSON emitter for machine-readable bench artifacts
-/// (BENCH_*.json): nested objects, string/number/bool fields, no external
-/// dependency. Keys are emitted verbatim — callers use plain identifiers.
-class JsonWriter {
- public:
-  JsonWriter() { out_ = "{"; }
-
-  JsonWriter& field(const std::string& key, const std::string& value);
-  JsonWriter& field(const std::string& key, const char* value) {
-    return field(key, std::string(value));
-  }
-  JsonWriter& field(const std::string& key, double value);
-  JsonWriter& field(const std::string& key, bool value);
-  /// One overload for every integer width/signedness, so call sites never
-  /// need casts to dodge overload ambiguity.
-  JsonWriter& field(const std::string& name,
-                    std::integral auto value) requires(
-      !std::same_as<decltype(value), bool>) {
-    key(name);
-    out_ += std::to_string(value);
-    return *this;
-  }
-  JsonWriter& begin_object(const std::string& key);
-  JsonWriter& end_object();
-
-  /// Closes the root object and returns the document.
-  std::string finish();
-
-  /// Writes finish() to `path` (with a trailing newline).
-  void save(const std::string& path);
-
- private:
-  void comma();
-  void key(const std::string& name);
-
-  std::string out_;
-  bool needs_comma_ = false;
-  int depth_ = 1;
-};
-
-/// Names used across the harness, matching the paper's method line-up.
-/// All of them (and more) resolve through the api::PlacerRegistry.
-inline constexpr const char* kMethods[] = {"OptChain", "OmniLedger", "Metis",
-                                           "Greedy"};
-
-/// Builds a fresh pipeline for a registry method name: "OptChain" (full
-/// Algorithm 1), "T2S" (no L2S, ε-capped), "OmniLedger" (random), "Greedy",
-/// "Metis" (offline partition of the full stream), "LeastLoaded", "Static".
-/// `txs` is the full stream (Metis needs it; capacity-capped methods only
-/// its length).
-api::PlacementPipeline make_method(const std::string& name,
-                                   std::span<const tx::Transaction> txs,
-                                   std::uint32_t k, std::uint64_t seed = 1);
-
-/// Generates the standard benchmark stream.
-std::vector<tx::Transaction> make_stream(std::size_t n, std::uint64_t seed,
-                                         workload::WorkloadConfig config = {});
-
-/// Stream length for a rate sweep: --txs=N if given, otherwise
-/// rate × --issue_seconds (default `default_issue_seconds`). Keeping the
-/// issue window constant across rates equalizes the drain-tail bias in the
-/// throughput metric (the paper amortizes it over a 1667 s run).
-std::size_t stream_size(const Flags& flags, double rate_tps,
-                        double default_issue_seconds = 120.0);
-
-/// Placement-only runs (Tables I-II) stream directly through
-/// api::PlacementPipeline::place_stream (warm starts included).
-
-/// Simulation run for one (method, k, rate) cell of the figure grids.
-sim::SimResult run_sim(std::span<const tx::Transaction> txs,
-                       api::PlacementPipeline& pipeline, double rate_tps,
-                       sim::ProtocolMode protocol =
-                           sim::ProtocolMode::kOmniLedger,
-                       double commit_window_s = 10.0);
+/// The JSON emitter moved to src/common so the SweepReport API can emit it;
+/// bench call sites keep the historical name.
+using optchain::JsonWriter;
 
 /// Prints the standard bench header (what is being reproduced, at what
 /// scale) so bench logs are self-describing.
 void print_header(const std::string& title, const std::string& paper_ref,
                   const std::string& scale_note);
-
-/// If --csv_dir=<dir> was passed, writes the table to <dir>/<name>.csv
-/// (for plotting); otherwise does nothing.
-void maybe_save_csv(const Flags& flags, const std::string& name,
-                    const TextTable& table);
 
 }  // namespace optchain::bench

@@ -25,7 +25,9 @@
 
 #include <sys/resource.h>
 
+#include "api/placement_pipeline.hpp"
 #include "bench_common.hpp"
+#include "sim/simulation.hpp"
 #include "workload/tx_source.hpp"
 
 namespace optchain::bench {

@@ -1,0 +1,66 @@
+// The paper-figure scenario registry behind the `optchain-bench` tool.
+//
+// Every figure/table of the paper's evaluation is one registered Scenario:
+// a name (`fig4`, `table1`, ...), one or more declarative
+// api::ScenarioSpec builders (its sweep "parts"), and a shaping function
+// that renders the finished SweepReports in the figure's layout. The
+// SweepRunner executes all parts — there is no per-figure driver loop
+// anywhere anymore. Two scenarios (fig2's TaN statistics, fig11's adaptive
+// max-rate search) don't fit a static grid and plug in through the `custom`
+// hook instead.
+//
+// Shared flags (every scenario): --seed, --replicas, --jobs=N, --smoke
+// (CI-sized streams), --txs=N (override stream length), --issue_seconds,
+// --csv_dir=DIR, plus the per-scenario axis overrides documented by
+// `optchain-bench list`.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/scenario_spec.hpp"
+#include "api/sweep_runner.hpp"
+#include "common/flags.hpp"
+#include "common/json_writer.hpp"
+
+namespace optchain::bench {
+
+struct Scenario {
+  std::string name;       // registry key, e.g. "fig4"
+  std::string title;      // one-line description for `list`
+  std::string paper_ref;  // what it reproduces
+  /// Sweep parts; empty for fully custom scenarios.
+  std::vector<std::function<api::ScenarioSpec(const Flags&)>> parts;
+  /// Figure-shaped rendering of the finished sweeps: specs[i] is the exact
+  /// spec parts[i] produced and reports[i] its result, so shapes pivot over
+  /// the axes that actually ran instead of re-deriving them. Null falls
+  /// back to the generic SweepReport table.
+  std::function<void(std::span<const api::ScenarioSpec>,
+                     std::span<const api::SweepReport>, const Flags&)>
+      shape;
+  /// Fully custom scenarios; `json` (nullable) is an open object to add
+  /// result fields to.
+  std::function<int(const Flags&, JsonWriter*)> custom;
+};
+
+/// The 14 paper figures/tables, registration order = paper order.
+const std::vector<Scenario>& scenarios();
+
+/// Case-sensitive lookup; nullptr when unknown.
+const Scenario* find_scenario(std::string_view name);
+
+/// Registers the ablation's placer variants (OptChain-w0.1,
+/// OptChain-outdiv, Greedy-smallties) into the global PlacerRegistry so
+/// they are reachable as ScenarioSpec method names. Idempotent.
+void register_bench_placers();
+
+/// Runs one scenario end-to-end: expand parts → SweepRunner(--jobs) →
+/// shape/print → append to `json` (nullable) under an object keyed by the
+/// scenario's name. Returns a process exit code.
+int run_scenario(const Scenario& scenario, const Flags& flags,
+                 JsonWriter* json);
+
+}  // namespace optchain::bench

@@ -17,6 +17,7 @@ sim::SimConfig RunSpec::sim_config() const {
   config.queue_sample_interval_s = queue_sample_interval_s;
   config.leader_fault_rate = leader_fault_rate;
   config.shard_slowdown = shard_slowdown;
+  config.observers = observers;
   return config;
 }
 

@@ -41,6 +41,12 @@ struct RunSpec {
   double leader_fault_rate = 0.0;
   std::vector<double> shard_slowdown;
 
+  /// Borrowed sim::SimObserver hooks installed into the run (simulate()
+  /// only); each must outlive it. This is how the stats/ collectors — or any
+  /// custom instrumentation — attach to a run through the API instead of
+  /// being hand-wired into a driver binary.
+  std::vector<sim::SimObserver*> observers;
+
   /// The full SimConfig this spec describes.
   sim::SimConfig sim_config() const;
 };

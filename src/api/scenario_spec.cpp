@@ -1,0 +1,92 @@
+#include "api/scenario_spec.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace optchain::api {
+
+const char* to_string(RunMode mode) noexcept {
+  return mode == RunMode::kPlace ? "place" : "simulate";
+}
+
+std::size_t ScenarioSpec::num_cells() const noexcept {
+  const std::size_t points =
+      pairings.empty() ? shards.size() * rates.size() : pairings.size();
+  return methods.size() * points * seeds.size();
+}
+
+std::uint64_t ScenarioSpec::stream_length(double rate_tps) const noexcept {
+  if (txs > 0) return txs;
+  const double sized = rate_tps * issue_seconds;
+  return sized < 1.0 ? 1 : static_cast<std::uint64_t>(sized);
+}
+
+Sweep ScenarioSpec::expand() const {
+  if (methods.empty()) throw std::invalid_argument("ScenarioSpec: no methods");
+  if (seeds.empty()) throw std::invalid_argument("ScenarioSpec: no seeds");
+  if (replicas == 0) throw std::invalid_argument("ScenarioSpec: replicas==0");
+  if (pairings.empty() && (shards.empty() || rates.empty())) {
+    throw std::invalid_argument("ScenarioSpec: empty shard/rate axis");
+  }
+
+  // Materialize the operating points once; the explicit pairing list wins.
+  std::vector<OperatingPoint> points = pairings;
+  if (points.empty()) {
+    points.reserve(shards.size() * rates.size());
+    for (const std::uint32_t k : shards) {
+      for (const double rate : rates) points.push_back({rate, k});
+    }
+  }
+
+  Sweep sweep;
+  sweep.scenario = name;
+  sweep.title = title;
+  sweep.paper_ref = paper_ref;
+  sweep.mode = mode;
+  sweep.replicas = replicas;
+  sweep.cells.reserve(num_cells() * replicas);
+
+  std::size_t cell_id = 0;
+  for (const std::string& method : methods) {
+    for (const OperatingPoint& point : points) {
+      for (const std::uint64_t seed : seeds) {
+        for (std::uint32_t replica = 0; replica < replicas; ++replica) {
+          SweepCell cell;
+          cell.cell = cell_id;
+          cell.replica = replica;
+          cell.mode = mode;
+          cell.stream_txs = stream_length(point.rate_tps);
+          cell.warm_txs =
+              mode == RunMode::kPlace
+                  ? static_cast<std::uint64_t>(warm_ratio) * cell.stream_txs
+                  : 0;
+          cell.workload_seed = seed;
+          cell.workload = workload;
+          cell.bitcoin_workload = bitcoin_workload;
+          cell.account_workload = account_workload;
+
+          RunSpec& spec = cell.spec;
+          spec.method = method;
+          spec.num_shards = point.shards;
+          spec.seed = seed;
+          // Replicas re-roll only the simulator's stochastic sampling
+          // (network positions, leader faults), never the workload or the
+          // placement method — the paper's "same stream, repeated runs"
+          // replication model.
+          spec.sim_seed = kBaseSimSeed + replica;
+          spec.rate_tps = point.rate_tps;
+          spec.protocol = protocol;
+          spec.commit_window_s = commit_window_s;
+          spec.queue_sample_interval_s = queue_sample_interval_s;
+          spec.leader_fault_rate = leader_fault_rate;
+          spec.shard_slowdown = shard_slowdown;
+          sweep.cells.push_back(std::move(cell));
+        }
+        ++cell_id;
+      }
+    }
+  }
+  return sweep;
+}
+
+}  // namespace optchain::api

@@ -1,0 +1,139 @@
+// ScenarioSpec — a declarative description of an experiment grid.
+//
+// The paper's whole evaluation (Figs. 2-11, Tables I-II) is a sweep of
+// (method × shard count × tx rate × seed) runs over a generated workload.
+// A ScenarioSpec names the axes and the fixed operating knobs once and
+// expands into a Sweep: one fully self-contained SweepCell per grid point
+// per replica, each carrying the complete api::RunSpec plus the workload
+// recipe that produces its transaction stream. SweepRunner executes cells
+// (in any order, on any number of threads — every cell's randomness derives
+// only from its own seeds) and aggregates replicas into a SweepReport.
+//
+//   api::ScenarioSpec spec;
+//   spec.name = "fig4a";
+//   spec.methods = {"OptChain", "OmniLedger", "Metis", "Greedy"};
+//   spec.rates = {2000, 3000, 4000, 5000, 6000};
+//   spec.issue_seconds = 120.0;
+//   api::SweepReport report = api::SweepRunner({.jobs = 8}).run(spec);
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/run_spec.hpp"
+#include "workload/account_workload.hpp"
+#include "workload/bitcoin_like_generator.hpp"
+
+namespace optchain::api {
+
+/// What each cell runs: placement-only streaming (Tables I-II) or the full
+/// discrete-event simulation (Figs. 3-11).
+enum class RunMode : std::uint8_t { kPlace, kSimulate };
+
+const char* to_string(RunMode mode) noexcept;
+
+/// Which generator produces the cell's transaction stream.
+enum class WorkloadKind : std::uint8_t { kBitcoinLike, kAccount };
+
+/// An explicit (rate, shard count) operating point. When a scenario lists
+/// pairings they replace the shards × rates cross product — the paper's
+/// Figs. 8b/9b pair each rate with the smallest shard count that keeps
+/// OptChain healthy instead of sweeping the full grid.
+struct OperatingPoint {
+  double rate_tps = 2000.0;
+  std::uint32_t shards = 16;
+};
+
+struct SweepCell;
+struct Sweep;
+
+struct ScenarioSpec {
+  std::string name;       // registry key, e.g. "fig4a"
+  std::string title;      // human description for list/report headers
+  std::string paper_ref;  // what it reproduces, e.g. "Fig. 4a (§V.B.1)"
+
+  RunMode mode = RunMode::kSimulate;
+
+  // ----- axes (cross product, in this nesting order: methods, then shard ×
+  // rate points, then seeds, then replicas) ------------------------------
+  std::vector<std::string> methods = {"OptChain"};  // PlacerRegistry names
+  std::vector<std::uint32_t> shards = {16};
+  std::vector<double> rates = {2000.0};
+  /// Non-empty: replaces shards × rates with this explicit point list.
+  std::vector<OperatingPoint> pairings;
+  /// Workload/method seeds (RunSpec::seed; also seeds the generator).
+  std::vector<std::uint64_t> seeds = {1};
+  /// Stochastic-simulation replicas per grid point: replica r runs the same
+  /// workload under sim_seed = kBaseSimSeed + r, and SweepRunner reports
+  /// mean/min/max across them.
+  std::uint32_t replicas = 1;
+
+  // ----- fixed RunSpec knobs -------------------------------------------
+  sim::ProtocolMode protocol = sim::ProtocolMode::kOmniLedger;
+  double leader_fault_rate = 0.0;
+  std::vector<double> shard_slowdown;
+  double commit_window_s = 10.0;
+  double queue_sample_interval_s = 5.0;
+
+  // ----- workload ------------------------------------------------------
+  WorkloadKind workload = WorkloadKind::kBitcoinLike;
+  workload::WorkloadConfig bitcoin_workload;
+  workload::AccountWorkloadConfig account_workload;
+  /// Fixed stream length; 0 sizes each cell as rate × issue_seconds (the
+  /// bench convention: a constant issue window equalizes the drain-tail
+  /// bias across rates).
+  std::uint64_t txs = 0;
+  double issue_seconds = 90.0;
+  /// Table II warm start: each cell's stream is preceded by
+  /// warm_ratio × (placed txs) transactions whose TaN is partitioned
+  /// offline with Metis and force-placed (excluded from the cross-TX
+  /// count). 0 = cold start. Placement mode only.
+  std::uint32_t warm_ratio = 0;
+
+  /// sim_seed of replica 0 (matches SimConfig's default, so a 1-replica
+  /// scenario reproduces the historical per-figure binaries exactly).
+  static constexpr std::uint64_t kBaseSimSeed = 42;
+
+  /// Grid points before replication: methods × points × seeds, where
+  /// points = pairings.size() when pairings is non-empty, else
+  /// shards.size() × rates.size().
+  std::size_t num_cells() const noexcept;
+
+  /// Stream length of a cell at `rate_tps` (excluding any warm prefix).
+  std::uint64_t stream_length(double rate_tps) const noexcept;
+
+  /// Expands the axes into num_cells() × replicas self-contained cells.
+  /// Throws std::invalid_argument on an empty axis or replicas == 0.
+  Sweep expand() const;
+};
+
+/// One grid point × one replica, fully self-contained: SweepRunner executes
+/// a cell without reading anything but the cell (what makes the thread pool
+/// trivially deterministic).
+struct SweepCell {
+  std::size_t cell = 0;      // dense grid-point id, expansion order
+  std::uint32_t replica = 0;
+  RunMode mode = RunMode::kSimulate;
+  RunSpec spec;              // complete run description for this replica
+  std::uint64_t stream_txs = 0;  // placed/simulated stream length
+  std::uint64_t warm_txs = 0;    // Metis warm prefix length (kPlace only)
+  std::uint64_t workload_seed = 1;
+  WorkloadKind workload = WorkloadKind::kBitcoinLike;
+  workload::WorkloadConfig bitcoin_workload;
+  workload::AccountWorkloadConfig account_workload;
+};
+
+/// An expanded scenario: the flat cell list (grid-point-major,
+/// replica-minor) plus the metadata reports carry forward.
+struct Sweep {
+  std::string scenario;
+  std::string title;
+  std::string paper_ref;
+  RunMode mode = RunMode::kSimulate;
+  std::uint32_t replicas = 1;
+  std::vector<SweepCell> cells;
+};
+
+}  // namespace optchain::api

@@ -1,0 +1,118 @@
+// SweepRunner — one parallel executor for every experiment sweep.
+//
+// Executes an expanded Sweep on a std::thread pool (one pipeline + one
+// simulator per cell, nothing shared between workers) and aggregates the
+// per-cell RunReports into a SweepReport. Determinism is structural, not
+// lucky: each SweepCell is self-contained (its own workload seed, method
+// seed and sim seed), workers only write results[their cell index], and
+// aggregation walks cells in expansion order — so the SweepReport is
+// bit-identical at --jobs=1 and --jobs=N (pinned by tests/scenario_test.cpp).
+//
+// A SweepReport emits three shapes: an aligned TextTable (one row per grid
+// point), a full-precision CSV (the machine-readable artifact), and nested
+// JSON via JsonWriter (the BENCH_figs.json schema).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/run_spec.hpp"
+#include "api/scenario_spec.hpp"
+#include "common/json_writer.hpp"
+#include "common/table.hpp"
+#include "txmodel/transaction.hpp"
+
+namespace optchain::api {
+
+/// mean/min/max of one metric across a grid point's replicas.
+struct Aggregate {
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  static Aggregate of(std::span<const double> values) noexcept;
+};
+
+/// One grid point of a finished sweep: identity, replica aggregates, and the
+/// raw per-replica RunReports (figure shaping needs the full SimResult —
+/// latency CDFs, commit windows, queue snapshots — not just scalars).
+struct CellReport {
+  std::size_t cell = 0;
+  std::string method;
+  std::uint32_t num_shards = 0;
+  double rate_tps = 0.0;
+  std::uint64_t seed = 1;
+  std::uint64_t txs = 0;       // per-replica stream length
+  std::uint64_t warm_txs = 0;  // Metis warm prefix (placement mode)
+  std::uint32_t replicas = 1;
+  /// Simulation mode: every replica drained before the safety horizon.
+  bool completed = true;
+
+  Aggregate cross_fraction;
+  Aggregate cross_txs;
+  Aggregate throughput_tps;
+  Aggregate avg_latency_s;
+  Aggregate max_latency_s;
+  Aggregate committed;
+  Aggregate aborted;
+  Aggregate duration_s;
+  Aggregate total_blocks;
+
+  std::vector<RunReport> runs;  // one per replica, expansion order
+
+  /// Replica 0's raw report (the common case for figure shaping).
+  const RunReport& first() const { return runs.front(); }
+};
+
+struct SweepReport {
+  std::string scenario;
+  std::string title;
+  std::string paper_ref;
+  RunMode mode = RunMode::kSimulate;
+  std::vector<CellReport> cells;
+
+  /// First grid point matching (method, shards, rate) across seeds, or
+  /// nullptr. Figure shaping pivots the cell list through this.
+  const CellReport* find(std::string_view method, std::uint32_t num_shards,
+                         double rate_tps) const noexcept;
+
+  /// Generic per-grid-point summary table (means across replicas).
+  TextTable to_table() const;
+  /// Full-precision flat CSV, one row per grid point with
+  /// mean/min/max columns — the canonical determinism artifact.
+  std::string to_csv() const;
+  /// Nested JSON into an already-open object of `json`.
+  void write_json(JsonWriter& json) const;
+};
+
+struct SweepOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  unsigned jobs = 1;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions options = {}) : options_(options) {}
+
+  SweepReport run(const ScenarioSpec& spec) const;
+  SweepReport run(const Sweep& sweep) const;
+
+  /// One cell end-to-end (stream generation → place/simulate), producing
+  /// exactly what a worker thread produces (workers additionally share a
+  /// per-run warm-partition memo, which never changes results). Exposed so
+  /// tests can replay a cell against the direct api::place/api::simulate
+  /// calls.
+  static RunReport run_cell(const SweepCell& cell);
+
+  /// The deterministic stream a cell consumes (warm prefix included).
+  static std::vector<tx::Transaction> cell_stream(const SweepCell& cell);
+
+ private:
+  SweepOptions options_;
+};
+
+}  // namespace optchain::api

@@ -28,6 +28,10 @@ class Flags {
   std::vector<std::int64_t> get_int_list(
       const std::string& name, std::vector<std::int64_t> fallback) const;
 
+  /// Comma-separated double list, e.g. --slowdown=6.0,1.0,2.5.
+  std::vector<double> get_double_list(const std::string& name,
+                                      std::vector<double> fallback) const;
+
  private:
   std::map<std::string, std::string> values_;
 };

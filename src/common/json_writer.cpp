@@ -1,0 +1,83 @@
+#include "common/json_writer.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace optchain {
+
+void JsonWriter::comma() {
+  if (needs_comma_) out_ += ",";
+  needs_comma_ = true;
+}
+
+void JsonWriter::key(const std::string& name) {
+  comma();
+  out_ += "\"" + name + "\":";
+}
+
+JsonWriter& JsonWriter::field(const std::string& k, const std::string& value) {
+  key(k);
+  out_ += "\"";
+  for (const char c : value) {
+    if (c == '"' || c == '\\') {
+      out_ += '\\';
+      out_ += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char escaped[8];
+      std::snprintf(escaped, sizeof(escaped), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out_ += escaped;
+    } else {
+      out_ += c;
+    }
+  }
+  out_ += "\"";
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& k, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  key(k);
+  out_ += buffer;
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& k, bool value) {
+  key(k);
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object(const std::string& k) {
+  key(k);
+  out_ += "{";
+  needs_comma_ = false;
+  ++depth_;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_ += "}";
+  needs_comma_ = true;
+  --depth_;
+  return *this;
+}
+
+std::string JsonWriter::finish() {
+  while (depth_ > 0) {
+    out_ += "}";
+    --depth_;
+  }
+  return out_;
+}
+
+void JsonWriter::save(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << finish() << "\n";
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace optchain

@@ -1,0 +1,50 @@
+// Minimal ordered JSON emitter for machine-readable artifacts
+// (BENCH_*.json, SweepReport exports): nested objects, string/number/bool
+// fields, no external dependency. Keys are emitted verbatim — callers use
+// plain identifiers. Lived in bench_common until the SweepReport API needed
+// it; optchain::bench::JsonWriter remains as an alias.
+#pragma once
+
+#include <concepts>
+#include <string>
+
+namespace optchain {
+
+class JsonWriter {
+ public:
+  JsonWriter() { out_ = "{"; }
+
+  JsonWriter& field(const std::string& key, const std::string& value);
+  JsonWriter& field(const std::string& key, const char* value) {
+    return field(key, std::string(value));
+  }
+  JsonWriter& field(const std::string& key, double value);
+  JsonWriter& field(const std::string& key, bool value);
+  /// One overload for every integer width/signedness, so call sites never
+  /// need casts to dodge overload ambiguity.
+  JsonWriter& field(const std::string& name,
+                    std::integral auto value) requires(
+      !std::same_as<decltype(value), bool>) {
+    key(name);
+    out_ += std::to_string(value);
+    return *this;
+  }
+  JsonWriter& begin_object(const std::string& key);
+  JsonWriter& end_object();
+
+  /// Closes the root object and returns the document.
+  std::string finish();
+
+  /// Writes finish() to `path` (with a trailing newline).
+  void save(const std::string& path);
+
+ private:
+  void comma();
+  void key(const std::string& name);
+
+  std::string out_;
+  bool needs_comma_ = false;
+  int depth_ = 1;
+};
+
+}  // namespace optchain

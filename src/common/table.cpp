@@ -31,6 +31,12 @@ std::string TextTable::fmt_percent(double fraction, int precision) {
   return buf;
 }
 
+std::string TextTable::fmt_signed_percent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%+.*f %%", precision, fraction * 100.0);
+  return buf;
+}
+
 std::string TextTable::fmt_int(long long value) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%lld", value);

@@ -20,6 +20,9 @@ class TextTable {
   /// Convenience cell formatters.
   static std::string fmt(double value, int precision = 2);
   static std::string fmt_percent(double fraction, int precision = 2);
+  /// Like fmt_percent but always signed ("+12.3 %" / "-12.3 %") — for
+  /// relative-gain columns where the sign carries the comparison.
+  static std::string fmt_signed_percent(double fraction, int precision = 2);
   static std::string fmt_int(long long value);
 
   /// Renders with column alignment and a header rule.

@@ -1,0 +1,57 @@
+// SimObserver — the simulation's metric/instrumentation hook seam.
+//
+// The simulator used to be the only thing that could measure a run: every
+// collector in stats/ was a hard-wired member of SimResult, and a bench
+// binary wanting a new metric had to patch the engine. Observers invert
+// that: the engine announces the four protocol-visible moments (issue,
+// terminal commit/abort, periodic queue sample, per-shard block commit) and
+// anything — the built-in stats::MetricsObserver, a bench scenario, a test
+// golden — attaches through api::RunSpec::observers / SimConfig::observers
+// without touching the event loop.
+//
+// Hooks fire synchronously inside the event dispatch, in simulated-time
+// order, after the engine's own state update for that moment. Observers must
+// not re-enter the simulation; they are pure sinks. An observer is borrowed
+// (raw pointer) and must outlive the run.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace optchain::sim {
+
+class SimObserver {
+ public:
+  virtual ~SimObserver() = default;
+
+  /// Transaction `tx` entered the system at simulated `time`. `cross` is the
+  /// placement verdict: at least one input lives outside the chosen shard,
+  /// so the cross-shard protocol will run for it.
+  virtual void on_issue(std::uint32_t tx, double time, bool cross) {
+    (void)tx, (void)time, (void)cross;
+  }
+
+  /// Transaction `tx` committed at `time`; `latency_s` = time − issue time
+  /// ("from when the transaction is sent until it is committed", §V.B.2).
+  virtual void on_commit(std::uint32_t tx, double time, double latency_s) {
+    (void)tx, (void)time, (void)latency_s;
+  }
+
+  /// Transaction `tx` aborted at `time` (proof-of-rejection path).
+  virtual void on_abort(std::uint32_t tx, double time) { (void)tx, (void)time; }
+
+  /// Periodic mempool snapshot (Figs. 6-7 cadence): `queue_sizes[s]` is shard
+  /// s's queue length at `time`. The span is only valid during the call.
+  virtual void on_queue_sample(double time,
+                               std::span<const std::uint64_t> queue_sizes) {
+    (void)time, (void)queue_sizes;
+  }
+
+  /// Shard `shard` committed a block at `time` (view-change rounds included —
+  /// the round still produced its block, just late).
+  virtual void on_block_commit(std::uint32_t shard, double time) {
+    (void)shard, (void)time;
+  }
+};
+
+}  // namespace optchain::sim

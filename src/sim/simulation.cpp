@@ -78,7 +78,18 @@ SimResult Simulation::run(workload::TxSource& source,
 
   result_ = SimResult{};
   result_.placer_name = std::string(pipeline.method_name());
-  result_.commits_per_window = stats::WindowCounter(config_.commit_window_s);
+
+  // All metric collection flows through the observer seam: the engine's own
+  // collectors are observers_[0], followed by whatever the caller installed
+  // via SimConfig::observers (RunSpec plumbs them through). Hooks fire in
+  // this order, synchronously, inside event dispatch.
+  metrics_ = stats::MetricsObserver(config_.commit_window_s);
+  observers_.clear();
+  observers_.push_back(&metrics_);
+  for (SimObserver* observer : config_.observers) {
+    OPTCHAIN_EXPECTS(observer != nullptr);
+    observers_.push_back(observer);
+  }
 
   const auto hint = source.size_hint();
   if (hint.has_value()) {
@@ -113,6 +124,12 @@ SimResult Simulation::run(workload::TxSource& source,
   result_.total_txs = hint.has_value() ? *hint : issued_;
   result_.committed_txs = committed_;
   result_.completed = !work_remaining();
+  result_.cross_txs = metrics_.cross_counter().cross();
+  result_.aborted_txs = metrics_.aborted();
+  result_.duration_s = metrics_.duration_s();
+  result_.latencies = metrics_.latencies();
+  result_.commits_per_window = metrics_.commits_per_window();
+  result_.queue_tracker = metrics_.queue_tracker();
   if (result_.latencies.count() > 0) {
     result_.avg_latency_s = result_.latencies.average();
     result_.max_latency_s = result_.latencies.maximum();
@@ -159,6 +176,7 @@ void Simulation::on_event(const Event& event) {
     case EventType::kBlockCommit:
     case EventType::kViewChange:
       shards_[event.shard]->complete_round();
+      notify_block_commit(event.shard, events_.now());
       break;
     case EventType::kQueueSample:
       sample_queues();
@@ -197,7 +215,6 @@ void Simulation::issue_transaction(std::uint32_t index) {
                                shards_[target]->leader_position(), payload),
         Event::deliver(EventType::kTxDeliver, target, index));
   } else {
-    ++result_.cross_txs;
     flight.cross.remaining_locks =
         static_cast<std::uint32_t>(placed.input_shards.size());
     flight.cross.output_shard = target;
@@ -212,9 +229,11 @@ void Simulation::issue_transaction(std::uint32_t index) {
   // The protocol only needs the inputs from here on; steal them instead of
   // copying (staged_ is overwritten by the prefetch below anyway).
   flight.inputs = std::move(staged_.inputs);
+  const double issue_time = flight.issue_time;
   inflight_.emplace(index, std::move(flight));
   ++outstanding_;
   ++issued_;
+  notify_issue(index, issue_time, placed.cross);
 
   // Chain the next issue event at its nominal time index/rate, if the
   // stream has one.
@@ -357,20 +376,16 @@ void Simulation::commit_transaction(std::uint32_t index, SimTime time) {
   OPTCHAIN_ASSERT(it != inflight_.end());
   const double latency = time - it->second.issue_time;
   OPTCHAIN_ASSERT(latency >= 0.0);
-  result_.latencies.record(latency);
-  result_.commits_per_window.record(time);
-  result_.duration_s = std::max(result_.duration_s, time);
   ++committed_;
   --outstanding_;
   inflight_.erase(it);
+  notify_commit(index, time, latency);
 }
 
 void Simulation::abort_transaction(std::uint32_t index, SimTime time) {
-  (void)index;
   OPTCHAIN_ASSERT(outstanding_ > 0);
-  ++result_.aborted_txs;
-  result_.duration_s = std::max(result_.duration_s, time);
   --outstanding_;
+  notify_abort(index, time);
 }
 
 void Simulation::erase_if_settled(std::uint32_t index) {
@@ -382,11 +397,39 @@ void Simulation::erase_if_settled(std::uint32_t index) {
 }
 
 void Simulation::sample_queues() {
-  std::vector<std::uint64_t> sizes(shards_.size());
+  queue_sizes_.resize(shards_.size());
   for (std::size_t s = 0; s < shards_.size(); ++s) {
-    sizes[s] = shards_[s]->queue_size();
+    queue_sizes_[s] = shards_[s]->queue_size();
   }
-  result_.queue_tracker.record(events_.now(), sizes);
+  notify_queue_sample(events_.now(), queue_sizes_);
+}
+
+void Simulation::notify_issue(std::uint32_t tx, double time, bool cross) {
+  for (SimObserver* observer : observers_) observer->on_issue(tx, time, cross);
+}
+
+void Simulation::notify_commit(std::uint32_t tx, double time,
+                               double latency_s) {
+  for (SimObserver* observer : observers_) {
+    observer->on_commit(tx, time, latency_s);
+  }
+}
+
+void Simulation::notify_abort(std::uint32_t tx, double time) {
+  for (SimObserver* observer : observers_) observer->on_abort(tx, time);
+}
+
+void Simulation::notify_queue_sample(
+    double time, std::span<const std::uint64_t> queue_sizes) {
+  for (SimObserver* observer : observers_) {
+    observer->on_queue_sample(time, queue_sizes);
+  }
+}
+
+void Simulation::notify_block_commit(std::uint32_t shard, double time) {
+  for (SimObserver* observer : observers_) {
+    observer->on_block_commit(shard, time);
+  }
 }
 
 }  // namespace optchain::sim

@@ -50,6 +50,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/network.hpp"
 #include "sim/shard_node.hpp"
+#include "sim/sim_observer.hpp"
 #include "stats/metrics.hpp"
 #include "txmodel/transaction.hpp"
 #include "workload/tx_source.hpp"
@@ -87,6 +88,11 @@ struct SimConfig {
 
   /// Message payload sizes (bytes).
   std::uint64_t proof_bytes = 256;
+
+  /// Borrowed instrumentation hooks (see sim/sim_observer.hpp); each must
+  /// outlive the run. The engine's own metric collection is itself an
+  /// observer (stats::MetricsObserver), always notified first.
+  std::vector<SimObserver*> observers;
 };
 
 struct SimResult {
@@ -158,6 +164,12 @@ class Simulation final : private EventHandler {
   enum class OutpointState : std::uint8_t { kLocked, kSpent };
 
   void on_event(const Event& event) override;
+  void notify_issue(std::uint32_t tx, double time, bool cross);
+  void notify_commit(std::uint32_t tx, double time, double latency_s);
+  void notify_abort(std::uint32_t tx, double time);
+  void notify_queue_sample(double time,
+                           std::span<const std::uint64_t> queue_sizes);
+  void notify_block_commit(std::uint32_t shard, double time);
   void issue_transaction(std::uint32_t index);
   void on_item_committed(std::uint32_t shard, const QueueItem& item,
                          SimTime time);
@@ -209,6 +221,11 @@ class Simulation final : private EventHandler {
   // hint to avoid rehash storms mid-run.
   std::unordered_map<std::uint64_t, std::pair<OutpointState, std::uint32_t>>
       outpoint_state_;
+  std::vector<std::uint64_t> queue_sizes_;  // scratch for sample_queues
+  /// The engine's own collectors, attached through the same observer seam as
+  /// external hooks (observers_[0]); copied into result_ when the run ends.
+  stats::MetricsObserver metrics_;
+  std::vector<SimObserver*> observers_;
   SimResult result_;
 };
 

@@ -23,7 +23,7 @@ std::uint64_t WindowCounter::count_in_window(std::size_t window) const noexcept 
 }
 
 void QueueTracker::record(double time_seconds,
-                          const std::vector<std::uint64_t>& queues) {
+                          std::span<const std::uint64_t> queues) {
   OPTCHAIN_EXPECTS(!queues.empty());
   QueueSnapshot snap;
   snap.time = time_seconds;

@@ -5,13 +5,17 @@
 //  - WindowCounter     → Fig. 5 (transactions committed per 50 s window)
 //  - QueueTracker      → Figs. 6, 7 (max/min shard queue sizes and their ratio)
 //  - CrossTxCounter    → Tables I, II (cross-shard transaction counts)
+//  - MetricsObserver   → all of the above as one sim::SimObserver, attachable
+//                        to a run through api::RunSpec::observers
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/histogram.hpp"
+#include "sim/sim_observer.hpp"
 
 namespace optchain::stats {
 
@@ -68,7 +72,7 @@ struct QueueSnapshot {
 
 class QueueTracker {
  public:
-  void record(double time_seconds, const std::vector<std::uint64_t>& queues);
+  void record(double time_seconds, std::span<const std::uint64_t> queues);
 
   const std::vector<QueueSnapshot>& snapshots() const noexcept {
     return snapshots_;
@@ -100,6 +104,65 @@ class CrossTxCounter {
  private:
   std::uint64_t total_ = 0;
   std::uint64_t cross_ = 0;
+};
+
+/// The standard collector bundle as one sim::SimObserver: everything the
+/// paper's figures measure, filled from the four observer hooks instead of
+/// hand-wired engine members. The simulator installs one internally (its
+/// collectors become SimResult's), and any consumer can attach its own
+/// through api::RunSpec::observers to measure a run from outside the engine
+/// — tests/scenario_test.cpp pins the two views bit-identical.
+class MetricsObserver final : public sim::SimObserver {
+ public:
+  /// `commit_window_s` is the Fig. 5 window width (the paper uses 50 s).
+  explicit MetricsObserver(double commit_window_s = 50.0)
+      : commits_per_window_(commit_window_s) {}
+
+  void on_issue(std::uint32_t /*tx*/, double /*time*/, bool cross) override {
+    cross_counter_.record(cross);
+  }
+  void on_commit(std::uint32_t /*tx*/, double time,
+                 double latency_s) override {
+    latencies_.record(latency_s);
+    commits_per_window_.record(time);
+    ++committed_;
+    duration_s_ = duration_s_ < time ? time : duration_s_;
+  }
+  void on_abort(std::uint32_t /*tx*/, double time) override {
+    ++aborted_;
+    duration_s_ = duration_s_ < time ? time : duration_s_;
+  }
+  void on_queue_sample(double time,
+                       std::span<const std::uint64_t> queue_sizes) override {
+    queue_tracker_.record(time, queue_sizes);
+  }
+  void on_block_commit(std::uint32_t /*shard*/, double /*time*/) override {
+    ++blocks_;
+  }
+
+  const LatencyRecorder& latencies() const noexcept { return latencies_; }
+  const WindowCounter& commits_per_window() const noexcept {
+    return commits_per_window_;
+  }
+  const QueueTracker& queue_tracker() const noexcept { return queue_tracker_; }
+  const CrossTxCounter& cross_counter() const noexcept {
+    return cross_counter_;
+  }
+  std::uint64_t committed() const noexcept { return committed_; }
+  std::uint64_t aborted() const noexcept { return aborted_; }
+  std::uint64_t blocks() const noexcept { return blocks_; }
+  /// Simulated time of the last terminal (commit or abort) event.
+  double duration_s() const noexcept { return duration_s_; }
+
+ private:
+  LatencyRecorder latencies_;
+  WindowCounter commits_per_window_;
+  QueueTracker queue_tracker_;
+  CrossTxCounter cross_counter_;
+  std::uint64_t committed_ = 0;
+  std::uint64_t aborted_ = 0;
+  std::uint64_t blocks_ = 0;
+  double duration_s_ = 0.0;
 };
 
 }  // namespace optchain::stats

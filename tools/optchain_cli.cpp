@@ -9,7 +9,15 @@
 //   optchain partition --in=stream.bin --shards=K [--epsilon=0.1]
 //   optchain simulate  --in=stream.bin --method=<name> --shards=K --rate=TPS
 //                      [--protocol=omniledger|rapidchain]
-//                      [--fault_rate=P] [--csv=out.csv]
+//                      [--fault_rate=P] [--sim_seed=S] [--commit_window=SECS]
+//                      [--queue_interval=SECS] [--slowdown=a,b,...]
+//                      [--csv=out.csv]
+//
+// The simulate knobs cover every RunSpec operating point the bench
+// scenarios sweep: --sim_seed re-rolls the network/consensus sampling
+// (replicas), --commit_window / --queue_interval set the Fig. 5-7 metric
+// cadences, and --slowdown=a,b,... applies a chronic per-shard slowdown
+// (shard s runs a_s times slower; missing entries default to 1).
 //
 // --method accepts any PlacerRegistry name (case-insensitive): OptChain,
 // T2S, Greedy, OmniLedger (alias: Random), LeastLoaded, Static, Metis.
@@ -65,6 +73,13 @@ api::RunSpec spec_from_flags(const Flags& flags) {
   spec.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   spec.rate_tps = flags.get_double("rate", 2000.0);
   spec.leader_fault_rate = flags.get_double("fault_rate", 0.0);
+  spec.sim_seed =
+      static_cast<std::uint64_t>(flags.get_int("sim_seed", 42));
+  spec.commit_window_s =
+      flags.get_double("commit_window", spec.commit_window_s);
+  spec.queue_sample_interval_s =
+      flags.get_double("queue_interval", spec.queue_sample_interval_s);
+  spec.shard_slowdown = flags.get_double_list("slowdown", {});
   if (flags.get_string("protocol", "omniledger") == "rapidchain") {
     spec.protocol = sim::ProtocolMode::kRapidChain;
   }
