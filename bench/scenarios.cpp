@@ -64,12 +64,21 @@ std::vector<std::uint32_t> shard_axis(const Flags& flags,
   return out;
 }
 
+/// Method line-up override (--methods=A,B,...). An explicitly empty list
+/// (--methods=) flows through to ScenarioSpec::expand(), which rejects it —
+/// an empty expansion must fail loudly, never run zero cells successfully.
+std::vector<std::string> method_axis(const Flags& flags,
+                                     std::vector<std::string> fallback) {
+  return flags.get_string_list("methods", std::move(fallback));
+}
+
 /// The simulation-scenario base: the paper's method line-up, one seed, the
 /// historical 10 s Fig. 5 window, sized by rate × issue window.
 api::ScenarioSpec sim_spec(const Flags& flags, double default_issue_seconds) {
   api::ScenarioSpec spec;
   spec.mode = api::RunMode::kSimulate;
-  spec.methods = {"OptChain", "OmniLedger", "Metis", "Greedy"};
+  spec.methods =
+      method_axis(flags, {"OptChain", "OmniLedger", "Metis", "Greedy"});
   spec.seeds = {seed_of(flags)};
   spec.replicas =
       static_cast<std::uint32_t>(flags.get_int("replicas", 1));
@@ -371,7 +380,7 @@ api::ScenarioSpec table1_spec(const Flags& flags) {
   api::ScenarioSpec spec;
   spec.name = "table1";
   spec.mode = api::RunMode::kPlace;
-  spec.methods = {"Metis", "Greedy", "OmniLedger", "T2S"};
+  spec.methods = method_axis(flags, {"Metis", "Greedy", "OmniLedger", "T2S"});
   spec.shards = shard_axis(flags, {4, 8, 16, 32, 64});
   spec.seeds = {seed_of(flags)};
   spec.txs = sized(flags, 200'000, 10'000);
@@ -382,7 +391,7 @@ api::ScenarioSpec table2_spec(const Flags& flags) {
   api::ScenarioSpec spec;
   spec.name = "table2";
   spec.mode = api::RunMode::kPlace;
-  spec.methods = {"Greedy", "OmniLedger", "T2S"};
+  spec.methods = method_axis(flags, {"Greedy", "OmniLedger", "T2S"});
   spec.shards = shard_axis(flags, {4, 8, 16, 32, 64});
   spec.seeds = {seed_of(flags)};
   spec.txs = sized(flags, 20'000, 1'000);  // the "next 1M", scaled
@@ -444,6 +453,102 @@ api::ScenarioSpec account_sim_spec(const Flags& flags) {
   spec.shards = {8};
   spec.rates = {3000.0};
   spec.commit_window_s = 10.0;
+  return spec;
+}
+
+// --------------------------------------- dynamic-workload spec builders
+
+/// The dynamic-workload method line-up: the paper's online strategies plus
+/// the Shard Scheduler-style affinity baseline. Metis is deliberately absent
+/// (an offline oracle cannot follow a moving workload, and injecting
+/// profiles never materialize the emitted stream).
+std::vector<std::string> dynamic_lineup(const Flags& flags) {
+  return method_axis(flags,
+                     {"OptChain", "OmniLedger", "Greedy", "ShardScheduler"});
+}
+
+/// `dynamic`: one operating point under a four-act rate wave — calm,
+/// linear ramp to 2x, flash crowd spiking to 3x, diurnal tail — sized so
+/// the acts partition the nominal issue window.
+api::ScenarioSpec dynamic_spec(const Flags& flags) {
+  api::ScenarioSpec spec;
+  spec.name = "dynamic";
+  spec.mode = api::RunMode::kSimulate;
+  spec.methods = dynamic_lineup(flags);
+  spec.seeds = {seed_of(flags)};
+  spec.replicas = static_cast<std::uint32_t>(flags.get_int("replicas", 1));
+  spec.commit_window_s = 10.0;
+  const auto base = static_cast<double>(flags.get_int("rate", 3000));
+  spec.rates = {base};
+  spec.shards = {static_cast<std::uint32_t>(flags.get_int("k", 16))};
+  spec.issue_seconds = issue_window(flags, 60.0);
+  spec.txs = static_cast<std::uint64_t>(flags.get_int("txs", 0));
+  // The acts partition the *effective* issue window — a --txs override
+  // shrinks the wave with the stream, so the whole curve always executes.
+  const double w = spec.txs > 0
+                       ? static_cast<double>(spec.txs) / base
+                       : spec.issue_seconds;
+  spec.dynamic.rate.constant(base, 0.25 * w)
+      .ramp(base, 2.0 * base, 0.25 * w)
+      .flash_crowd(base, 3.0 * base, 0.05 * w, 0.25 * w)
+      .diurnal(base, 0.5 * base, 0.5 * w, 0.25 * w);
+  return spec;
+}
+
+/// `hotspot`: Zipfian rotating-hot-set injection plus a mid-stream
+/// consolidation-spam burst (parent fan-out 24) at a fixed operating point.
+api::ScenarioSpec hotspot_spec(const Flags& flags) {
+  api::ScenarioSpec spec;
+  spec.name = "hotspot";
+  spec.mode = api::RunMode::kSimulate;
+  spec.methods = dynamic_lineup(flags);
+  spec.seeds = {seed_of(flags)};
+  spec.replicas = static_cast<std::uint32_t>(flags.get_int("replicas", 1));
+  spec.commit_window_s = 10.0;
+  spec.rates = {static_cast<double>(flags.get_int("rate", 3000))};
+  spec.shards = {static_cast<std::uint32_t>(flags.get_int("k", 16))};
+  spec.issue_seconds = issue_window(flags, 60.0);
+  spec.txs = static_cast<std::uint64_t>(flags.get_int("txs", 0));
+
+  workload::HotspotConfig& hotspot = spec.dynamic.hotspot;
+  hotspot.injection_fraction = flags.get_double("hot_fraction", 0.10);
+  hotspot.zipf_s = flags.get_double("zipf", 1.2);
+  hotspot.hot_set_size = 32;
+  hotspot.fanout_inputs = 2;
+  const std::uint64_t n = spec.stream_length(spec.rates[0]);
+  hotspot.rotation_interval = std::max<std::uint64_t>(1, n / 10);
+  // DoS episode over the middle tenth of the stream: injection doubles and
+  // injected transactions consolidate 24 hot parents each (Fig. 2c's flood
+  // shape, aimed at the hot set).
+  spec.dynamic.bursts = {{n / 2, n / 2 + std::max<std::uint64_t>(1, n / 10),
+                          0.5, 24}};
+  return spec;
+}
+
+/// `churn`: the shard set changes mid-run — the largest shard retires at
+/// 25% of the issue window (bulk handoff to the least-loaded survivor) and
+/// two fresh shards join at 50% / 70%.
+api::ScenarioSpec churn_spec(const Flags& flags) {
+  api::ScenarioSpec spec;
+  spec.name = "churn";
+  spec.mode = api::RunMode::kSimulate;
+  spec.methods = dynamic_lineup(flags);
+  spec.seeds = {seed_of(flags)};
+  spec.replicas = static_cast<std::uint32_t>(flags.get_int("replicas", 1));
+  spec.commit_window_s = 10.0;
+  spec.rates = {static_cast<double>(flags.get_int("rate", 3000))};
+  spec.shards = {static_cast<std::uint32_t>(flags.get_int("k", 12))};
+  spec.issue_seconds = issue_window(flags, 60.0);
+  spec.txs = static_cast<std::uint64_t>(flags.get_int("txs", 0));
+  const double w = spec.txs > 0
+                       ? static_cast<double>(spec.txs) / spec.rates[0]
+                       : spec.issue_seconds;
+  spec.churn.events = {
+      {0.25 * w, sim::ChurnKind::kRemoveShard,
+       sim::ShardChurnEvent::kAutoShard},
+      {0.50 * w, sim::ChurnKind::kAddShard, 0},
+      {0.70 * w, sim::ChurnKind::kAddShard, 0},
+  };
   return spec;
 }
 
@@ -804,6 +909,87 @@ void shape_account(std::span<const api::ScenarioSpec> specs,
   sim_table.print();
 }
 
+/// Per-method summary of a one-operating-point dynamic scenario, plus a
+/// commits-per-window timeline that makes the wave/burst visible.
+void shape_dynamic(std::span<const api::ScenarioSpec> specs,
+                   std::span<const api::SweepReport> reports,
+                   const Flags& flags, const char* csv_name,
+                   bool show_timeline) {
+  const api::ScenarioSpec& spec = specs[0];
+  std::printf("operating point: %u shards, %.0f tps nominal\n\n",
+              spec.shards[0], spec.rates[0]);
+
+  TextTable table({"method", "cross-TX", "throughput(tps)", "avg lat(s)",
+                   "max lat(s)", "aborted", "completed"});
+  for (const std::string& method : spec.methods) {
+    const api::CellReport* cell =
+        reports[0].find(method, spec.shards[0], spec.rates[0]);
+    if (cell == nullptr) continue;
+    table.add_row({method, TextTable::fmt_percent(cell->cross_fraction.mean),
+                   TextTable::fmt(cell->throughput_tps.mean, 0),
+                   TextTable::fmt(cell->avg_latency_s.mean, 1),
+                   TextTable::fmt(cell->max_latency_s.mean, 1),
+                   TextTable::fmt(cell->aborted.mean, 0),
+                   cell->completed ? "yes" : "no"});
+  }
+  table.print();
+  maybe_save_csv(flags, csv_name, table);
+  if (!show_timeline) return;
+
+  std::printf("\n-- commits per %.0f s window (the wave) --\n",
+              spec.commit_window_s);
+  std::vector<std::vector<std::uint64_t>> series;
+  std::size_t max_windows = 0;
+  for (const std::string& method : spec.methods) {
+    const api::CellReport* cell =
+        reports[0].find(method, spec.shards[0], spec.rates[0]);
+    series.push_back(cell != nullptr
+                         ? cell->first().sim->commits_per_window.counts()
+                         : std::vector<std::uint64_t>{});
+    max_windows = std::max(max_windows, series.back().size());
+  }
+  std::vector<std::string> header{"window"};
+  header.insert(header.end(), spec.methods.begin(), spec.methods.end());
+  TextTable timeline(std::move(header));
+  for (std::size_t w = 0; w < max_windows; ++w) {
+    std::vector<std::string> row{
+        TextTable::fmt(static_cast<double>(w) * spec.commit_window_s, 0) +
+        "s"};
+    for (const auto& counts : series) {
+      row.push_back(TextTable::fmt_int(
+          w < counts.size() ? static_cast<long long>(counts[w]) : 0));
+    }
+    timeline.add_row(std::move(row));
+  }
+  timeline.print();
+}
+
+void shape_churn(std::span<const api::ScenarioSpec> specs,
+                 std::span<const api::SweepReport> reports,
+                 const Flags& flags) {
+  const api::ScenarioSpec& spec = specs[0];
+  std::printf("churn plan: %zu events over a %u-shard start "
+              "(remove @25%%, add @50%%, add @70%% of the issue window)\n\n",
+              spec.churn.events.size(), spec.shards[0]);
+  TextTable table({"method", "cross-TX", "throughput(tps)", "avg lat(s)",
+                   "shard changes", "migrated txs", "migrated UTXOs",
+                   "completed"});
+  for (const std::string& method : spec.methods) {
+    const api::CellReport* cell =
+        reports[0].find(method, spec.shards[0], spec.rates[0]);
+    if (cell == nullptr) continue;
+    table.add_row({method, TextTable::fmt_percent(cell->cross_fraction.mean),
+                   TextTable::fmt(cell->throughput_tps.mean, 0),
+                   TextTable::fmt(cell->avg_latency_s.mean, 1),
+                   TextTable::fmt(cell->shard_changes.mean, 0),
+                   TextTable::fmt(cell->migrated_txs.mean, 0),
+                   TextTable::fmt(cell->migrated_utxos.mean, 0),
+                   cell->completed ? "yes" : "no"});
+  }
+  table.print();
+  maybe_save_csv(flags, "churn", table);
+}
+
 // ---------------------------------------------------------------- registry
 
 std::vector<Scenario> build_registry() {
@@ -894,7 +1080,7 @@ std::vector<Scenario> build_registry() {
                       shape_table2,
                       nullptr});
   registry.push_back({"ablation", "OptChain design-choice ablation",
-                      "DESIGN.md §4 (not a paper figure)",
+                      "design-choice ablation (not a paper figure)",
                       {ablation_main_spec, ablation_rapidchain_spec,
                        ablation_slowdown_spec},
                       shape_ablation,
@@ -904,6 +1090,32 @@ std::vector<Scenario> build_registry() {
                       "extension (paper §II related work)",
                       {account_place_spec, account_sim_spec},
                       shape_account,
+                      nullptr});
+  registry.push_back(
+      {"dynamic", "rate waves: ramp, flash crowd, diurnal cycle",
+       "extension (dynamic workloads; cf. Shard Scheduler, AFT 2021)",
+       {dynamic_spec},
+       [](std::span<const api::ScenarioSpec> specs,
+          std::span<const api::SweepReport> reports, const Flags& flags) {
+         shape_dynamic(specs, reports, flags, "dynamic",
+                       /*show_timeline=*/true);
+       },
+       nullptr});
+  registry.push_back(
+      {"hotspot", "Zipfian rotating hot set + consolidation-spam burst",
+       "extension (dynamic workloads; cf. Fig. 2c flood episode)",
+       {hotspot_spec},
+       [](std::span<const api::ScenarioSpec> specs,
+          std::span<const api::SweepReport> reports, const Flags& flags) {
+         shape_dynamic(specs, reports, flags, "hotspot",
+                       /*show_timeline=*/false);
+       },
+       nullptr});
+  registry.push_back({"churn",
+                      "shards leaving/joining mid-run, migration accounting",
+                      "extension (dynamic shard sets; cf. OmniLedger epochs)",
+                      {churn_spec},
+                      shape_churn,
                       nullptr});
   return registry;
 }

@@ -9,9 +9,15 @@
 // max-rate search) don't fit a static grid and plug in through the `custom`
 // hook instead.
 //
+// Beyond the paper, three dynamic-workload scenarios (`dynamic`, `hotspot`,
+// `churn`) stress placement where the workload *moves*: rate waves through a
+// workload::DynamicProfile decorator, Zipfian hot-set spam injection, and
+// scripted shard churn with migration accounting (sim::ShardChurnPlan).
+//
 // Shared flags (every scenario): --seed, --replicas, --jobs=N, --smoke
 // (CI-sized streams), --txs=N (override stream length), --issue_seconds,
-// --csv_dir=DIR, plus the per-scenario axis overrides documented by
+// --csv_dir=DIR, --methods=A,B (method line-up override; an empty list is
+// rejected loudly), plus the per-scenario axis overrides documented by
 // `optchain-bench list`.
 #pragma once
 
@@ -46,7 +52,9 @@ struct Scenario {
   std::function<int(const Flags&, JsonWriter*)> custom;
 };
 
-/// The 14 paper figures/tables, registration order = paper order.
+/// The 14 paper figures/tables plus the dynamic-workload extensions
+/// (dynamic/hotspot/churn); registration order = paper order, extensions
+/// last.
 const std::vector<Scenario>& scenarios();
 
 /// Case-sensitive lookup; nullptr when unknown.

@@ -81,6 +81,10 @@ StepResult PlacementPipeline::step_impl(
     shard = placer_->choose(request, assignment_);
   }
   if (forced.has_value()) shard = *forced;
+  // Churn safety net: strategies replaying pre-churn decisions (Static,
+  // Metis, stale warm starts) may still name a retired shard; divert to the
+  // least-loaded active one. No-op (single branch) in churn-free runs.
+  if (!assignment_.is_active(shard)) shard = assignment_.least_loaded();
   assignment_.record(transaction.index, shard);
   placer_->notify_placed(request, shard);
 
@@ -151,6 +155,15 @@ StreamOutcome PlacementPipeline::place_stream(
   outcome.cross = counter_.cross() - cross_before;
   outcome.shard_sizes = assignment_.sizes();
   return outcome;
+}
+
+placement::ShardId PlacementPipeline::add_shard() {
+  return assignment_.add_shard();
+}
+
+std::uint64_t PlacementPipeline::retire_shard(placement::ShardId shard,
+                                              placement::ShardId successor) {
+  return assignment_.retire_shard(shard, successor);
 }
 
 void PlacementPipeline::reserve(std::uint64_t expected_txs) {

@@ -38,7 +38,9 @@ namespace optchain::api {
 
 /// The outcome of placing one transaction.
 struct StepResult {
+  /// The shard the transaction was placed into.
   placement::ShardId shard = placement::kUnplaced;
+  /// The transaction has no inputs (block reward).
   bool coinbase = false;
   /// Some input lives in a different shard than the transaction (coinbase is
   /// never cross-shard).
@@ -55,16 +57,20 @@ struct StepResult {
 
 /// Aggregate outcome of a streamed batch (the Table I/II measurements).
 struct StreamOutcome {
-  std::uint64_t total = 0;  // transactions counted (non-coinbase, non-warm)
-  std::uint64_t cross = 0;
-  std::vector<std::uint64_t> shard_sizes;
+  std::uint64_t total = 0;  ///< transactions counted (non-coinbase, non-warm)
+  std::uint64_t cross = 0;  ///< counted transactions placed cross-shard
+  std::vector<std::uint64_t> shard_sizes;  ///< final per-shard sizes
 
+  /// cross / total (0 when nothing was counted).
   double fraction() const noexcept {
     return total == 0 ? 0.0
                       : static_cast<double>(cross) / static_cast<double>(total);
   }
 };
 
+/// The one streaming driver for transaction placement: owns the TaN dag,
+/// the ShardAssignment and the cross-TX counters, and encapsulates the
+/// add-node-before-choose invariant (see the file comment).
 class PlacementPipeline {
  public:
   /// Builds the placer over the pipeline-owned dag (for strategies like
@@ -79,7 +85,9 @@ class PlacementPipeline {
   /// Pipeline whose placer is constructed over the pipeline's own dag.
   PlacementPipeline(std::uint32_t k, const PlacerFactory& factory);
 
+  /// Movable (the dag's address stays stable; see dag_), not copyable.
   PlacementPipeline(PlacementPipeline&&) noexcept = default;
+  /// Move-assignable counterpart.
   PlacementPipeline& operator=(PlacementPipeline&&) noexcept = default;
 
   /// Places one transaction: registers its TaN node, asks the placer, records
@@ -125,19 +133,40 @@ class PlacementPipeline {
   /// ~2n edges), the assignment table and the placer's per-transaction state.
   void reserve(std::uint64_t expected_txs);
 
+  // ----- shard churn (see sim/shard_churn.hpp) ---------------------------
+
+  /// Appends a fresh active shard to the assignment; returns its id. The
+  /// placer sees the grown shard set on its next choose().
+  placement::ShardId add_shard();
+
+  /// Retires `shard`, bulk-migrating its transactions to `successor` (both
+  /// active, distinct); returns the migrated-transaction count. Subsequent
+  /// steps never place into a retired shard — a strategy that still picks
+  /// one (Static/Metis replay a pre-churn partition) is diverted to the
+  /// least-loaded active shard.
+  std::uint64_t retire_shard(placement::ShardId shard,
+                             placement::ShardId successor);
+
+  /// Shard count (every shard that ever existed, retired ones included).
   std::uint32_t k() const noexcept { return assignment_.k(); }
   /// Transactions placed so far.
   std::uint64_t total() const noexcept { return assignment_.total(); }
+  /// The placer's self-reported strategy name.
   std::string_view method_name() const noexcept { return placer_->name(); }
 
+  /// The pipeline-owned online TaN.
   const graph::TanDag& dag() const noexcept { return *dag_; }
+  /// The shared transaction→shard assignment state.
   const placement::ShardAssignment& assignment() const noexcept {
     return assignment_;
   }
+  /// Cross-TX statistics over the counted (non-coinbase, non-warm) steps.
   const stats::CrossTxCounter& cross_counter() const noexcept {
     return counter_;
   }
+  /// The driven strategy (mutable: placers carry per-stream state).
   placement::Placer& placer() noexcept { return *placer_; }
+  /// Const view of the driven strategy.
   const placement::Placer& placer() const noexcept { return *placer_; }
 
  private:

@@ -6,6 +6,7 @@
 
 #include "core/optchain_placer.hpp"
 #include "metis/kway_partitioner.hpp"
+#include "placement/affinity_placer.hpp"
 #include "placement/greedy_placer.hpp"
 #include "placement/least_loaded_placer.hpp"
 #include "placement/random_placer.hpp"
@@ -132,6 +133,9 @@ void register_builtin_placers(PlacerRegistry& registry) {
     config.seed = context.seed;
     return std::make_unique<placement::StaticPlacer>(
         metis::partition_kway(full.to_undirected(), config), "Metis");
+  });
+  registry.register_placer("ShardScheduler", [](const PlacerContext&) {
+    return std::make_unique<placement::AffinityPlacer>();
   });
   // Alias: the CLI historically called hash placement "random".
   registry.register_placer("Random", [](const PlacerContext&) {

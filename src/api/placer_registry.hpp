@@ -14,6 +14,8 @@
 //   LeastLoaded — pure load balancing strawman
 //   Static      — replays PlacerContext::static_parts (round-robin when empty)
 //   Metis       — offline k-way partition of the full stream's TaN (oracle)
+//   ShardScheduler — account-affinity with load-triggered migration
+//                    (Król et al., AFT 2021) — the churn-aware baseline
 #pragma once
 
 #include <cstdint>
@@ -35,8 +37,11 @@ namespace optchain::api {
 /// online TaN the driving pipeline owns and fills; stateful placers keep a
 /// reference into it.
 struct PlacerContext {
+  /// The online TaN the driving pipeline owns and fills.
   const graph::TanDag& dag;
+  /// Shard count of the run.
   std::uint32_t k = 16;
+  /// Method/partition seed (not the simulator's).
   std::uint64_t seed = 1;
   /// The full stream, when known up front. Metis partitions it offline;
   /// Greedy and T2S derive their (1 + ε)·⌊n/k⌋ capacity caps from its
@@ -56,8 +61,11 @@ struct PlacerContext {
   }
 };
 
+/// The single string→factory source of truth for placement strategies;
+/// see the file comment for the built-in line-up.
 class PlacerRegistry {
  public:
+  /// Builds a strategy from everything a run knows (see PlacerContext).
   using Factory =
       std::function<std::unique_ptr<placement::Placer>(const PlacerContext&)>;
 
@@ -68,6 +76,7 @@ class PlacerRegistry {
   /// is kept verbatim as the canonical spelling reported by names().
   void register_placer(std::string name, Factory factory);
 
+  /// True when `name` (case-insensitive) is registered.
   bool contains(std::string_view name) const;
 
   /// Constructs the named strategy. Throws std::invalid_argument for an

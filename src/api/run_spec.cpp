@@ -17,6 +17,7 @@ sim::SimConfig RunSpec::sim_config() const {
   config.queue_sample_interval_s = queue_sample_interval_s;
   config.leader_fault_rate = leader_fault_rate;
   config.shard_slowdown = shard_slowdown;
+  config.churn = churn;
   config.observers = observers;
   return config;
 }
@@ -71,6 +72,22 @@ RunReport place(const RunSpec& spec,
   return report;
 }
 
+RunReport place(const RunSpec& spec, workload::TxSource& source,
+                std::uint64_t expected_txs) {
+  PlacementPipeline pipeline =
+      make_pipeline(spec.method, spec.num_shards, {}, spec.seed, {},
+                    source.size_hint().value_or(expected_txs));
+  const StreamOutcome outcome = pipeline.place_stream(source);
+
+  RunReport report;
+  report.method = std::string(pipeline.method_name());
+  report.num_shards = spec.num_shards;
+  report.total = outcome.total;
+  report.cross = outcome.cross;
+  report.shard_sizes = outcome.shard_sizes;
+  return report;
+}
+
 RunReport simulate(const RunSpec& spec,
                    std::span<const tx::Transaction> transactions) {
   PlacementPipeline pipeline = make_pipeline(
@@ -87,6 +104,24 @@ RunReport simulate(const RunSpec& spec,
   report.total = result.total_txs;
   report.cross = result.cross_txs;
   report.shard_sizes = result.final_shard_sizes;  // == assignment().sizes()
+  report.sim = std::move(result);
+  return report;
+}
+
+RunReport simulate(const RunSpec& spec, workload::TxSource& source,
+                   std::uint64_t expected_txs) {
+  PlacementPipeline pipeline =
+      make_pipeline(spec.method, spec.num_shards, {}, spec.seed, {},
+                    source.size_hint().value_or(expected_txs));
+  sim::Simulation simulation(spec.sim_config());
+  sim::SimResult result = simulation.run(source, pipeline);
+
+  RunReport report;
+  report.method = result.placer_name;
+  report.num_shards = spec.num_shards;
+  report.total = result.total_txs;
+  report.cross = result.cross_txs;
+  report.shard_sizes = result.final_shard_sizes;
   report.sim = std::move(result);
   return report;
 }

@@ -28,6 +28,16 @@ Sweep ScenarioSpec::expand() const {
   if (pairings.empty() && (shards.empty() || rates.empty())) {
     throw std::invalid_argument("ScenarioSpec: empty shard/rate axis");
   }
+  if (!churn.empty() && mode == RunMode::kPlace) {
+    throw std::invalid_argument(
+        "ScenarioSpec: shard churn needs the simulator (mode = kSimulate)");
+  }
+  if (dynamic.active() && warm_ratio > 0) {
+    throw std::invalid_argument(
+        "ScenarioSpec: a dynamic profile cannot be combined with a Metis "
+        "warm prefix (warm_ratio > 0)");
+  }
+  dynamic.validate();
 
   // Materialize the operating points once; the explicit pairing list wins.
   std::vector<OperatingPoint> points = pairings;
@@ -64,6 +74,7 @@ Sweep ScenarioSpec::expand() const {
           cell.workload = workload;
           cell.bitcoin_workload = bitcoin_workload;
           cell.account_workload = account_workload;
+          cell.dynamic = dynamic;
 
           RunSpec& spec = cell.spec;
           spec.method = method;
@@ -80,6 +91,7 @@ Sweep ScenarioSpec::expand() const {
           spec.queue_sample_interval_s = queue_sample_interval_s;
           spec.leader_fault_rate = leader_fault_rate;
           spec.shard_slowdown = shard_slowdown;
+          spec.churn = churn;
           sweep.cells.push_back(std::move(cell));
         }
         ++cell_id;

@@ -25,42 +25,52 @@
 #include "api/run_spec.hpp"
 #include "workload/account_workload.hpp"
 #include "workload/bitcoin_like_generator.hpp"
+#include "workload/dynamic_profile.hpp"
 
 namespace optchain::api {
 
 /// What each cell runs: placement-only streaming (Tables I-II) or the full
 /// discrete-event simulation (Figs. 3-11).
-enum class RunMode : std::uint8_t { kPlace, kSimulate };
+enum class RunMode : std::uint8_t {
+  kPlace,     ///< placement-only streaming (Tables I-II)
+  kSimulate,  ///< full discrete-event simulation (Figs. 3-11)
+};
 
+/// "place" or "simulate" (report/JSON labels).
 const char* to_string(RunMode mode) noexcept;
 
 /// Which generator produces the cell's transaction stream.
-enum class WorkloadKind : std::uint8_t { kBitcoinLike, kAccount };
+enum class WorkloadKind : std::uint8_t {
+  kBitcoinLike,  ///< workload::BitcoinLikeGenerator (UTXO model)
+  kAccount,      ///< workload::AccountWorkloadGenerator (Ethereum-style)
+};
 
 /// An explicit (rate, shard count) operating point. When a scenario lists
 /// pairings they replace the shards × rates cross product — the paper's
 /// Figs. 8b/9b pair each rate with the smallest shard count that keeps
 /// OptChain healthy instead of sweeping the full grid.
 struct OperatingPoint {
-  double rate_tps = 2000.0;
-  std::uint32_t shards = 16;
+  double rate_tps = 2000.0;   ///< client issue rate
+  std::uint32_t shards = 16;  ///< shard count paired with that rate
 };
 
 struct SweepCell;
 struct Sweep;
 
+/// A declarative experiment grid; see the file comment for the model.
 struct ScenarioSpec {
-  std::string name;       // registry key, e.g. "fig4a"
-  std::string title;      // human description for list/report headers
-  std::string paper_ref;  // what it reproduces, e.g. "Fig. 4a (§V.B.1)"
+  std::string name;       ///< registry key, e.g. "fig4a"
+  std::string title;      ///< human description for list/report headers
+  std::string paper_ref;  ///< what it reproduces, e.g. "Fig. 4a (§V.B.1)"
 
+  /// Placement-only or full simulation (see RunMode).
   RunMode mode = RunMode::kSimulate;
 
   // ----- axes (cross product, in this nesting order: methods, then shard ×
   // rate points, then seeds, then replicas) ------------------------------
-  std::vector<std::string> methods = {"OptChain"};  // PlacerRegistry names
-  std::vector<std::uint32_t> shards = {16};
-  std::vector<double> rates = {2000.0};
+  std::vector<std::string> methods = {"OptChain"};  ///< PlacerRegistry names
+  std::vector<std::uint32_t> shards = {16};  ///< shard-count axis
+  std::vector<double> rates = {2000.0};      ///< issue-rate axis (tps)
   /// Non-empty: replaces shards × rates with this explicit point list.
   std::vector<OperatingPoint> pairings;
   /// Workload/method seeds (RunSpec::seed; also seeds the generator).
@@ -71,16 +81,30 @@ struct ScenarioSpec {
   std::uint32_t replicas = 1;
 
   // ----- fixed RunSpec knobs -------------------------------------------
+  /// Cross-shard commit protocol of every cell.
   sim::ProtocolMode protocol = sim::ProtocolMode::kOmniLedger;
-  double leader_fault_rate = 0.0;
-  std::vector<double> shard_slowdown;
-  double commit_window_s = 10.0;
-  double queue_sample_interval_s = 5.0;
+  double leader_fault_rate = 0.0;      ///< P[view change] per round
+  std::vector<double> shard_slowdown;  ///< chronic per-shard slowdowns
+  double commit_window_s = 10.0;       ///< Fig. 5 window width
+  double queue_sample_interval_s = 5.0;  ///< Figs. 6-7 sampling cadence
+  /// Scripted shard membership changes applied to every cell (simulation
+  /// mode only; expand() rejects churn in placement mode). `shards` then
+  /// names each cell's *initial* shard count.
+  sim::ShardChurnPlan churn;
+
+  // ----- workload dynamics ---------------------------------------------
+  /// Rate waves / hotspot skew / spam bursts decorating every cell's stream
+  /// (see workload/dynamic_profile.hpp). Inert by default. Incompatible
+  /// with warm_ratio (the Metis warm prefix assumes the undecorated
+  /// stream); expand() rejects the combination. Stream-dependent methods
+  /// (Metis, Static) cannot run under an *injecting* profile — the emitted
+  /// stream is never materialized.
+  workload::DynamicProfile dynamic;
 
   // ----- workload ------------------------------------------------------
-  WorkloadKind workload = WorkloadKind::kBitcoinLike;
-  workload::WorkloadConfig bitcoin_workload;
-  workload::AccountWorkloadConfig account_workload;
+  WorkloadKind workload = WorkloadKind::kBitcoinLike;  ///< which generator
+  workload::WorkloadConfig bitcoin_workload;           ///< UTXO-model knobs
+  workload::AccountWorkloadConfig account_workload;  ///< account-model knobs
   /// Fixed stream length; 0 sizes each cell as rate × issue_seconds (the
   /// bench convention: a constant issue window equalizes the drain-tail
   /// bias across rates).
@@ -113,27 +137,29 @@ struct ScenarioSpec {
 /// a cell without reading anything but the cell (what makes the thread pool
 /// trivially deterministic).
 struct SweepCell {
-  std::size_t cell = 0;      // dense grid-point id, expansion order
-  std::uint32_t replica = 0;
-  RunMode mode = RunMode::kSimulate;
-  RunSpec spec;              // complete run description for this replica
-  std::uint64_t stream_txs = 0;  // placed/simulated stream length
-  std::uint64_t warm_txs = 0;    // Metis warm prefix length (kPlace only)
-  std::uint64_t workload_seed = 1;
-  WorkloadKind workload = WorkloadKind::kBitcoinLike;
-  workload::WorkloadConfig bitcoin_workload;
-  workload::AccountWorkloadConfig account_workload;
+  std::size_t cell = 0;       ///< dense grid-point id, expansion order
+  std::uint32_t replica = 0;  ///< replica index within the grid point
+  RunMode mode = RunMode::kSimulate;  ///< place or simulate
+  RunSpec spec;  ///< complete run description for this replica
+  std::uint64_t stream_txs = 0;  ///< placed/simulated stream length
+  std::uint64_t warm_txs = 0;  ///< Metis warm prefix length (kPlace only)
+  std::uint64_t workload_seed = 1;  ///< generator seed
+  WorkloadKind workload = WorkloadKind::kBitcoinLike;  ///< which generator
+  workload::WorkloadConfig bitcoin_workload;           ///< UTXO-model knobs
+  workload::AccountWorkloadConfig account_workload;  ///< account-model knobs
+  /// Dynamic-workload decoration of the cell's stream (inert by default).
+  workload::DynamicProfile dynamic;
 };
 
 /// An expanded scenario: the flat cell list (grid-point-major,
 /// replica-minor) plus the metadata reports carry forward.
 struct Sweep {
-  std::string scenario;
-  std::string title;
-  std::string paper_ref;
-  RunMode mode = RunMode::kSimulate;
-  std::uint32_t replicas = 1;
-  std::vector<SweepCell> cells;
+  std::string scenario;   ///< ScenarioSpec::name
+  std::string title;      ///< ScenarioSpec::title
+  std::string paper_ref;  ///< ScenarioSpec::paper_ref
+  RunMode mode = RunMode::kSimulate;  ///< place or simulate
+  std::uint32_t replicas = 1;         ///< replicas per grid point
+  std::vector<SweepCell> cells;       ///< grid-point-major, replica-minor
 };
 
 }  // namespace optchain::api

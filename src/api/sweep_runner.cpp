@@ -41,6 +41,22 @@ struct WarmCache {
 /// in-flight key would dwarf the partition's memory).
 RunReport run_cell_cached(const SweepCell& cell, WarmCache* cache) {
   const std::vector<tx::Transaction> txs = SweepRunner::cell_stream(cell);
+
+  // Dynamic profiles decorate the generated stream through the TxSource
+  // seam: the engines consume the decorated pull source unchanged (rate
+  // curve issue times, injected hot-spend transactions). Incompatible with
+  // warm starts — expand() rejects that combination up front.
+  if (cell.dynamic.active()) {
+    OPTCHAIN_EXPECTS(cell.warm_txs == 0);
+    workload::SpanTxSource inner(txs);
+    workload::DynamicTxSource source(inner, cell.dynamic, cell.workload_seed);
+    // Injecting profiles have no exact emitted length; the inner stream
+    // length keeps the capacity-capped methods' caps meaningful.
+    return cell.mode == RunMode::kSimulate
+               ? simulate(cell.spec, source, cell.stream_txs)
+               : place(cell.spec, source, cell.stream_txs);
+  }
+
   if (cell.mode == RunMode::kSimulate) return simulate(cell.spec, txs);
 
   if (cell.warm_txs == 0) return place(cell.spec, txs);
@@ -109,6 +125,14 @@ SweepReport SweepRunner::run(const ScenarioSpec& spec) const {
 }
 
 SweepReport SweepRunner::run(const Sweep& sweep) const {
+  // A sweep that expanded to nothing is a configuration bug (an emptied
+  // methods axis, a filtered-out grid); running it would "succeed" with an
+  // empty report and exit code 0 — fail loudly instead.
+  if (sweep.cells.empty()) {
+    throw std::runtime_error("sweep \"" + sweep.scenario +
+                             "\" expanded to zero cells — check the "
+                             "methods/shards/rates axes");
+  }
   // Execute every cell, in parallel up to `jobs` workers. results[i] is
   // written only by the worker that claimed index i, so the outcome is
   // independent of scheduling; a failed cell records its error instead.
@@ -215,6 +239,21 @@ SweepReport SweepRunner::run(const Sweep& sweep) const {
           return r.sim ? static_cast<double>(r.sim->total_blocks) : 0.0;
         },
         base);
+    out.shard_changes = aggregate(
+        [](const RunReport& r) {
+          return r.sim ? static_cast<double>(r.sim->shard_changes) : 0.0;
+        },
+        base);
+    out.migrated_txs = aggregate(
+        [](const RunReport& r) {
+          return r.sim ? static_cast<double>(r.sim->migrated_txs) : 0.0;
+        },
+        base);
+    out.migrated_utxos = aggregate(
+        [](const RunReport& r) {
+          return r.sim ? static_cast<double>(r.sim->migrated_utxos) : 0.0;
+        },
+        base);
     for (std::uint32_t r = 0; r < replicas; ++r) {
       if (results[base + r].sim && !results[base + r].sim->completed) {
         out.completed = false;
@@ -287,7 +326,8 @@ void append_aggregate(std::string& out, const Aggregate& aggregate) {
 constexpr const char* kAggregateColumns[] = {
     "cross_fraction", "cross_txs",  "throughput_tps",
     "avg_latency_s",  "max_latency_s", "committed",
-    "aborted",        "duration_s", "total_blocks"};
+    "aborted",        "duration_s", "total_blocks",
+    "shard_changes",  "migrated_txs", "migrated_utxos"};
 
 }  // namespace
 
@@ -314,7 +354,8 @@ std::string SweepReport::to_csv() const {
     const Aggregate* aggregates[] = {
         &cell.cross_fraction, &cell.cross_txs,  &cell.throughput_tps,
         &cell.avg_latency_s,  &cell.max_latency_s, &cell.committed,
-        &cell.aborted,        &cell.duration_s, &cell.total_blocks};
+        &cell.aborted,        &cell.duration_s, &cell.total_blocks,
+        &cell.shard_changes,  &cell.migrated_txs, &cell.migrated_utxos};
     for (const Aggregate* aggregate : aggregates) {
       append_aggregate(out, *aggregate);
     }
@@ -348,7 +389,10 @@ void SweepReport::write_json(JsonWriter& json) const {
         {"committed", &cell.committed},
         {"aborted", &cell.aborted},
         {"duration_s", &cell.duration_s},
-        {"total_blocks", &cell.total_blocks}};
+        {"total_blocks", &cell.total_blocks},
+        {"shard_changes", &cell.shard_changes},
+        {"migrated_txs", &cell.migrated_txs},
+        {"migrated_utxos", &cell.migrated_utxos}};
     for (const auto& [name, aggregate] : metrics) {
       json.begin_object(name)
           .field("mean", aggregate->mean)

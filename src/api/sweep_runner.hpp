@@ -30,10 +30,11 @@ namespace optchain::api {
 
 /// mean/min/max of one metric across a grid point's replicas.
 struct Aggregate {
-  double mean = 0.0;
-  double min = 0.0;
-  double max = 0.0;
+  double mean = 0.0;  ///< arithmetic mean across replicas
+  double min = 0.0;   ///< smallest replica value
+  double max = 0.0;   ///< largest replica value
 
+  /// Aggregates `values` (all-zero when empty).
   static Aggregate of(std::span<const double> values) noexcept;
 };
 
@@ -41,39 +42,44 @@ struct Aggregate {
 /// raw per-replica RunReports (figure shaping needs the full SimResult —
 /// latency CDFs, commit windows, queue snapshots — not just scalars).
 struct CellReport {
-  std::size_t cell = 0;
-  std::string method;
-  std::uint32_t num_shards = 0;
-  double rate_tps = 0.0;
-  std::uint64_t seed = 1;
-  std::uint64_t txs = 0;       // per-replica stream length
-  std::uint64_t warm_txs = 0;  // Metis warm prefix (placement mode)
-  std::uint32_t replicas = 1;
+  std::size_t cell = 0;          ///< dense grid-point id
+  std::string method;            ///< the requested registry key
+  std::uint32_t num_shards = 0;  ///< (initial) shard count
+  double rate_tps = 0.0;         ///< nominal issue rate
+  std::uint64_t seed = 1;        ///< workload/method seed
+  std::uint64_t txs = 0;       ///< per-replica stream length
+  std::uint64_t warm_txs = 0;  ///< Metis warm prefix (placement mode)
+  std::uint32_t replicas = 1;  ///< replicas aggregated below
   /// Simulation mode: every replica drained before the safety horizon.
   bool completed = true;
 
-  Aggregate cross_fraction;
-  Aggregate cross_txs;
-  Aggregate throughput_tps;
-  Aggregate avg_latency_s;
-  Aggregate max_latency_s;
-  Aggregate committed;
-  Aggregate aborted;
-  Aggregate duration_s;
-  Aggregate total_blocks;
+  Aggregate cross_fraction;  ///< cross-shard fraction
+  Aggregate cross_txs;       ///< cross-shard transaction count
+  Aggregate throughput_tps;  ///< committed / duration
+  Aggregate avg_latency_s;   ///< mean confirmation latency
+  Aggregate max_latency_s;   ///< worst confirmation latency
+  Aggregate committed;       ///< committed transactions
+  Aggregate aborted;         ///< aborted transactions (rejection path)
+  Aggregate duration_s;      ///< simulated time of the last terminal event
+  Aggregate total_blocks;    ///< blocks committed across shards
+  /// Shard churn metrics (all-zero without a churn plan).
+  Aggregate shard_changes;
+  Aggregate migrated_txs;   ///< records bulk-migrated off retiring shards
+  Aggregate migrated_utxos; ///< live UTXO records that moved with them
 
-  std::vector<RunReport> runs;  // one per replica, expansion order
+  std::vector<RunReport> runs;  ///< one per replica, expansion order
 
   /// Replica 0's raw report (the common case for figure shaping).
   const RunReport& first() const { return runs.front(); }
 };
 
+/// A finished sweep: per-grid-point aggregates plus emission helpers.
 struct SweepReport {
-  std::string scenario;
-  std::string title;
-  std::string paper_ref;
-  RunMode mode = RunMode::kSimulate;
-  std::vector<CellReport> cells;
+  std::string scenario;   ///< ScenarioSpec::name
+  std::string title;      ///< ScenarioSpec::title
+  std::string paper_ref;  ///< ScenarioSpec::paper_ref
+  RunMode mode = RunMode::kSimulate;  ///< place or simulate
+  std::vector<CellReport> cells;      ///< expansion order
 
   /// First grid point matching (method, shards, rate) across seeds, or
   /// nullptr. Figure shaping pivots the cell list through this.
@@ -89,16 +95,23 @@ struct SweepReport {
   void write_json(JsonWriter& json) const;
 };
 
+/// Execution knobs of a SweepRunner.
 struct SweepOptions {
   /// Worker threads; 0 = std::thread::hardware_concurrency().
   unsigned jobs = 1;
 };
 
+/// The one parallel executor for every experiment sweep (see file comment).
 class SweepRunner {
  public:
+  /// `options` picks the worker-thread count; results never depend on it.
   explicit SweepRunner(SweepOptions options = {}) : options_(options) {}
 
+  /// expand()s the spec and runs it (validation errors throw).
   SweepReport run(const ScenarioSpec& spec) const;
+  /// Runs an already-expanded sweep. Throws std::runtime_error when the
+  /// sweep has zero cells — an empty expansion is a configuration bug, not
+  /// a successful no-op.
   SweepReport run(const Sweep& sweep) const;
 
   /// One cell end-to-end (stream generation → place/simulate), producing

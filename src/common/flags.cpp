@@ -5,6 +5,20 @@
 
 namespace optchain {
 
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    std::string item =
+        text.substr(start, comma == std::string::npos ? comma : comma - start);
+    if (!item.empty()) out.push_back(std::move(item));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
 Flags::Flags(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string_view token = argv[i];
@@ -87,6 +101,13 @@ std::vector<double> Flags::get_double_list(
     start = comma + 1;
   }
   return out;
+}
+
+std::vector<std::string> Flags::get_string_list(
+    const std::string& name, std::vector<std::string> fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return split_csv(it->second);
 }
 
 }  // namespace optchain

@@ -10,6 +10,11 @@
 
 namespace optchain {
 
+/// Splits comma-separated text into its non-empty items ("a,,b" → {a, b};
+/// "" → {}). The parsing behind every list-valued flag and the bench tool's
+/// scenario lists.
+std::vector<std::string> split_csv(const std::string& text);
+
 class Flags {
  public:
   /// Parses argv. Throws std::invalid_argument on a malformed flag
@@ -31,6 +36,12 @@ class Flags {
   /// Comma-separated double list, e.g. --slowdown=6.0,1.0,2.5.
   std::vector<double> get_double_list(const std::string& name,
                                       std::vector<double> fallback) const;
+
+  /// Comma-separated string list, e.g. --methods=OptChain,Greedy. An
+  /// explicitly empty value (--methods=) yields an empty list — consumers
+  /// decide whether that is an error (the bench axes treat it as one).
+  std::vector<std::string> get_string_list(
+      const std::string& name, std::vector<std::string> fallback) const;
 
  private:
   std::map<std::string, std::string> values_;

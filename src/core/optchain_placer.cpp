@@ -40,7 +40,7 @@ placement::ShardId OptChainPlacer::choose(
   // Step 4: argmax of temporal fitness. Ties (typically all-zero coinbase
   // scores without timing data) go to the smaller shard, keeping startup
   // placement balanced; final tie on the lower shard id for determinism.
-  if (config_.expected_txs == 0) {
+  if (config_.expected_txs == 0 && assignment.all_active()) {
     // No capacity cap (full OptChain): every shard is eligible, so the loop
     // reduces to a running (score, size) argmax whose common case — a score
     // strictly below the incumbent, true for the ~k-|support| zero entries
@@ -62,12 +62,18 @@ placement::ShardId OptChainPlacer::choose(
   }
 
   // Capacity cap (1 + ε)·⌊n/k⌋ (T2S-based variant): full shards are
-  // ineligible.
-  const std::uint64_t cap = static_cast<std::uint64_t>(
-      (1.0 + config_.epsilon) *
-      static_cast<double>(config_.expected_txs / k));
+  // ineligible. Shard churn routes through here too — retired shards are
+  // masked, the uncapped fast loop above being reserved for the all-active
+  // common case.
+  const std::uint64_t cap =
+      config_.expected_txs == 0
+          ? std::numeric_limits<std::uint64_t>::max()
+          : static_cast<std::uint64_t>(
+                (1.0 + config_.epsilon) *
+                static_cast<double>(config_.expected_txs / k));
   placement::ShardId best = placement::kUnplaced;
   for (std::uint32_t j = 0; j < k; ++j) {
+    if (!assignment.is_active(j)) continue;
     if (assignment.size_of(j) >= cap) continue;
     if (best == placement::kUnplaced ||
         last_scores_[j] > last_scores_[best] ||

@@ -6,7 +6,7 @@
 // paper's text says "maximum f(u,j)", an evident typo: maximizing the number
 // of inputs *outside* the shard would maximize cross-TX work; the measured
 // Greedy numbers in Tables I-II are only reachable with the minimizing
-// reading — see DESIGN.md §4).
+// reading; docs/ARCHITECTURE.md notes the convention).
 //
 // A capacity cap of (1 + ε)·⌊n/k⌋ transactions per shard (ε = 0.1 in the
 // paper) keeps the final partition balanced; full shards are skipped and the
@@ -60,6 +60,7 @@ class GreedyPlacer final : public Placer {
     std::uint64_t best_inside = 0;
     std::uint64_t best_size = std::numeric_limits<std::uint64_t>::max();
     for (ShardId j = 0; j < k; ++j) {
+      if (!assignment.is_active(j)) continue;  // retired by shard churn
       if (assignment.size_of(j) >= cap) continue;
       const std::uint64_t inside = counts_[j];
       const std::uint64_t size = assignment.size_of(j);

@@ -15,7 +15,13 @@ class RandomPlacer final : public Placer {
  public:
   ShardId choose(const PlacementRequest& request,
                  const ShardAssignment& assignment) override {
-    return static_cast<ShardId>(request.hash() % assignment.k());
+    // Hash over the *active* shard set so churn-retired shards never win;
+    // nth_active is the identity while every shard is alive.
+    const std::uint64_t hash = request.hash();
+    if (assignment.all_active()) {
+      return static_cast<ShardId>(hash % assignment.k());
+    }
+    return assignment.nth_active(hash % assignment.active_count());
   }
 
   std::string_view name() const noexcept override { return "OmniLedger"; }

@@ -32,8 +32,66 @@ bool ShardAssignment::is_cross_shard(std::span<const tx::TxIndex> inputs,
 }
 
 ShardId ShardAssignment::least_loaded() const noexcept {
-  const auto it = std::min_element(sizes_.begin(), sizes_.end());
-  return static_cast<ShardId>(it - sizes_.begin());
+  ShardId best = kUnplaced;
+  std::uint64_t best_size = 0;
+  for (ShardId j = 0; j < k(); ++j) {
+    if (active_[j] == 0) continue;
+    if (best == kUnplaced || sizes_[j] < best_size) {
+      best = j;
+      best_size = sizes_[j];
+    }
+  }
+  OPTCHAIN_ASSERT(best != kUnplaced);  // at least one shard is always active
+  return best;
+}
+
+ShardId ShardAssignment::nth_active(std::uint64_t n) const noexcept {
+  OPTCHAIN_EXPECTS(n < active_count_);
+  if (all_active()) return static_cast<ShardId>(n);
+  std::uint64_t seen = 0;
+  for (ShardId j = 0; j < k(); ++j) {
+    if (active_[j] == 0) continue;
+    if (seen++ == n) return j;
+  }
+  OPTCHAIN_ASSERT(false);
+  return kUnplaced;
+}
+
+ShardId ShardAssignment::largest_active() const noexcept {
+  ShardId best = kUnplaced;
+  std::uint64_t best_size = 0;
+  for (ShardId j = 0; j < k(); ++j) {
+    if (active_[j] == 0) continue;
+    if (best == kUnplaced || sizes_[j] > best_size) {
+      best = j;
+      best_size = sizes_[j];
+    }
+  }
+  OPTCHAIN_ASSERT(best != kUnplaced);
+  return best;
+}
+
+ShardId ShardAssignment::add_shard() {
+  const ShardId id = k();
+  sizes_.push_back(0);
+  active_.push_back(1);
+  ++active_count_;
+  return id;
+}
+
+std::uint64_t ShardAssignment::retire_shard(ShardId shard, ShardId successor) {
+  OPTCHAIN_EXPECTS(shard != successor);
+  OPTCHAIN_EXPECTS(is_active(shard) && is_active(successor));
+  OPTCHAIN_EXPECTS(active_count_ >= 2);
+  const std::uint64_t migrated = sizes_[shard];
+  for (ShardId& owner : shard_of_) {
+    if (owner == shard) owner = successor;
+  }
+  sizes_[successor] += migrated;
+  sizes_[shard] = 0;
+  active_[shard] = 0;
+  --active_count_;
+  return migrated;
 }
 
 }  // namespace optchain::placement

@@ -2,6 +2,14 @@
 // strategy: which shard each past transaction lives in and how large each
 // shard is. In paper terms this is the partition S = {S₁, ..., S_k} of the
 // TaN node set (§IV.A), updated online as transactions are placed.
+//
+// Shard churn (sim::ShardChurnPlan) extends the partition with an *active
+// set*: add_shard() appends a fresh empty shard and retire_shard() removes
+// one by bulk-migrating its records to a successor. k() always counts every
+// shard that ever existed (retired ids stay valid in shard_of()), while
+// active_count()/is_active() describe the shards placement may still target.
+// Strategies skip inactive shards; when every shard is active (the no-churn
+// case) all of this collapses to the original fixed-k behavior bit-for-bit.
 #pragma once
 
 #include <cstdint>
@@ -18,7 +26,8 @@ inline constexpr ShardId kUnplaced = static_cast<ShardId>(-1);
 
 class ShardAssignment {
  public:
-  explicit ShardAssignment(std::uint32_t k) : sizes_(k, 0) {
+  explicit ShardAssignment(std::uint32_t k)
+      : sizes_(k, 0), active_(k, 1), active_count_(k) {
     OPTCHAIN_EXPECTS(k >= 1);
   }
 
@@ -65,12 +74,46 @@ class ShardAssignment {
   bool is_cross_shard(std::span<const tx::TxIndex> inputs,
                       ShardId shard) const;
 
-  /// Least-loaded shard (lowest id wins ties).
+  /// Least-loaded *active* shard (lowest id wins ties).
   ShardId least_loaded() const noexcept;
+
+  // ----- shard churn (active-set) API ------------------------------------
+
+  /// True when `shard` may still receive placements (never retired).
+  bool is_active(ShardId shard) const noexcept {
+    OPTCHAIN_EXPECTS(shard < k());
+    return active_[shard] != 0;
+  }
+
+  /// Number of active shards (k() minus retirements).
+  std::uint32_t active_count() const noexcept { return active_count_; }
+
+  /// True when no shard has ever been retired — the fast path every placer
+  /// takes in churn-free runs.
+  bool all_active() const noexcept { return active_count_ == k(); }
+
+  /// The `n`-th active shard in id order (n < active_count()). Identity when
+  /// all shards are active; hash-based placement maps through this so its
+  /// modulus always lands on a live shard.
+  ShardId nth_active(std::uint64_t n) const noexcept;
+
+  /// Largest active shard (lowest id wins ties) — the churn plan's
+  /// kAutoShard retirement target.
+  ShardId largest_active() const noexcept;
+
+  /// Appends a fresh, empty, active shard; returns its id (the old k()).
+  ShardId add_shard();
+
+  /// Retires `shard`, bulk-migrating every transaction it owns to
+  /// `successor` (both must be distinct active shards). Returns the number
+  /// of migrated transaction records. O(total()) — churn events are rare.
+  std::uint64_t retire_shard(ShardId shard, ShardId successor);
 
  private:
   std::vector<ShardId> shard_of_;
   std::vector<std::uint64_t> sizes_;
+  std::vector<std::uint8_t> active_;  // 1 = placements allowed
+  std::uint32_t active_count_ = 0;
 };
 
 }  // namespace optchain::placement

@@ -37,6 +37,7 @@ enum class EventType : std::uint8_t {
   kViewChange,    // like kBlockCommit, after a leader fault (view change)
   kQueueSample,   // periodic mempool-size sampling tick
   kGossipHop,     // tree-gossip message at `node`; flag = 0 down / 1 up
+  kShardChange,   // scripted shard churn: `tx` = index into the churn plan
 };
 
 struct Event {
@@ -64,6 +65,9 @@ struct Event {
   static Event gossip(std::uint32_t node, bool upward) {
     return {EventType::kGossipHop, upward ? std::uint8_t{1} : std::uint8_t{0},
             node, 0};
+  }
+  static Event shard_change(std::uint32_t plan_index) {
+    return {EventType::kShardChange, 0, 0, plan_index};
   }
 };
 

@@ -1,0 +1,60 @@
+// Shard churn plan — shards joining and leaving a running simulation.
+//
+// Production sharded chains resize: committees are re-drawn per epoch
+// (OmniLedger, RapidChain), operators add shards under load, and shards
+// drain away when capacity shrinks. A ShardChurnPlan scripts those moments
+// for the simulator: each event fires through the typed event queue
+// (EventType::kShardChange) at its simulated time, and observers hear about
+// it on sim::SimObserver::on_shard_change.
+//
+// Removal semantics ("bulk handoff"): the retired shard names a successor —
+// the least-loaded other active shard at removal time — and every
+// transaction record it owns is remapped there in one step
+// (placement::ShardAssignment::retire_shard). The migrated transaction and
+// live-UTXO counts are first-class run metrics (SimResult::migrated_txs /
+// migrated_utxos); pending mempool items transfer to the successor's queue,
+// and in-flight protocol messages addressed to the retired shard are routed
+// through the successor chain. Addition appends a fresh, empty shard that
+// placement strategies start filling immediately (placers skip inactive
+// shards and see the new one on their next choose()).
+//
+// Determinism: churn events are ordinary typed events, so a plan changes a
+// run's event interleaving in exactly one reproducible way; an empty plan
+// leaves every code path and random draw of the engine untouched (pinned by
+// the engine goldens).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace optchain::sim {
+
+/// What a churn event does to the shard set.
+enum class ChurnKind : std::uint8_t {
+  kAddShard,     ///< append a fresh shard (its id is the current shard count)
+  kRemoveShard,  ///< retire a shard, migrating its records to a successor
+};
+
+/// One scripted membership change at an absolute simulated time.
+struct ShardChurnEvent {
+  /// Sentinel for `shard`: pick the largest active shard at fire time
+  /// (deterministic; ties resolve to the lowest id).
+  static constexpr std::uint32_t kAutoShard = 0xFFFFFFFFu;
+
+  double time_s = 0.0;   ///< absolute simulated fire time (>= 0)
+  ChurnKind kind = ChurnKind::kAddShard;  ///< add or remove
+  /// Shard to retire (kRemoveShard only; kAutoShard = largest active).
+  std::uint32_t shard = kAutoShard;
+};
+
+/// A scripted sequence of membership changes; order in the vector is
+/// irrelevant (the event queue orders by time, ties by schedule order).
+struct ShardChurnPlan {
+  std::vector<ShardChurnEvent> events;  ///< the scripted changes
+
+  /// True when the plan schedules nothing (the engine behaves exactly as
+  /// without churn support).
+  bool empty() const noexcept { return events.empty(); }
+};
+
+}  // namespace optchain::sim

@@ -71,6 +71,15 @@ class ShardNode {
   /// block round if the leader is idle.
   void enqueue(const QueueItem& item);
 
+  /// Removes and returns every item still waiting in the mempool, in queue
+  /// order (the in-flight block, if any, stays and commits normally). Shard
+  /// churn uses this to hand a retired shard's backlog to its successor.
+  std::vector<QueueItem> drain_queue() {
+    std::vector<QueueItem> items(queue_.begin(), queue_.end());
+    queue_.clear();
+    return items;
+  }
+
   /// Completes the round whose kBlockCommit / kViewChange event just fired:
   /// commits the in-flight block and starts the next round if work is queued.
   /// The event-queue dispatcher must route round events here (see

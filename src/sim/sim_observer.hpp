@@ -20,6 +20,9 @@
 
 namespace optchain::sim {
 
+/// The simulation's instrumentation hook seam; every hook has an empty
+/// default, so observers override only what they measure (see the file
+/// comment for the firing contract).
 class SimObserver {
  public:
   virtual ~SimObserver() = default;
@@ -51,6 +54,19 @@ class SimObserver {
   /// the round still produced its block, just late).
   virtual void on_block_commit(std::uint32_t shard, double time) {
     (void)shard, (void)time;
+  }
+
+  /// The shard set changed at `time` (scripted sim::ShardChurnPlan event).
+  /// `joined` = true announces a fresh shard `shard` (migration counts are
+  /// zero); false announces shard `shard` retiring, with `migrated_txs`
+  /// transaction records and `migrated_utxos` live UTXO-ledger records handed
+  /// to its successor. Fires after the engine's own remap for that moment,
+  /// interleaved with the other hooks in simulated-time order.
+  virtual void on_shard_change(std::uint32_t shard, double time, bool joined,
+                               std::uint64_t migrated_txs,
+                               std::uint64_t migrated_utxos) {
+    (void)shard, (void)time, (void)joined, (void)migrated_txs,
+        (void)migrated_utxos;
   }
 };
 

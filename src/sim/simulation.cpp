@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "workload/dynamic_profile.hpp"
 
 namespace optchain::sim {
 
@@ -13,25 +14,31 @@ Simulation::Simulation(SimConfig config)
       result_{} {
   OPTCHAIN_EXPECTS(config_.num_shards >= 1);
   OPTCHAIN_EXPECTS(config_.tx_rate_tps > 0.0);
+  for (const ShardChurnEvent& change : config_.churn.events) {
+    OPTCHAIN_EXPECTS(change.time_s >= 0.0);
+  }
 
   client_position_ = network_.random_position(rng_);
   shards_.reserve(config_.num_shards);
-  for (std::uint32_t s = 0; s < config_.num_shards; ++s) {
-    const Position leader = network_.random_position(rng_);
-    ConsensusModel model(config_.consensus, network_, leader, rng_);
-    ShardFaults faults;
-    faults.slowdown =
-        s < config_.shard_slowdown.size() ? config_.shard_slowdown[s] : 1.0;
-    faults.leader_fault_rate = config_.leader_fault_rate;
-    faults.view_change_penalty_s = config_.view_change_penalty_s;
-    faults.seed = config_.seed;
-    shards_.push_back(std::make_unique<ShardNode>(
-        s, leader, std::move(model), events_,
-        [this](std::uint32_t shard, const QueueItem& item, SimTime time) {
-          on_item_committed(shard, item, time);
-        },
-        faults));
-  }
+  for (std::uint32_t s = 0; s < config_.num_shards; ++s) spawn_shard_node();
+}
+
+void Simulation::spawn_shard_node() {
+  const auto s = static_cast<std::uint32_t>(shards_.size());
+  const Position leader = network_.random_position(rng_);
+  ConsensusModel model(config_.consensus, network_, leader, rng_);
+  ShardFaults faults;
+  faults.slowdown =
+      s < config_.shard_slowdown.size() ? config_.shard_slowdown[s] : 1.0;
+  faults.leader_fault_rate = config_.leader_fault_rate;
+  faults.view_change_penalty_s = config_.view_change_penalty_s;
+  faults.seed = config_.seed;
+  shards_.push_back(std::make_unique<ShardNode>(
+      s, leader, std::move(model), events_,
+      [this](std::uint32_t shard, const QueueItem& item, SimTime time) {
+        on_item_committed(shard, item, time);
+      },
+      faults));
 }
 
 void Simulation::observe_timings() {
@@ -75,6 +82,11 @@ SimResult Simulation::run(workload::TxSource& source,
   committed_ = 0;
   inflight_.clear();
   outpoint_state_.clear();
+  successor_of_.resize(shards_.size());
+  for (std::uint32_t s = 0; s < successor_of_.size(); ++s) {
+    successor_of_[s] = s;
+  }
+  utxo_records_.assign(churn_enabled() ? shards_.size() : 0, 0);
 
   result_ = SimResult{};
   result_.placer_name = std::string(pipeline.method_name());
@@ -114,6 +126,11 @@ SimResult Simulation::run(workload::TxSource& source,
   }
   // Periodic queue sampling (Figs. 6-7); stops once everything committed.
   events_.schedule(0.0, Event::queue_sample());
+  // Scripted shard churn fires through the same typed queue; the payload is
+  // the plan index (the event record has no room for the full change).
+  for (std::uint32_t c = 0; c < config_.churn.events.size(); ++c) {
+    events_.schedule(config_.churn.events[c].time_s, Event::shard_change(c));
+  }
 
   while (work_remaining() && !events_.empty() &&
          events_.now() <= config_.max_sim_time_s) {
@@ -127,6 +144,9 @@ SimResult Simulation::run(workload::TxSource& source,
   result_.cross_txs = metrics_.cross_counter().cross();
   result_.aborted_txs = metrics_.aborted();
   result_.duration_s = metrics_.duration_s();
+  result_.shard_changes = metrics_.shard_changes();
+  result_.migrated_txs = metrics_.migrated_txs();
+  result_.migrated_utxos = metrics_.migrated_utxos();
   result_.latencies = metrics_.latencies();
   result_.commits_per_window = metrics_.commits_per_window();
   result_.queue_tracker = metrics_.queue_tracker();
@@ -153,20 +173,27 @@ void Simulation::on_event(const Event& event) {
     case EventType::kTxIssue:
       issue_transaction(event.tx);
       break;
+    // Protocol messages resolve their destination through the churn
+    // successor chain at *delivery* time: a message sent to a shard that
+    // retired mid-flight lands at the shard that inherited its records
+    // (resolve_shard is the identity without churn).
     case EventType::kTxDeliver:
-      shards_[event.shard]->enqueue(QueueItem{event.tx, ItemKind::kSameShard});
+      shards_[resolve_shard(event.shard)]->enqueue(
+          QueueItem{event.tx, ItemKind::kSameShard});
       break;
     case EventType::kLockRequest:
-      shards_[event.shard]->enqueue(QueueItem{event.tx, ItemKind::kLock});
+      shards_[resolve_shard(event.shard)]->enqueue(
+          QueueItem{event.tx, ItemKind::kLock});
       break;
     case EventType::kUnlockCommit:
-      shards_[event.shard]->enqueue(QueueItem{event.tx, ItemKind::kCommit});
+      shards_[resolve_shard(event.shard)]->enqueue(
+          QueueItem{event.tx, ItemKind::kCommit});
       break;
     case EventType::kProof:
       handle_proof(event.tx, event.flag != 0, event.shard);
       break;
     case EventType::kUnlockAbort: {
-      release_locks(event.tx, event.shard);
+      release_locks(event.tx, resolve_shard(event.shard));
       Inflight& flight = inflight_.at(event.tx);
       OPTCHAIN_ASSERT(flight.releases_in_flight > 0);
       --flight.releases_in_flight;
@@ -184,6 +211,9 @@ void Simulation::on_event(const Event& event) {
         events_.schedule_in(config_.queue_sample_interval_s,
                             Event::queue_sample());
       }
+      break;
+    case EventType::kShardChange:
+      apply_churn(config_.churn.events[event.tx]);
       break;
     case EventType::kGossipHop:
       OPTCHAIN_ASSERT(false);  // tree gossip runs on its own queue
@@ -226,6 +256,13 @@ void Simulation::issue_transaction(std::uint32_t index) {
     }
   }
 
+  // Churn runs track the live UTXO ledger per owning shard (outputs of a
+  // transaction belong to its shard), so a retirement can report how many
+  // records migrate.
+  if (churn_enabled()) {
+    utxo_records_[target] += staged_.outputs.size();
+  }
+
   // The protocol only needs the inputs from here on; steal them instead of
   // copying (staged_ is overwritten by the prefetch below anyway).
   flight.inputs = std::move(staged_.inputs);
@@ -235,12 +272,13 @@ void Simulation::issue_transaction(std::uint32_t index) {
   ++issued_;
   notify_issue(index, issue_time, placed.cross);
 
-  // Chain the next issue event at its nominal time index/rate, if the
-  // stream has one.
+  // Chain the next issue event, if the stream has one. The source owns the
+  // schedule: the default is the historical uniform index/rate, and dynamic
+  // sources substitute their rate curve (step/ramp/diurnal/flash-crowd).
   staged_valid_ = source_->next(staged_);
   if (staged_valid_) {
     const double next_time =
-        static_cast<double>(index + 1) / config_.tx_rate_tps;
+        source_->issue_time(index + 1, config_.tx_rate_tps);
     events_.schedule(next_time, Event::tx_issue(index + 1));
   }
 }
@@ -277,14 +315,29 @@ void Simulation::spend_inputs(std::uint32_t index) {
   const Inflight& flight = inflight_.at(index);
   for (const tx::OutPoint& point : flight.inputs) {
     auto& entry = outpoint_state_[outpoint_key(point)];
-    OPTCHAIN_ASSERT(entry.first != OutpointState::kSpent ||
-                    entry.second == index);
+    // Without churn the lock protocol makes a conflicting double-commit
+    // impossible; a retirement mid-handoff can drop a lock, so churn runs
+    // tolerate (and ignore) a late conflicting spend instead of asserting.
+    if (entry.first == OutpointState::kSpent && entry.second != index) {
+      OPTCHAIN_ASSERT(churn_enabled());
+      continue;
+    }
     entry = {OutpointState::kSpent, index};
+    if (churn_enabled() &&
+        point.vout < workload::DynamicTxSource::kInjectedVoutBase) {
+      // Synthetic hotspot outpoints (vout >= kInjectedVoutBase) were never
+      // credited as outputs, so only genuine spends consume a record.
+      std::uint64_t& records = utxo_records_[assignment_->shard_of(point.tx)];
+      if (records > 0) --records;
+    }
   }
 }
 
 void Simulation::on_item_committed(std::uint32_t shard, const QueueItem& item,
                                    SimTime time) {
+  // A retired shard's in-flight block still commits; its items act on behalf
+  // of the successor that inherited the shard's records.
+  shard = resolve_shard(shard);
   switch (item.kind) {
     case ItemKind::kSameShard: {
       // Single-pass validation: all inputs live here. A conflict (outpoint
@@ -314,7 +367,8 @@ void Simulation::on_item_committed(std::uint32_t shard, const QueueItem& item,
       const Position decision_point =
           config_.protocol == ProtocolMode::kOmniLedger
               ? client_position_
-              : shards_[inflight_.at(index).cross.output_shard]
+              : shards_[resolve_shard(
+                            inflight_.at(index).cross.output_shard)]
                     ->leader_position();
       const double delay = network_.message_delay(
           origin.leader_position(), decision_point, config_.proof_bytes);
@@ -336,7 +390,7 @@ void Simulation::handle_proof(std::uint32_t index, bool accepted,
   }
   if (--pending.remaining_locks > 0) return;
 
-  const ShardNode& output = *shards_[pending.output_shard];
+  const ShardNode& output = *shards_[resolve_shard(pending.output_shard)];
   const Position decision_point =
       config_.protocol == ProtocolMode::kOmniLedger
           ? client_position_
@@ -430,6 +484,65 @@ void Simulation::notify_block_commit(std::uint32_t shard, double time) {
   for (SimObserver* observer : observers_) {
     observer->on_block_commit(shard, time);
   }
+}
+
+void Simulation::notify_shard_change(std::uint32_t shard, double time,
+                                     bool joined, std::uint64_t migrated_txs,
+                                     std::uint64_t migrated_utxos) {
+  for (SimObserver* observer : observers_) {
+    observer->on_shard_change(shard, time, joined, migrated_txs,
+                              migrated_utxos);
+  }
+}
+
+void Simulation::apply_churn(const ShardChurnEvent& change) {
+  const double time = events_.now();
+  const placement::ShardAssignment& assignment = pipeline_->assignment();
+
+  if (change.kind == ChurnKind::kAddShard) {
+    // A fresh shard joins: sampled with the same path as start-up shards,
+    // announced to the pipeline so placers see k+1 on their next choose().
+    spawn_shard_node();
+    const placement::ShardId id = pipeline_->add_shard();
+    OPTCHAIN_ASSERT(id + 1 == shards_.size());
+    successor_of_.push_back(id);
+    utxo_records_.push_back(0);
+    notify_shard_change(id, time, /*joined=*/true, 0, 0);
+    return;
+  }
+
+  // Removal: pick the target (kAutoShard = largest active) and hand its
+  // whole state to the least-loaded other active shard in one bulk step.
+  std::uint32_t target = change.shard;
+  if (target == ShardChurnEvent::kAutoShard) {
+    target = assignment.largest_active();
+  }
+  OPTCHAIN_EXPECTS(target < assignment.k() && assignment.is_active(target));
+  OPTCHAIN_EXPECTS(assignment.active_count() >= 2);
+  std::uint32_t successor = placement::kUnplaced;
+  std::uint64_t successor_size = 0;
+  for (std::uint32_t j = 0; j < assignment.k(); ++j) {
+    if (j == target || !assignment.is_active(j)) continue;
+    if (successor == placement::kUnplaced ||
+        assignment.size_of(j) < successor_size) {
+      successor = j;
+      successor_size = assignment.size_of(j);
+    }
+  }
+
+  const std::uint64_t migrated_txs = pipeline_->retire_shard(target,
+                                                             successor);
+  const std::uint64_t migrated_utxos = utxo_records_[target];
+  utxo_records_[successor] += migrated_utxos;
+  utxo_records_[target] = 0;
+  successor_of_[target] = successor;
+  // Pending mempool work transfers; the retired shard's in-flight block (if
+  // any) still commits and is resolved to the successor on delivery.
+  for (const QueueItem& item : shards_[target]->drain_queue()) {
+    shards_[successor]->enqueue(item);
+  }
+  notify_shard_change(target, time, /*joined=*/false, migrated_txs,
+                      migrated_utxos);
 }
 
 }  // namespace optchain::sim

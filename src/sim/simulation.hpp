@@ -49,6 +49,7 @@
 #include "sim/consensus.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/network.hpp"
+#include "sim/shard_churn.hpp"
 #include "sim/shard_node.hpp"
 #include "sim/sim_observer.hpp"
 #include "stats/metrics.hpp"
@@ -86,6 +87,10 @@ struct SimConfig {
   /// clock passes this bound before every transaction commits.
   double max_sim_time_s = 1e7;
 
+  /// Scripted shard membership changes (see sim/shard_churn.hpp). An empty
+  /// plan leaves every engine code path and random draw untouched.
+  ShardChurnPlan churn;
+
   /// Message payload sizes (bytes).
   std::uint64_t proof_bytes = 256;
 
@@ -108,6 +113,13 @@ struct SimResult {
   double max_latency_s = 0.0;
   std::uint64_t total_blocks = 0;
   std::uint64_t total_events = 0;
+
+  /// Shard churn accounting (zero without a churn plan): fired membership
+  /// changes, transaction records bulk-migrated off retiring shards, and
+  /// live UTXO-ledger records that moved with them.
+  std::uint64_t shard_changes = 0;
+  std::uint64_t migrated_txs = 0;
+  std::uint64_t migrated_utxos = 0;
 
   stats::LatencyRecorder latencies;
   stats::WindowCounter commits_per_window{50.0};
@@ -170,6 +182,9 @@ class Simulation final : private EventHandler {
   void notify_queue_sample(double time,
                            std::span<const std::uint64_t> queue_sizes);
   void notify_block_commit(std::uint32_t shard, double time);
+  void notify_shard_change(std::uint32_t shard, double time, bool joined,
+                           std::uint64_t migrated_txs,
+                           std::uint64_t migrated_utxos);
   void issue_transaction(std::uint32_t index);
   void on_item_committed(std::uint32_t shard, const QueueItem& item,
                          SimTime time);
@@ -197,6 +212,19 @@ class Simulation final : private EventHandler {
                     std::uint32_t from_shard);
   void erase_if_settled(std::uint32_t index);
 
+  // ----- shard churn ------------------------------------------------------
+  bool churn_enabled() const noexcept { return !config_.churn.events.empty(); }
+  /// Appends one ShardNode (constructor start-up and mid-run kAddShard share
+  /// the same sampling path, so churn-free runs draw identically).
+  void spawn_shard_node();
+  /// Follows the retirement successor chain to the shard currently
+  /// responsible for `shard`'s protocol role (identity without churn).
+  std::uint32_t resolve_shard(std::uint32_t shard) const noexcept {
+    while (successor_of_[shard] != shard) shard = successor_of_[shard];
+    return shard;
+  }
+  void apply_churn(const ShardChurnEvent& change);
+
   SimConfig config_;
   EventQueue events_;
   NetworkModel network_;
@@ -222,6 +250,13 @@ class Simulation final : private EventHandler {
   std::unordered_map<std::uint64_t, std::pair<OutpointState, std::uint32_t>>
       outpoint_state_;
   std::vector<std::uint64_t> queue_sizes_;  // scratch for sample_queues
+  /// Retirement successor chain: successor_of_[s] == s while s is active.
+  /// Messages addressed to a retired shard resolve through this at delivery.
+  std::vector<std::uint32_t> successor_of_;
+  /// Live UTXO-ledger records per owning shard (churn runs only): outputs
+  /// created by the shard's transactions minus spends. The per-retirement
+  /// migrated-UTXO metric reads the retiring shard's entry.
+  std::vector<std::uint64_t> utxo_records_;
   /// The engine's own collectors, attached through the same observer seam as
   /// external hooks (observers_[0]); copied into result_ when the run ends.
   stats::MetricsObserver metrics_;

@@ -1,7 +1,7 @@
 // Message-level intra-shard consensus round (ByzCoinX-style tree gossip).
 //
 // The main simulator abstracts a committee round to the closed-form
-// ConsensusModel (DESIGN.md substitution #2). This module simulates the same
+// ConsensusModel (the consensus-abstraction substitution). This module simulates the same
 // round at per-message fidelity so that abstraction can be *validated*
 // rather than assumed:
 //

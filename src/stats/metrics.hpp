@@ -139,6 +139,13 @@ class MetricsObserver final : public sim::SimObserver {
   void on_block_commit(std::uint32_t /*shard*/, double /*time*/) override {
     ++blocks_;
   }
+  void on_shard_change(std::uint32_t /*shard*/, double /*time*/,
+                       bool /*joined*/, std::uint64_t migrated_txs,
+                       std::uint64_t migrated_utxos) override {
+    ++shard_changes_;
+    migrated_txs_ += migrated_txs;
+    migrated_utxos_ += migrated_utxos;
+  }
 
   const LatencyRecorder& latencies() const noexcept { return latencies_; }
   const WindowCounter& commits_per_window() const noexcept {
@@ -153,6 +160,10 @@ class MetricsObserver final : public sim::SimObserver {
   std::uint64_t blocks() const noexcept { return blocks_; }
   /// Simulated time of the last terminal (commit or abort) event.
   double duration_s() const noexcept { return duration_s_; }
+  /// Shard churn accounting (zero in churn-free runs).
+  std::uint64_t shard_changes() const noexcept { return shard_changes_; }
+  std::uint64_t migrated_txs() const noexcept { return migrated_txs_; }
+  std::uint64_t migrated_utxos() const noexcept { return migrated_utxos_; }
 
  private:
   LatencyRecorder latencies_;
@@ -162,6 +173,9 @@ class MetricsObserver final : public sim::SimObserver {
   std::uint64_t committed_ = 0;
   std::uint64_t aborted_ = 0;
   std::uint64_t blocks_ = 0;
+  std::uint64_t shard_changes_ = 0;
+  std::uint64_t migrated_txs_ = 0;
+  std::uint64_t migrated_utxos_ = 0;
   double duration_s_ = 0.0;
 };
 

@@ -18,8 +18,8 @@
 //     repository runs on it unchanged.
 //
 // Under this model the TaN degenerates toward per-account chains, which is
-// exactly why transaction placement behaves differently there (see
-// bench_account_model).
+// exactly why transaction placement behaves differently there (the
+// `account` scenario of optchain-bench measures it).
 #pragma once
 
 #include <cstddef>
@@ -31,16 +31,18 @@
 
 namespace optchain::workload {
 
+/// How a transfer orders against past account activity.
 enum class AccountDependency : std::uint8_t {
-  kSenderOnly,         // paper-literal: one input, one output
-  kSenderAndReceiver,  // also order against the receiver's last writer
+  kSenderOnly,         ///< paper-literal: one input, one output
+  kSenderAndReceiver,  ///< also order against the receiver's last writer
 };
 
+/// Knobs of the account-model stream.
 struct AccountWorkloadConfig {
   /// Every funding_interval-th transaction funds a (possibly new) account
   /// out of thin air (the account-model coinbase analogue).
   std::uint64_t funding_interval = 50;
-  tx::Amount funding_amount = 1'000'000'000;
+  tx::Amount funding_amount = 1'000'000'000;  ///< value per funding event
 
   /// Probability a transfer goes to a brand-new account.
   double p_new_account = 0.2;
@@ -53,23 +55,30 @@ struct AccountWorkloadConfig {
   /// with probability p_cross_community (same rationale as the UTXO
   /// generator).
   std::uint32_t initial_communities = 4;
-  std::uint64_t community_birth_interval = 4000;
-  double community_recency = 0.25;
-  double p_cross_community = 0.05;
+  std::uint64_t community_birth_interval = 4000;  ///< txs between births
+  double community_recency = 0.25;  ///< age bias toward young communities
+  double p_cross_community = 0.05;  ///< P[transfer leaves the community]
 
+  /// Dependency model (see AccountDependency).
   AccountDependency dependency = AccountDependency::kSenderOnly;
 };
 
+/// Account-model (Ethereum-style) stream generator mapped onto the UTXO
+/// machinery (see the file comment for the encoding).
 class AccountWorkloadGenerator {
  public:
+  /// Same (config, seed) pair ⇒ same stream, on any platform.
   explicit AccountWorkloadGenerator(AccountWorkloadConfig config = {},
                                     std::uint64_t seed = 0xacc1);
 
   /// Next transfer (or funding) transaction; indices are dense.
   tx::Transaction next();
+  /// Next n transactions.
   std::vector<tx::Transaction> generate(std::size_t n);
 
+  /// Accounts created so far.
   std::size_t num_accounts() const noexcept { return balances_.size(); }
+  /// Transactions generated so far (== the next index).
   std::uint64_t transactions_generated() const noexcept { return next_index_; }
 
  private:

@@ -38,21 +38,22 @@ namespace optchain::workload {
 /// Flood-attack episode: transactions in [start, end) are input-heavy
 /// consolidations. Disabled by default (start == end).
 struct FloodEpisode {
-  std::uint64_t start = 0;
-  std::uint64_t end = 0;
-  std::uint32_t inputs_per_tx = 30;
+  std::uint64_t start = 0;  ///< first flooded transaction index
+  std::uint64_t end = 0;    ///< one past the last flooded index
+  std::uint32_t inputs_per_tx = 30;  ///< consolidation fan-in per spam tx
 };
 
+/// Knobs of the Bitcoin-like stream (defaults calibrated to Fig. 2).
 struct WorkloadConfig {
   /// Every coinbase_interval-th transaction is a coinbase (block reward).
   std::uint64_t coinbase_interval = 100;
-  tx::Amount coinbase_reward = 5'000'000'000;  // 50 BTC in satoshi
+  tx::Amount coinbase_reward = 5'000'000'000;  ///< 50 BTC in satoshi
 
   /// Input/output count distributions: P(count = c) ∝ c^(-alpha), c ≤ max.
   double input_zipf_alpha = 1.8;
-  std::uint32_t max_inputs = 24;
-  double output_zipf_alpha = 1.8;
-  std::uint32_t max_outputs = 16;
+  std::uint32_t max_inputs = 24;   ///< input-count cap
+  double output_zipf_alpha = 1.8;  ///< output-count exponent
+  std::uint32_t max_outputs = 16;  ///< output-count cap
 
   /// Probability that a paid output goes to a brand-new wallet.
   double p_new_wallet = 0.30;
@@ -71,9 +72,9 @@ struct WorkloadConfig {
   /// of consecutive transactions into one shard" (§IV.B, Fig. 6c).
   /// Payments leave the payer's community with probability p_cross_community.
   std::uint32_t initial_communities = 4;
-  std::uint64_t community_birth_interval = 4000;
-  double community_recency = 0.25;
-  double p_cross_community = 0.05;
+  std::uint64_t community_birth_interval = 4000;  ///< txs between births
+  double community_recency = 0.25;   ///< age bias toward young communities
+  double p_cross_community = 0.05;   ///< P[payment leaves the community]
 
   /// Activity arrives in community bursts: for burst_length consecutive
   /// transactions one community is "hot" and originates a p_burst fraction
@@ -81,14 +82,17 @@ struct WorkloadConfig {
   /// what stress a placement strategy's temporal balance: an offline
   /// partitioner maps a burst to one shard wholesale, and a capacity-capped
   /// greedy strategy overflows mid-burst.
-  std::uint64_t burst_length = 400;
-  double p_burst = 0.7;
+  std::uint64_t burst_length = 400;  ///< transactions per burst window
+  double p_burst = 0.7;  ///< share of spends the hot community originates
 
-  FloodEpisode flood;
+  FloodEpisode flood;  ///< optional spam-attack episode (Fig. 2c)
 };
 
+/// Synthetic Bitcoin-like stream generator (see the file comment for the
+/// three calibrated workload properties).
 class BitcoinLikeGenerator {
  public:
+  /// Same (config, seed) pair ⇒ same stream, on any platform.
   explicit BitcoinLikeGenerator(WorkloadConfig config = {},
                                 std::uint64_t seed = 0x09dc4a11);
 
@@ -100,11 +104,15 @@ class BitcoinLikeGenerator {
   /// Generates the next n transactions.
   std::vector<tx::Transaction> generate(std::size_t n);
 
+  /// Transactions generated so far (== the next index).
   std::uint64_t transactions_generated() const noexcept { return next_index_; }
+  /// Wallets created so far.
   std::size_t num_wallets() const noexcept { return wallet_utxos_.size(); }
+  /// The community `wallet` belongs to.
   std::uint32_t community_of(tx::WalletId wallet) const {
     return wallet_community_.at(wallet);
   }
+  /// The generator's configuration.
   const WorkloadConfig& config() const noexcept { return config_; }
 
  private:

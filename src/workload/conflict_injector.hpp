@@ -15,10 +15,11 @@
 
 namespace optchain::workload {
 
+/// A transaction stream with injected double-spend conflicts.
 struct ConflictStream {
-  std::vector<tx::Transaction> transactions;
-  std::vector<bool> is_conflict;   // parallel to transactions
-  std::uint64_t num_conflicts = 0;
+  std::vector<tx::Transaction> transactions;  ///< the mutated stream
+  std::vector<bool> is_conflict;  ///< parallel to transactions
+  std::uint64_t num_conflicts = 0;  ///< how many spends were replaced
 };
 
 /// With probability `rate`, a non-coinbase transaction's inputs are replaced

@@ -1,0 +1,288 @@
+#include "workload/dynamic_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace optchain::workload {
+
+namespace {
+
+constexpr double kMinRate = 1e-9;  // floor keeping inter-arrival gaps finite
+
+void expect_positive(double value, const char* what) {
+  if (!(value > 0.0)) {
+    throw std::invalid_argument(std::string("RateCurve: ") + what +
+                                " must be > 0");
+  }
+}
+
+/// Instantaneous rate of `phase` at phase-local time `local` (clamped to the
+/// declared duration so the final phase extends smoothly).
+double phase_rate(const RatePhase& phase, double local) noexcept {
+  switch (phase.shape) {
+    case RateShape::kConstant:
+      return phase.r0;
+    case RateShape::kRamp: {
+      const double f =
+          phase.duration_s > 0.0
+              ? std::clamp(local / phase.duration_s, 0.0, 1.0)
+              : 1.0;
+      return phase.r0 + (phase.r1 - phase.r0) * f;
+    }
+    case RateShape::kDiurnal: {
+      const double rate =
+          phase.r0 +
+          phase.r1 * std::sin(6.283185307179586 * local / phase.period_s);
+      return std::max(rate, kMinRate);
+    }
+    case RateShape::kFlashCrowd:
+      return phase.r0 + (phase.r1 - phase.r0) * std::exp(-local /
+                                                         phase.period_s);
+  }
+  return kMinRate;  // unreachable
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- RateCurve
+
+RateCurve& RateCurve::constant(double rate_tps, double duration_s) {
+  expect_positive(rate_tps, "constant rate");
+  expect_positive(duration_s, "phase duration");
+  phases_.push_back({RateShape::kConstant, duration_s, rate_tps, rate_tps,
+                     0.0});
+  return *this;
+}
+
+RateCurve& RateCurve::ramp(double from_tps, double to_tps, double duration_s) {
+  expect_positive(from_tps, "ramp start rate");
+  expect_positive(to_tps, "ramp end rate");
+  expect_positive(duration_s, "phase duration");
+  phases_.push_back({RateShape::kRamp, duration_s, from_tps, to_tps, 0.0});
+  return *this;
+}
+
+RateCurve& RateCurve::diurnal(double mean_tps, double amplitude_tps,
+                              double period_s, double duration_s) {
+  expect_positive(mean_tps, "diurnal mean rate");
+  expect_positive(period_s, "diurnal period");
+  expect_positive(duration_s, "phase duration");
+  if (amplitude_tps < 0.0) {
+    throw std::invalid_argument("RateCurve: diurnal amplitude must be >= 0");
+  }
+  phases_.push_back({RateShape::kDiurnal, duration_s, mean_tps, amplitude_tps,
+                     period_s});
+  return *this;
+}
+
+RateCurve& RateCurve::flash_crowd(double baseline_tps, double peak_tps,
+                                  double decay_s, double duration_s) {
+  expect_positive(baseline_tps, "flash-crowd baseline rate");
+  expect_positive(peak_tps, "flash-crowd peak rate");
+  expect_positive(decay_s, "flash-crowd decay constant");
+  expect_positive(duration_s, "phase duration");
+  phases_.push_back({RateShape::kFlashCrowd, duration_s, baseline_tps,
+                     peak_tps, decay_s});
+  return *this;
+}
+
+double RateCurve::rate_at(double t) const noexcept {
+  if (phases_.empty()) return kMinRate;
+  double start = 0.0;
+  for (std::size_t p = 0; p < phases_.size(); ++p) {
+    const bool last = p + 1 == phases_.size();
+    if (last || t < start + phases_[p].duration_s) {
+      return phase_rate(phases_[p], std::max(0.0, t - start));
+    }
+    start += phases_[p].duration_s;
+  }
+  return kMinRate;  // unreachable
+}
+
+// ------------------------------------------------------------- RateSchedule
+
+RateSchedule::RateSchedule(const RateCurve& curve) : curve_(curve) {
+  OPTCHAIN_EXPECTS(!curve.empty());
+}
+
+double RateSchedule::time_of(std::uint64_t index) {
+  OPTCHAIN_EXPECTS(index + 1 >= emitted_);
+  double t = t_;
+  while (emitted_ <= index) t = next_time();
+  return t;
+}
+
+double RateSchedule::next_time() {
+  if (emitted_ == 0) {
+    ++emitted_;
+    t_ = 0.0;
+    return 0.0;
+  }
+  const auto& phases = curve_.phases();
+  while (true) {
+    const RatePhase& phase = phases[phase_];
+    const bool last = phase_ + 1 == phases.size();
+    double candidate;
+    if (phase.shape == RateShape::kConstant) {
+      // Analytic within constant phases: arrival n of the phase lands at
+      // phase start + n/rate. A single constant phase therefore reproduces
+      // the uniform index/rate schedule bit-for-bit (the decorator
+      // equivalence golden relies on this).
+      candidate = phase_t0_ +
+                  static_cast<double>(emitted_ - phase_n0_) / phase.r0;
+    } else {
+      const double rate =
+          std::max(phase_rate(phase, t_ - phase_t0_), kMinRate);
+      candidate = t_ + 1.0 / rate;
+    }
+    if (last || candidate < phase_t0_ + phase.duration_s) {
+      t_ = candidate;
+      ++emitted_;
+      return candidate;
+    }
+    // The arrival falls past this phase: roll to the next phase's start and
+    // recompute under its rate (loops across degenerate short phases).
+    phase_t0_ += phase.duration_s;
+    phase_n0_ = emitted_ - 1;
+    t_ = phase_t0_;
+    ++phase_;
+  }
+}
+
+// ----------------------------------------------------------- DynamicProfile
+
+void DynamicProfile::validate() const {
+  const auto bad = [](const char* what) {
+    throw std::invalid_argument(std::string("DynamicProfile: ") + what);
+  };
+  if (hotspot.injection_fraction < 0.0 ||
+      !std::isfinite(hotspot.injection_fraction)) {
+    bad("injection_fraction must be finite and >= 0");
+  }
+  if (injects()) {
+    if (hotspot.hot_set_size == 0) bad("hot_set_size must be >= 1");
+    if (!(hotspot.zipf_s > 0.0)) bad("zipf_s must be > 0");
+    if (hotspot.fanout_inputs == 0) bad("fanout_inputs must be >= 1");
+  }
+  for (const SpamBurst& burst : bursts) {
+    if (burst.end_index <= burst.begin_index) {
+      bad("burst window must be non-empty (end_index > begin_index)");
+    }
+    if (burst.intensity < 0.0) bad("burst intensity must be >= 0");
+    if (burst.fanout_inputs == 0) bad("burst fanout_inputs must be >= 1");
+  }
+}
+
+// ---------------------------------------------------------- DynamicTxSource
+
+DynamicTxSource::DynamicTxSource(TxSource& inner, DynamicProfile profile,
+                                 std::uint64_t seed)
+    : inner_(&inner),
+      profile_(std::move(profile)),
+      rng_(seed ^ 0xdf0a11cULL),
+      zipf_(profile_.hotspot.zipf_s > 0.0 ? profile_.hotspot.zipf_s : 1.0,
+            std::max<std::uint32_t>(1, profile_.hotspot.hot_set_size)) {
+  profile_.validate();
+  if (!profile_.rate.empty()) schedule_.emplace(profile_.rate);
+}
+
+std::optional<std::uint64_t> DynamicTxSource::size_hint() const {
+  if (profile_.injects()) return std::nullopt;
+  return inner_->size_hint();
+}
+
+double DynamicTxSource::issue_time(std::uint64_t index,
+                                   double nominal_rate_tps) {
+  if (!schedule_.has_value()) {
+    return TxSource::issue_time(index, nominal_rate_tps);
+  }
+  return schedule_->time_of(index);
+}
+
+bool DynamicTxSource::in_burst(std::uint64_t index,
+                               const SpamBurst** burst) const noexcept {
+  for (const SpamBurst& candidate : profile_.bursts) {
+    if (index >= candidate.begin_index && index < candidate.end_index) {
+      *burst = &candidate;
+      return true;
+    }
+  }
+  *burst = nullptr;
+  return false;
+}
+
+void DynamicTxSource::maybe_rotate_hot_set() {
+  if (!profile_.injects() || emitted_ == 0) return;
+  const bool due =
+      hot_set_.empty() || (profile_.hotspot.rotation_interval > 0 &&
+                           emitted_ >= next_rotation_);
+  if (!due) return;
+  const auto size = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+      profile_.hotspot.hot_set_size, emitted_));
+  hot_set_.clear();
+  for (std::uint32_t rank = 0; rank < size; ++rank) {
+    hot_set_.push_back(static_cast<tx::TxIndex>(emitted_ - 1 - rank));
+  }
+  next_rotation_ =
+      emitted_ + std::max<std::uint64_t>(1, profile_.hotspot.rotation_interval);
+}
+
+void DynamicTxSource::emit_injected(tx::Transaction& out,
+                                    const SpamBurst* burst) {
+  OPTCHAIN_ASSERT(!hot_set_.empty());
+  out.index = static_cast<tx::TxIndex>(emitted_);
+  out.inputs.clear();
+  out.outputs.clear();
+  const std::uint32_t fanout =
+      burst != nullptr ? burst->fanout_inputs : profile_.hotspot.fanout_inputs;
+  for (std::uint32_t i = 0; i < fanout; ++i) {
+    const auto rank = static_cast<std::size_t>(
+        std::min<std::uint32_t>(zipf_.sample(rng_),
+                                static_cast<std::uint32_t>(hot_set_.size())));
+    const tx::TxIndex parent = hot_set_[rank - 1];
+    out.inputs.push_back({parent, kInjectedVoutBase + synthetic_vouts_++});
+  }
+  out.outputs.push_back({546, kInjectedOwner});  // dust marker output
+  ++injected_;
+  ++emitted_;
+  credit_ -= 1.0;
+}
+
+bool DynamicTxSource::next(tx::Transaction& out) {
+  maybe_rotate_hot_set();
+
+  // Injection owed from accrued credit goes out before the next pass-through
+  // transaction (credit only accrues on pass-through, which bounds runs of
+  // injected transactions by the configured intensity).
+  if (profile_.injects() && !hot_set_.empty() && credit_ >= 1.0) {
+    const SpamBurst* burst = nullptr;
+    in_burst(emitted_, &burst);
+    emit_injected(out, burst);
+    return true;
+  }
+
+  if (!inner_->next(out)) return false;
+
+  if (profile_.injects()) {
+    // Injected transactions shift every later index; the map keeps the inner
+    // stream's spend graph intact under the new dense numbering.
+    OPTCHAIN_ASSERT(out.index == index_map_.size());
+    index_map_.push_back(static_cast<tx::TxIndex>(emitted_));
+    for (tx::OutPoint& input : out.inputs) {
+      OPTCHAIN_ASSERT(input.tx < index_map_.size());
+      input.tx = index_map_[input.tx];
+    }
+    const SpamBurst* burst = nullptr;
+    in_burst(emitted_, &burst);
+    credit_ += profile_.hotspot.injection_fraction +
+               (burst != nullptr ? burst->intensity : 0.0);
+  }
+  out.index = static_cast<tx::TxIndex>(emitted_);
+  ++emitted_;
+  return true;
+}
+
+}  // namespace optchain::workload

@@ -1,0 +1,230 @@
+// Dynamic workload profiles — time-varying rates, hotspot skew and spam
+// bursts layered over any transaction stream.
+//
+// The paper evaluates OptChain only under stationary trace replay (§V.A), but
+// placement quality is most stressed when the workload *moves*: bursty
+// arrival rates, hot accounts that concentrate spends, and DoS-style
+// consolidation spam (the 2015 flood episode of Fig. 2c). Shard Scheduler
+// (Król et al., AFT 2021) and Ren & Ward's placement study both show skewed,
+// time-varying traffic is where static placement degrades.
+//
+// Everything here is a decorator over workload::TxSource, so the placement
+// pipeline and the simulator consume dynamic streams unchanged:
+//
+//   workload::GeneratorTxSource inner({}, seed, n);
+//   workload::DynamicProfile profile;
+//   profile.rate.constant(2000.0, 30.0).flash_crowd(2000.0, 8000.0, 5.0, 30.0);
+//   profile.hotspot.injection_fraction = 0.05;
+//   workload::DynamicTxSource source(inner, profile, seed);
+//   simulation.run(source, pipeline);          // rate waves + hot spends
+//
+// Three orthogonal knobs compose:
+//   RateCurve      — piecewise arrival-rate curve (constant / step via
+//                    consecutive constants / ramp / diurnal / flash-crowd);
+//                    drives TxSource::issue_time, which the simulator uses to
+//                    schedule client issues.
+//   HotspotConfig  — injected transactions spend outputs of a *rotating hot
+//                    set* of recent transactions with Zipfian popularity
+//                    (hot exchanges / popular contracts).
+//   SpamBurst      — index windows where injection intensifies and injected
+//                    transactions fan out over many hot parents (DoS-style
+//                    consolidation spam).
+//
+// Determinism contract: a DynamicTxSource is a pure function of
+// (inner stream, profile, seed). A profile with a constant-rate curve and no
+// injection is bit-identical to the undecorated inner source — issue times
+// included — which is what keeps the engine goldens valid (pinned in
+// tests/dynamic_workload_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "txmodel/transaction.hpp"
+#include "workload/tx_source.hpp"
+
+namespace optchain::workload {
+
+/// Shape of one phase of a piecewise rate curve.
+enum class RateShape : std::uint8_t {
+  kConstant,    ///< rate r0 for the whole phase
+  kRamp,        ///< linear r0 → r1 across the phase
+  kDiurnal,     ///< r0 + r1 · sin(2π · t / period) (clamped above zero)
+  kFlashCrowd,  ///< spike: r0 + (r1 − r0) · exp(−t / period), period = decay τ
+};
+
+/// One phase of a RateCurve, active for `duration_s` simulated seconds.
+/// Fields are interpreted per RateShape (see the enum).
+struct RatePhase {
+  RateShape shape = RateShape::kConstant;  ///< curve shape within the phase
+  double duration_s = 0.0;  ///< phase length; the final phase extends forever
+  double r0 = 2000.0;       ///< base rate (tps); see RateShape
+  double r1 = 2000.0;       ///< secondary rate (ramp target / amplitude / peak)
+  double period_s = 0.0;    ///< diurnal period or flash-crowd decay constant
+};
+
+/// A piecewise arrival-rate curve built from fluent phase appends. Step
+/// functions are consecutive constant() phases. An empty curve means
+/// "no rate shaping" — the consumer's nominal rate applies.
+class RateCurve {
+ public:
+  /// Appends a constant-rate phase (`rate_tps` for `duration_s`).
+  RateCurve& constant(double rate_tps, double duration_s);
+  /// Appends a linear ramp from `from_tps` to `to_tps` over `duration_s`.
+  RateCurve& ramp(double from_tps, double to_tps, double duration_s);
+  /// Appends a sinusoidal phase: mean ± amplitude with the given period.
+  RateCurve& diurnal(double mean_tps, double amplitude_tps, double period_s,
+                     double duration_s);
+  /// Appends a flash-crowd spike: instantaneous jump to `peak_tps`, decaying
+  /// toward `baseline_tps` with time constant `decay_s`.
+  RateCurve& flash_crowd(double baseline_tps, double peak_tps, double decay_s,
+                         double duration_s);
+
+  /// True when no phase has been added (the curve imposes nothing).
+  bool empty() const noexcept { return phases_.empty(); }
+  /// The appended phases, in order.
+  const std::vector<RatePhase>& phases() const noexcept { return phases_; }
+
+  /// Instantaneous rate at absolute time `t` (the final phase extends past
+  /// its declared duration). Validation: throws std::invalid_argument from
+  /// the builders on non-positive rates or durations.
+  double rate_at(double t) const noexcept;
+
+ private:
+  std::vector<RatePhase> phases_;
+};
+
+/// Walks a RateCurve to per-transaction issue times. Arrival n of a constant
+/// phase is computed analytically (phase_start + n/rate — exactly the
+/// uniform index/rate schedule when the curve is one constant phase), other
+/// shapes advance incrementally by the instantaneous inter-arrival gap.
+/// time_of() must be called with strictly increasing indices.
+class RateSchedule {
+ public:
+  /// `curve` must be non-empty and outlive the schedule.
+  explicit RateSchedule(const RateCurve& curve);
+
+  /// Issue time of transaction `index`; indices must arrive in increasing
+  /// order (skipping ahead fast-forwards the walk). index 0 is always 0.0.
+  double time_of(std::uint64_t index);
+
+ private:
+  double next_time();
+
+  const RateCurve& curve_;
+  std::size_t phase_ = 0;
+  double phase_t0_ = 0.0;       // absolute start time of the current phase
+  std::uint64_t phase_n0_ = 0;  // arrivals emitted before the current phase
+  std::uint64_t emitted_ = 0;   // issue times produced so far
+  double t_ = 0.0;              // last produced issue time
+};
+
+/// Zipfian hot-set skew: a rotating window of recent transactions becomes
+/// "hot", and injected transactions spend their outputs with Zipfian
+/// popularity — the UTXO analogue of hot accounts / popular contracts.
+struct HotspotConfig {
+  /// Injected hot transactions per pass-through transaction (0 disables the
+  /// hotspot layer entirely; 0.1 ≈ one injected spend per 10 stream txs).
+  double injection_fraction = 0.0;
+  /// Zipf exponent over hot-set ranks (rank 1 = most recent member).
+  double zipf_s = 1.1;
+  /// Number of transactions in the hot set.
+  std::uint32_t hot_set_size = 64;
+  /// The hot set is re-drawn from the most recent transactions every
+  /// `rotation_interval` emitted transactions (0 = never rotate).
+  std::uint64_t rotation_interval = 5000;
+  /// Inputs per injected transaction outside spam bursts.
+  std::uint32_t fanout_inputs = 1;
+};
+
+/// A spam/DoS episode: within [begin_index, end_index) of the *emitted*
+/// stream, injection intensifies by `intensity` and injected transactions
+/// fan out over `fanout_inputs` hot parents (consolidation-spam shape —
+/// the paper's Fig. 2c flood, but aimed at the hot set).
+struct SpamBurst {
+  std::uint64_t begin_index = 0;  ///< first emitted index inside the burst
+  std::uint64_t end_index = 0;    ///< one past the last emitted index
+  double intensity = 0.5;         ///< extra injected txs per pass-through tx
+  std::uint32_t fanout_inputs = 16;  ///< inputs per injected burst tx
+};
+
+/// A complete dynamic-workload description: rate shaping + hotspot skew +
+/// spam bursts. Default-constructed profiles are inert (pure pass-through).
+struct DynamicProfile {
+  RateCurve rate;                ///< arrival-rate curve (empty = nominal rate)
+  HotspotConfig hotspot;         ///< rotating-hot-set injection model
+  std::vector<SpamBurst> bursts; ///< DoS episodes over the emitted stream
+
+  /// True when any knob deviates from pass-through.
+  bool active() const noexcept { return !rate.empty() || injects(); }
+  /// True when the profile injects transactions (hotspot or bursts).
+  bool injects() const noexcept {
+    return hotspot.injection_fraction > 0.0 || !bursts.empty();
+  }
+  /// Throws std::invalid_argument on nonsensical parameters (negative
+  /// fractions, zero hot set with injection, inverted burst windows).
+  void validate() const;
+};
+
+/// The owner id stamped on injected transactions' outputs, so consumers and
+/// tests can tell injected spends from pass-through traffic.
+inline constexpr tx::WalletId kInjectedOwner = 0xFFFFFFFEu;
+
+/// TxSource decorator applying a DynamicProfile to an inner stream.
+///
+/// Pass-through transactions keep their payload but are re-indexed to stay
+/// dense while injected transactions interleave; their input references are
+/// remapped through the same index translation, so the TaN structure of the
+/// inner stream is preserved exactly. Injected transactions spend synthetic
+/// outpoints of hot parents (vouts above kInjectedVoutBase), which never
+/// collide with genuine outputs — hotspots skew *placement pressure*, not
+/// the double-spend ledger.
+class DynamicTxSource final : public TxSource {
+ public:
+  /// `inner` must outlive the source. Throws std::invalid_argument when the
+  /// profile fails validate().
+  DynamicTxSource(TxSource& inner, DynamicProfile profile, std::uint64_t seed);
+
+  bool next(tx::Transaction& out) override;
+
+  /// Inner hint when nothing is injected; injection makes the emitted length
+  /// stochastic, so the hint degrades to "unknown".
+  std::optional<std::uint64_t> size_hint() const override;
+
+  /// Rate-curve issue times when the profile has a curve; the uniform
+  /// index/rate schedule otherwise.
+  double issue_time(std::uint64_t index, double nominal_rate_tps) override;
+
+  /// Transactions injected so far (tests / reporting).
+  std::uint64_t injected() const noexcept { return injected_; }
+
+  /// Synthetic vouts of injected spends start here (keeps them disjoint from
+  /// genuine outputs, see class comment).
+  static constexpr std::uint32_t kInjectedVoutBase = 0x40000000u;
+
+ private:
+  bool in_burst(std::uint64_t index, const SpamBurst** burst) const noexcept;
+  void maybe_rotate_hot_set();
+  void emit_injected(tx::Transaction& out, const SpamBurst* burst);
+
+  TxSource* inner_;
+  DynamicProfile profile_;
+  Rng rng_;
+  ZipfSampler zipf_;
+  std::optional<RateSchedule> schedule_;
+
+  std::uint64_t emitted_ = 0;   // next emitted (outer) index
+  std::uint64_t injected_ = 0;
+  double credit_ = 0.0;         // fractional injected txs owed
+  std::vector<tx::TxIndex> index_map_;     // inner index → emitted index
+  std::vector<tx::TxIndex> hot_set_;       // rank → emitted parent index
+  std::uint64_t next_rotation_ = 0;
+  /// Monotonic counter making every synthetic outpoint globally unique —
+  /// even when consecutive hot sets overlap, no (parent, vout) pair is ever
+  /// issued twice, so injected spends never look like double spends.
+  std::uint32_t synthetic_vouts_ = 0;
+};
+
+}  // namespace optchain::workload

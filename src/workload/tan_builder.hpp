@@ -11,15 +11,19 @@
 
 namespace optchain::workload {
 
+/// Incrementally builds the TaN DAG from an arriving transaction stream.
 class TanBuilder {
  public:
+  /// `expected_txs` pre-sizes the dag (0 = grow amortized).
   explicit TanBuilder(std::size_t expected_txs = 0);
 
   /// Appends the transaction as a TaN node. Transactions must arrive in
   /// dense index order. Returns the TaN node id (== tx.index).
   graph::NodeId add(const tx::Transaction& transaction);
 
+  /// The DAG built so far.
   const graph::TanDag& dag() const noexcept { return dag_; }
+  /// Moves the DAG out of the builder.
   graph::TanDag take() && noexcept { return std::move(dag_); }
 
  private:

@@ -32,6 +32,8 @@
 
 namespace optchain::workload {
 
+/// Pull-based transaction stream interface (see the file comment); the seam
+/// every engine consumes and every workload decorator wraps.
 class TxSource {
  public:
   virtual ~TxSource() = default;
@@ -47,12 +49,22 @@ class TxSource {
   virtual std::optional<std::uint64_t> size_hint() const {
     return std::nullopt;
   }
+
+  /// Simulated issue timestamp of transaction `index` under the consumer's
+  /// nominal rate. The default is the uniform schedule index / rate — exactly
+  /// what the simulator historically computed — and sources carrying their
+  /// own rate model (workload::DynamicTxSource) override it with their curve.
+  /// Consumers must query indices in non-decreasing order.
+  virtual double issue_time(std::uint64_t index, double nominal_rate_tps) {
+    return static_cast<double>(index) / nominal_rate_tps;
+  }
 };
 
 /// Streams `count` transactions from a BitcoinLikeGenerator without ever
 /// materializing them.
 class GeneratorTxSource final : public TxSource {
  public:
+  /// Streams `count` transactions of BitcoinLikeGenerator(config, seed).
   GeneratorTxSource(WorkloadConfig config, std::uint64_t seed,
                     std::uint64_t count)
       : generator_(config, seed), remaining_(count), count_(count) {}
@@ -76,6 +88,7 @@ class GeneratorTxSource final : public TxSource {
 /// source).
 class SpanTxSource final : public TxSource {
  public:
+  /// Wraps `transactions` (non-owning).
   explicit SpanTxSource(std::span<const tx::Transaction> transactions)
       : transactions_(transactions) {}
 
@@ -108,6 +121,7 @@ class SpanTxSource final : public TxSource {
 /// indices, forward references).
 class EdgeListFileTxSource final : public TxSource {
  public:
+  /// Opens `path` (throws std::runtime_error on I/O failure).
   explicit EdgeListFileTxSource(const std::string& path);
 
   bool next(tx::Transaction& out) override;

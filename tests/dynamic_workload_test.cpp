@@ -1,0 +1,315 @@
+// Tests for the dynamic-workload layer (workload/dynamic_profile.hpp):
+// rate-curve issue schedules, the DynamicTxSource decorator's pass-through
+// equivalence golden (a constant-rate profile must be bit-identical to the
+// undecorated stream, placement and simulation included), hotspot/spam
+// injection with index remapping, and profile validation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "api/run_spec.hpp"
+#include "api/scenario_spec.hpp"
+#include "api/sweep_runner.hpp"
+#include "workload/bitcoin_like_generator.hpp"
+#include "workload/dynamic_profile.hpp"
+#include "workload/tx_source.hpp"
+
+namespace optchain::workload {
+namespace {
+
+constexpr std::uint64_t kSeed = 7;
+
+std::vector<tx::Transaction> reference_stream(std::size_t n) {
+  BitcoinLikeGenerator generator({}, kSeed);
+  return generator.generate(n);
+}
+
+void expect_same_transaction(const tx::Transaction& a,
+                             const tx::Transaction& b) {
+  EXPECT_EQ(a.index, b.index);
+  EXPECT_EQ(a.inputs, b.inputs);
+  EXPECT_EQ(a.outputs, b.outputs);
+}
+
+// ------------------------------------------------------------- rate curves
+
+TEST(RateCurveTest, ConstantScheduleMatchesUniformExactly) {
+  RateCurve curve;
+  curve.constant(2000.0, 30.0);
+  RateSchedule schedule(curve);
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    // Bit-identical to the simulator's historical index/rate schedule.
+    EXPECT_EQ(schedule.time_of(i), static_cast<double>(i) / 2000.0) << i;
+  }
+}
+
+TEST(RateCurveTest, DefaultIssueTimeIsUniform) {
+  GeneratorTxSource source({}, kSeed, 10);
+  EXPECT_EQ(source.issue_time(0, 500.0), 0.0);
+  EXPECT_EQ(source.issue_time(7, 500.0), 7.0 / 500.0);
+}
+
+TEST(RateCurveTest, StepCurveRollsOverAtPhaseBoundary) {
+  RateCurve curve;
+  curve.constant(100.0, 1.0).constant(200.0, 10.0);
+  RateSchedule schedule(curve);
+  EXPECT_EQ(schedule.time_of(0), 0.0);
+  EXPECT_EQ(schedule.time_of(50), 0.5);
+  // Arrival 100 would land exactly on the boundary (t = 1.0), which belongs
+  // to the next phase: it arrives one 200 tps gap after the boundary.
+  EXPECT_EQ(schedule.time_of(100), 1.0 + 1.0 / 200.0);
+  EXPECT_EQ(schedule.time_of(101), 1.0 + 2.0 / 200.0);
+}
+
+TEST(RateCurveTest, RampTightensInterArrivalGaps) {
+  RateCurve curve;
+  curve.ramp(100.0, 1000.0, 10.0);
+  RateSchedule schedule(curve);
+  double previous = schedule.time_of(0);
+  double previous_gap = 0.0;
+  bool first_gap = true;
+  for (std::uint64_t i = 1; i < 500; ++i) {
+    const double t = schedule.time_of(i);
+    const double gap = t - previous;
+    EXPECT_GT(gap, 0.0);
+    if (!first_gap) {
+      EXPECT_LE(gap, previous_gap);  // rate only increases
+    }
+    first_gap = false;
+    previous = t;
+    previous_gap = gap;
+  }
+}
+
+TEST(RateCurveTest, FlashCrowdDecaysTowardBaseline) {
+  RateCurve curve;
+  curve.flash_crowd(1000.0, 5000.0, 2.0, 100.0);
+  EXPECT_DOUBLE_EQ(curve.rate_at(0.0), 5000.0);
+  EXPECT_LT(curve.rate_at(10.0), 5000.0);
+  EXPECT_NEAR(curve.rate_at(50.0), 1000.0, 1.0);
+}
+
+TEST(RateCurveTest, BuildersRejectNonPositiveParameters) {
+  RateCurve curve;
+  EXPECT_THROW(curve.constant(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(curve.constant(100.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(curve.ramp(-1.0, 10.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(curve.diurnal(100.0, -5.0, 10.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(curve.flash_crowd(100.0, 500.0, 0.0, 1.0),
+               std::invalid_argument);
+}
+
+// --------------------------------------- pass-through equivalence goldens
+
+TEST(DynamicTxSourceTest, InertProfilePassesThroughBitIdentical) {
+  const auto reference = reference_stream(500);
+  GeneratorTxSource inner({}, kSeed, 500);
+  DynamicTxSource source(inner, DynamicProfile{}, kSeed);
+  ASSERT_EQ(source.size_hint(), 500u);
+  const auto decorated = materialize(source);
+  ASSERT_EQ(decorated.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    expect_same_transaction(decorated[i], reference[i]);
+  }
+}
+
+TEST(DynamicTxSourceTest, ConstantRateProfilePassesThroughBitIdentical) {
+  const auto reference = reference_stream(400);
+  GeneratorTxSource inner({}, kSeed, 400);
+  DynamicProfile profile;
+  profile.rate.constant(800.0, 1e9);
+  DynamicTxSource source(inner, profile, kSeed);
+  const auto decorated = materialize(source);
+  ASSERT_EQ(decorated.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    expect_same_transaction(decorated[i], reference[i]);
+  }
+}
+
+/// The decorator-equivalence golden of the engine: simulating through a
+/// constant-rate DynamicTxSource is bit-identical to simulating the bare
+/// stream — placement decisions, event counts, every latency metric.
+TEST(DynamicTxSourceTest, ConstantRateSimulationIsBitIdentical) {
+  const auto txs = reference_stream(600);
+  for (const char* method : {"OptChain", "Greedy", "OmniLedger"}) {
+    api::RunSpec spec;
+    spec.method = method;
+    spec.num_shards = 8;
+    spec.seed = kSeed;
+    spec.rate_tps = 300.0;
+    spec.commit_window_s = 5.0;
+    const api::RunReport baseline = api::simulate(spec, txs);
+
+    SpanTxSource inner(txs);
+    DynamicProfile profile;
+    profile.rate.constant(300.0, 1e9);
+    DynamicTxSource source(inner, profile, kSeed);
+    const api::RunReport decorated = api::simulate(spec, source);
+
+    ASSERT_TRUE(baseline.sim.has_value() && decorated.sim.has_value());
+    EXPECT_EQ(decorated.cross, baseline.cross) << method;
+    EXPECT_EQ(decorated.shard_sizes, baseline.shard_sizes) << method;
+    EXPECT_EQ(decorated.sim->total_events, baseline.sim->total_events)
+        << method;
+    EXPECT_EQ(decorated.sim->committed_txs, baseline.sim->committed_txs);
+    EXPECT_DOUBLE_EQ(decorated.sim->duration_s, baseline.sim->duration_s);
+    EXPECT_DOUBLE_EQ(decorated.sim->avg_latency_s,
+                     baseline.sim->avg_latency_s);
+    EXPECT_DOUBLE_EQ(decorated.sim->max_latency_s,
+                     baseline.sim->max_latency_s);
+    EXPECT_EQ(decorated.sim->total_blocks, baseline.sim->total_blocks);
+  }
+}
+
+TEST(DynamicTxSourceTest, ConstantRatePlacementIsBitIdentical) {
+  const auto txs = reference_stream(600);
+  api::RunSpec spec;
+  spec.method = "Greedy";
+  spec.num_shards = 8;
+  spec.seed = kSeed;
+  const api::RunReport baseline = api::place(spec, txs);
+
+  SpanTxSource inner(txs);
+  DynamicProfile profile;
+  profile.rate.constant(800.0, 1e9);
+  DynamicTxSource source(inner, profile, kSeed);
+  const api::RunReport decorated = api::place(spec, source);
+
+  EXPECT_EQ(decorated.total, baseline.total);
+  EXPECT_EQ(decorated.cross, baseline.cross);
+  EXPECT_EQ(decorated.shard_sizes, baseline.shard_sizes);
+}
+
+// ----------------------------------------------------- hotspot / injection
+
+TEST(DynamicTxSourceTest, HotspotInjectionKeepsIndicesDenseAndRemapsInputs) {
+  const std::size_t n = 2000;
+  const auto reference = reference_stream(n);
+  GeneratorTxSource inner({}, kSeed, n);
+  DynamicProfile profile;
+  profile.hotspot.injection_fraction = 0.2;
+  profile.hotspot.hot_set_size = 16;
+  profile.hotspot.rotation_interval = 300;
+  DynamicTxSource source(inner, profile, kSeed);
+  EXPECT_FALSE(source.size_hint().has_value());  // emitted length stochastic
+
+  const auto decorated = materialize(source);
+  EXPECT_GT(decorated.size(), n);  // injection only adds
+  EXPECT_EQ(source.injected(), decorated.size() - n);
+  // Injection cadence follows the credit accumulator: ~fraction per
+  // pass-through transaction.
+  EXPECT_NEAR(static_cast<double>(source.injected()),
+              0.2 * static_cast<double>(n), 0.2 * n * 0.1 + 2.0);
+
+  // Rebuild inner→outer: pass-through transactions are exactly those not
+  // marked with the injected owner, in order.
+  std::vector<std::size_t> inner_to_outer;
+  for (std::size_t i = 0; i < decorated.size(); ++i) {
+    EXPECT_EQ(decorated[i].index, i);  // dense outer indices
+    const bool injected =
+        decorated[i].outputs.size() == 1 &&
+        decorated[i].outputs[0].owner == kInjectedOwner;
+    if (injected) {
+      // Injected spends reference earlier emitted transactions through
+      // synthetic vouts disjoint from genuine outputs.
+      for (const tx::OutPoint& input : decorated[i].inputs) {
+        EXPECT_LT(input.tx, i);
+        EXPECT_GE(input.vout, DynamicTxSource::kInjectedVoutBase);
+      }
+    } else {
+      inner_to_outer.push_back(i);
+    }
+  }
+  ASSERT_EQ(inner_to_outer.size(), n);
+
+  // Every pass-through transaction carries the reference payload with its
+  // inputs remapped through the same translation.
+  for (std::size_t inner_idx = 0; inner_idx < n; ++inner_idx) {
+    const tx::Transaction& original = reference[inner_idx];
+    const tx::Transaction& mapped = decorated[inner_to_outer[inner_idx]];
+    EXPECT_EQ(mapped.outputs, original.outputs);
+    ASSERT_EQ(mapped.inputs.size(), original.inputs.size());
+    for (std::size_t j = 0; j < original.inputs.size(); ++j) {
+      EXPECT_EQ(mapped.inputs[j].tx, inner_to_outer[original.inputs[j].tx]);
+      EXPECT_EQ(mapped.inputs[j].vout, original.inputs[j].vout);
+    }
+  }
+}
+
+TEST(DynamicTxSourceTest, SpamBurstFansOutOverHotParents) {
+  const std::size_t n = 1500;
+  GeneratorTxSource inner({}, kSeed, n);
+  DynamicProfile profile;
+  profile.hotspot.hot_set_size = 8;
+  profile.hotspot.rotation_interval = 200;
+  profile.bursts = {{500, 700, 1.0, 24}};
+  DynamicTxSource source(inner, profile, kSeed);
+  const auto decorated = materialize(source);
+
+  std::uint64_t burst_injected = 0;
+  for (const tx::Transaction& transaction : decorated) {
+    const bool injected =
+        transaction.outputs.size() == 1 &&
+        transaction.outputs[0].owner == kInjectedOwner;
+    if (!injected) continue;
+    if (transaction.index >= 500 && transaction.index < 700 + 64) {
+      EXPECT_EQ(transaction.inputs.size(), 24u);  // burst fan-out
+      ++burst_injected;
+    }
+  }
+  // intensity 1.0 over a 200-tx window ≈ one injected tx per pass-through.
+  EXPECT_GT(burst_injected, 50u);
+}
+
+TEST(DynamicProfileTest, ValidateRejectsNonsense) {
+  DynamicProfile negative;
+  negative.hotspot.injection_fraction = -0.5;
+  EXPECT_THROW(negative.validate(), std::invalid_argument);
+
+  DynamicProfile no_hot_set;
+  no_hot_set.hotspot.injection_fraction = 0.1;
+  no_hot_set.hotspot.hot_set_size = 0;
+  EXPECT_THROW(no_hot_set.validate(), std::invalid_argument);
+
+  DynamicProfile inverted_burst;
+  inverted_burst.bursts = {{100, 100, 0.5, 8}};
+  EXPECT_THROW(inverted_burst.validate(), std::invalid_argument);
+
+  DynamicProfile ok;
+  ok.hotspot.injection_fraction = 0.1;
+  ok.bursts = {{10, 20, 0.5, 8}};
+  EXPECT_NO_THROW(ok.validate());
+}
+
+// ------------------------------------------------ scenario-layer plumbing
+
+TEST(DynamicScenarioTest, ExpandRejectsDynamicWarmCombination) {
+  api::ScenarioSpec spec;
+  spec.mode = api::RunMode::kPlace;
+  spec.txs = 100;
+  spec.warm_ratio = 10;
+  spec.dynamic.rate.constant(100.0, 10.0);
+  EXPECT_THROW(spec.expand(), std::invalid_argument);
+}
+
+TEST(DynamicScenarioTest, ExpandCopiesProfileIntoCells) {
+  api::ScenarioSpec spec;
+  spec.txs = 50;
+  spec.dynamic.rate.constant(100.0, 10.0).ramp(100.0, 200.0, 5.0);
+  spec.dynamic.hotspot.injection_fraction = 0.05;
+  const api::Sweep sweep = spec.expand();
+  ASSERT_FALSE(sweep.cells.empty());
+  EXPECT_EQ(sweep.cells[0].dynamic.rate.phases().size(), 2u);
+  EXPECT_DOUBLE_EQ(sweep.cells[0].dynamic.hotspot.injection_fraction, 0.05);
+}
+
+TEST(DynamicScenarioTest, ZeroCellSweepFailsLoudly) {
+  api::Sweep empty;
+  empty.scenario = "empty";
+  EXPECT_THROW(api::SweepRunner().run(empty), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace optchain::workload

@@ -1,6 +1,5 @@
 // Message-level tree-gossip consensus vs the closed-form ConsensusModel:
-// validates the simulator's consensus-time abstraction (DESIGN.md
-// substitution #2).
+// validates the simulator's consensus-time abstraction.
 #include <gtest/gtest.h>
 
 #include <vector>

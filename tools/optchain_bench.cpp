@@ -2,6 +2,7 @@
 //
 //   optchain-bench list                     # name every scenario
 //   optchain-bench fig4 [--flags]           # run one scenario
+//   optchain-bench dynamic,churn [--flags]  # run several (comma-separated)
 //   optchain-bench all [--smoke] [--jobs=N] [--json=BENCH_figs.json]
 //
 // Each scenario is a registered declarative api::ScenarioSpec (or a custom
@@ -18,6 +19,7 @@
 #include <cstdio>
 #include <exception>
 #include <string>
+#include <vector>
 
 #include "common/flags.hpp"
 #include "common/json_writer.hpp"
@@ -30,12 +32,14 @@ using namespace optchain;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: optchain-bench <list|all|SCENARIO> [--flags]\n"
+               "usage: optchain-bench <list|all|SCENARIO[,SCENARIO...]> "
+               "[--flags]\n"
                "       optchain-bench list   # names every scenario\n"
                "flags: --jobs=N --smoke --json=PATH --csv_dir=DIR --seed=S "
-               "--replicas=R --txs=N\n");
+               "--replicas=R --txs=N --methods=A,B\n");
   return 2;
 }
+
 
 int cmd_list() {
   TextTable table({"scenario", "description", "reproduces"});
@@ -70,15 +74,20 @@ int main(int argc, char** argv) {
         exit_code = exit_code != 0 ? exit_code : code;
       }
     } else {
-      const bench::Scenario* scenario = bench::find_scenario(command);
-      if (scenario == nullptr) {
-        std::fprintf(stderr,
-                     "optchain-bench: unknown scenario \"%s\" (see "
-                     "`optchain-bench list`)\n",
-                     command.c_str());
-        return 2;
+      const std::vector<std::string> names = split_csv(command);
+      if (names.empty()) return usage();
+      for (const std::string& name : names) {
+        const bench::Scenario* scenario = bench::find_scenario(name);
+        if (scenario == nullptr) {
+          std::fprintf(stderr,
+                       "optchain-bench: unknown scenario \"%s\" (see "
+                       "`optchain-bench list`)\n",
+                       name.c_str());
+          return 2;
+        }
+        const int code = bench::run_scenario(*scenario, flags, json_out);
+        exit_code = exit_code != 0 ? exit_code : code;
       }
-      exit_code = bench::run_scenario(*scenario, flags, json_out);
     }
     if (json_out != nullptr) {
       json.save(json_path);
