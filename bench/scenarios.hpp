@@ -13,6 +13,9 @@
 // `churn`) stress placement where the workload *moves*: rate waves through a
 // workload::DynamicProfile decorator, Zipfian hot-set spam injection, and
 // scripted shard churn with migration accounting (sim::ShardChurnPlan).
+// The `trace` scenario replays the placement lineup from an imported .optx
+// trace container (--trace=; see src/trace and the optchain-trace tool) —
+// the paper's real-dataset replay method, import once / replay every cell.
 //
 // Shared flags (every scenario): --seed, --replicas, --jobs=N, --smoke
 // (CI-sized streams), --txs=N (override stream length), --issue_seconds,
@@ -53,8 +56,8 @@ struct Scenario {
 };
 
 /// The 14 paper figures/tables plus the dynamic-workload extensions
-/// (dynamic/hotspot/churn); registration order = paper order, extensions
-/// last.
+/// (dynamic/hotspot/churn) and the trace-replay scenario (`trace`);
+/// registration order = paper order, extensions last.
 const std::vector<Scenario>& scenarios();
 
 /// Case-sensitive lookup; nullptr when unknown.

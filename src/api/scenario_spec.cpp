@@ -1,7 +1,10 @@
 #include "api/scenario_spec.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+
+#include "trace/trace_reader.hpp"
 
 namespace optchain::api {
 
@@ -39,6 +42,37 @@ Sweep ScenarioSpec::expand() const {
   }
   dynamic.validate();
 
+  // Trace replay: resolve the window against the container once — the
+  // import happened offline, exactly once, and every cell and replica below
+  // shares the same file. Opening a v2 trace reads only the header and the
+  // footer index (O(1) in the trace length).
+  TraceReplay window = trace;
+  if (workload == WorkloadKind::kTrace) {
+    if (trace.path.empty()) {
+      throw std::invalid_argument(
+          "ScenarioSpec: workload kTrace needs trace.path (import one with "
+          "`optchain-trace import`)");
+    }
+    if (warm_ratio > 0) {
+      throw std::invalid_argument(
+          "ScenarioSpec: a Metis warm prefix (warm_ratio > 0) needs a "
+          "materialized generator stream, not a trace replay");
+    }
+    trace::TraceReader reader(trace.path);
+    window.end = trace.end == 0 ? reader.size() : trace.end;
+    if (window.end > reader.size() || window.begin >= window.end) {
+      throw std::invalid_argument(
+          "ScenarioSpec: trace window [" + std::to_string(window.begin) +
+          ", " + std::to_string(window.end) + ") outside trace \"" +
+          trace.path + "\" (" + std::to_string(reader.size()) + " txs)");
+    }
+    // `txs` caps the replayed window length (the bench --smoke convention);
+    // issue_seconds never sizes a trace — the stream is what was captured.
+    if (txs > 0) {
+      window.end = std::min(window.end, window.begin + txs);
+    }
+  }
+
   // Materialize the operating points once; the explicit pairing list wins.
   std::vector<OperatingPoint> points = pairings;
   if (points.empty()) {
@@ -65,7 +99,10 @@ Sweep ScenarioSpec::expand() const {
           cell.cell = cell_id;
           cell.replica = replica;
           cell.mode = mode;
-          cell.stream_txs = stream_length(point.rate_tps);
+          cell.stream_txs = workload == WorkloadKind::kTrace
+                                ? window.end - window.begin
+                                : stream_length(point.rate_tps);
+          cell.trace = window;
           cell.warm_txs =
               mode == RunMode::kPlace
                   ? static_cast<std::uint64_t>(warm_ratio) * cell.stream_txs

@@ -43,6 +43,20 @@ const char* to_string(RunMode mode) noexcept;
 enum class WorkloadKind : std::uint8_t {
   kBitcoinLike,  ///< workload::BitcoinLikeGenerator (UTXO model)
   kAccount,      ///< workload::AccountWorkloadGenerator (Ethereum-style)
+  kTrace,        ///< trace::TraceTxSource replay of an imported .optx trace
+};
+
+/// Replay recipe for WorkloadKind::kTrace: one imported chunk-indexed
+/// trace (see src/trace) shared by every cell and replica of the sweep —
+/// the import happens once, offline, and cells stream windows of the file
+/// instead of regenerating workloads per grid point.
+struct TraceReplay {
+  std::string path;         ///< the .optx container (OPTX v1 also accepted)
+  std::uint64_t begin = 0;  ///< first absolute trace index to replay
+  /// One past the last index; 0 = to the end of the trace. expand()
+  /// resolves the actual end against the file (and against
+  /// ScenarioSpec::txs, which caps the window length when set).
+  std::uint64_t end = 0;
 };
 
 /// An explicit (rate, shard count) operating point. When a scenario lists
@@ -105,6 +119,14 @@ struct ScenarioSpec {
   WorkloadKind workload = WorkloadKind::kBitcoinLike;  ///< which generator
   workload::WorkloadConfig bitcoin_workload;           ///< UTXO-model knobs
   workload::AccountWorkloadConfig account_workload;  ///< account-model knobs
+  /// Trace replay recipe (workload == kTrace): every cell streams the same
+  /// imported .optx window instead of regenerating a synthetic stream.
+  /// Incompatible with warm_ratio (the Metis warm prefix assumes a
+  /// materialized generator stream); expand() rejects the combination, an
+  /// empty path, or a window outside the trace. Trace cells ignore `seeds`
+  /// as a workload seed (the stream is fixed) but keep it as the method
+  /// seed; rate_tps only drives the simulator's issue schedule.
+  TraceReplay trace;
   /// Fixed stream length; 0 sizes each cell as rate × issue_seconds (the
   /// bench convention: a constant issue window equalizes the drain-tail
   /// bias across rates).
@@ -147,6 +169,9 @@ struct SweepCell {
   WorkloadKind workload = WorkloadKind::kBitcoinLike;  ///< which generator
   workload::WorkloadConfig bitcoin_workload;           ///< UTXO-model knobs
   workload::AccountWorkloadConfig account_workload;  ///< account-model knobs
+  /// Resolved trace window of the cell (workload == kTrace): end is always
+  /// concrete (never the 0 = "to end" shorthand) after expand().
+  TraceReplay trace;
   /// Dynamic-workload decoration of the cell's stream (inert by default).
   workload::DynamicProfile dynamic;
 };

@@ -13,6 +13,7 @@
 
 #include "common/assert.hpp"
 #include "metis/kway_partitioner.hpp"
+#include "trace/trace_source.hpp"
 #include "workload/tan_builder.hpp"
 
 namespace optchain::api {
@@ -40,6 +41,28 @@ struct WarmCache {
 /// generated per cell: at paper scale a shared materialized warm stream per
 /// in-flight key would dwarf the partition's memory).
 RunReport run_cell_cached(const SweepCell& cell, WarmCache* cache) {
+  // Trace cells never regenerate (or materialize) anything: each one
+  // streams its window of the shared imported container straight off disk —
+  // the "import once, replay many cells" contract. expand() already
+  // rejected warm starts for traces, and stream-dependent methods (Metis,
+  // Static) are unavailable for the same reason they are under dynamic
+  // profiles: there is no materialized stream to hand them.
+  if (cell.workload == WorkloadKind::kTrace) {
+    OPTCHAIN_EXPECTS(cell.warm_txs == 0);
+    trace::TraceTxSource source(cell.trace.path, cell.trace.begin,
+                                cell.trace.end);
+    if (cell.dynamic.active()) {
+      workload::DynamicTxSource dynamic(source, cell.dynamic,
+                                        cell.workload_seed);
+      return cell.mode == RunMode::kSimulate
+                 ? simulate(cell.spec, dynamic, cell.stream_txs)
+                 : place(cell.spec, dynamic, cell.stream_txs);
+    }
+    return cell.mode == RunMode::kSimulate
+               ? simulate(cell.spec, source, cell.stream_txs)
+               : place(cell.spec, source, cell.stream_txs);
+  }
+
   const std::vector<tx::Transaction> txs = SweepRunner::cell_stream(cell);
 
   // Dynamic profiles decorate the generated stream through the TxSource
@@ -106,6 +129,11 @@ Aggregate Aggregate::of(std::span<const double> values) noexcept {
 
 std::vector<tx::Transaction> SweepRunner::cell_stream(const SweepCell& cell) {
   const std::uint64_t n = cell.warm_txs + cell.stream_txs;
+  if (cell.workload == WorkloadKind::kTrace) {
+    trace::TraceTxSource source(cell.trace.path, cell.trace.begin,
+                                cell.trace.end);
+    return workload::materialize(source);
+  }
   if (cell.workload == WorkloadKind::kAccount) {
     workload::AccountWorkloadGenerator generator(cell.account_workload,
                                                  cell.workload_seed);

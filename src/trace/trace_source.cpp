@@ -1,0 +1,47 @@
+#include "trace/trace_source.hpp"
+
+#include <stdexcept>
+
+namespace optchain::trace {
+
+TraceTxSource::TraceTxSource(const std::string& path, std::uint64_t begin,
+                             std::uint64_t end)
+    : reader_(path), begin_(begin), end_(end) {
+  if (end_ == kToEnd || end_ > reader_.size()) end_ = reader_.size();
+  if (begin_ > reader_.size()) {
+    throw std::invalid_argument(
+        "trace window: begin " + std::to_string(begin_) + " beyond trace (" +
+        std::to_string(reader_.size()) + " txs): " + path);
+  }
+  if (begin_ > end_) {
+    throw std::invalid_argument("trace window: begin " +
+                                std::to_string(begin_) + " > end " +
+                                std::to_string(end_) + ": " + path);
+  }
+  reader_.seek(begin_);
+}
+
+bool TraceTxSource::next(tx::Transaction& out) {
+  if (begin_ + next_local_ >= end_) return false;
+  if (!reader_.next(out)) return false;  // unreachable: window ⊆ trace
+
+  // Re-index into the window; see the boundary policy in the header.
+  out.index = static_cast<tx::TxIndex>(out.index - begin_);
+  std::size_t kept = 0;
+  for (const tx::OutPoint& in : out.inputs) {
+    if (in.tx >= begin_) {
+      out.inputs[kept++] = {static_cast<tx::TxIndex>(in.tx - begin_),
+                            in.vout};
+    }
+  }
+  out.inputs.resize(kept);
+  ++next_local_;
+  return true;
+}
+
+void TraceTxSource::rewind() {
+  reader_.seek(begin_);
+  next_local_ = 0;
+}
+
+}  // namespace optchain::trace

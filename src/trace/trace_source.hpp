@@ -1,0 +1,79 @@
+// TraceTxSource — windowed, rewindable replay of an on-disk OPTX trace
+// through the workload::TxSource seam.
+//
+// This is the zero-regeneration path the experiment layer stands on: import
+// a dataset once (trace::import_source / the optchain-trace tool), then
+// point every cell of every sweep at the file. A window [begin, end) opens
+// through the v2 chunk index without decoding the prefix, and rewind()
+// restarts the window for the next replica at the cost of one seek.
+//
+// Window boundary policy (mirrors EdgeListFileTxSource's synthesized-
+// outpoint trick — the loader completes information the container cannot
+// carry, without inventing conflicts):
+//   - Transactions are re-indexed densely: local index = absolute - begin.
+//   - An input whose parent is inside the window keeps its outpoint,
+//     re-indexed ({parent - begin, vout}).
+//   - An input whose parent precedes the window becomes external funding:
+//     it is dropped from the input list, exactly as if the output had been
+//     minted before the system came up. Each such parent was a distinct
+//     outpoint in the full trace, so dropping them introduces no false
+//     conflicts — and keeps none, which is the same information loss the
+//     TaN edge-list format has at its own stream start.
+//   - A transaction whose parents are all external therefore replays as a
+//     root (coinbase-like), matching what an online placer cold-starting at
+//     `begin` could ever know about it.
+// The windowed TaN is exactly the induced subgraph of the full TaN on
+// [begin, end); a [0, size) window replays the trace bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "trace/trace_reader.hpp"
+#include "workload/tx_source.hpp"
+
+namespace optchain::trace {
+
+/// Replays a window of an on-disk OPTX trace as a TxSource (see the file
+/// comment for the boundary policy).
+class TraceTxSource final : public workload::TxSource {
+ public:
+  /// "To the end of the trace" sentinel for `end`.
+  static constexpr std::uint64_t kToEnd = ~0ull;
+
+  /// Opens `path` and positions at `begin`. The window is [begin, end)
+  /// clamped to the trace; throws std::invalid_argument when begin lies
+  /// beyond the trace or the window is empty on a non-empty trace request
+  /// (begin >= end), and std::runtime_error on container corruption.
+  explicit TraceTxSource(const std::string& path, std::uint64_t begin = 0,
+                         std::uint64_t end = kToEnd);
+
+  bool next(tx::Transaction& out) override;
+
+  /// Exact window length — every trace-driven run pre-sizes like a
+  /// generator-driven one.
+  std::optional<std::uint64_t> size_hint() const override {
+    return end_ - begin_;
+  }
+
+  /// Restarts the window from its first transaction (one chunk-index seek;
+  /// how one imported trace replays across sweep replicas without being
+  /// re-imported or re-opened).
+  void rewind();
+
+  /// First absolute trace index of the window.
+  std::uint64_t window_begin() const noexcept { return begin_; }
+  /// One past the last absolute trace index of the window.
+  std::uint64_t window_end() const noexcept { return end_; }
+  /// The underlying reader (trace metadata: version, chunks, total size).
+  const TraceReader& reader() const noexcept { return reader_; }
+
+ private:
+  TraceReader reader_;
+  std::uint64_t begin_ = 0;
+  std::uint64_t end_ = 0;
+  std::uint64_t next_local_ = 0;
+};
+
+}  // namespace optchain::trace

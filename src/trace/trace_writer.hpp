@@ -1,0 +1,75 @@
+// Streaming writer for the OPTX v2 chunk-indexed trace container.
+//
+// Appends transactions one at a time — O(chunk) memory, never the whole
+// stream — and seals the file with the footer index on finish(). Feed it
+// from any workload::TxSource (trace::import_source) or call append()
+// directly from a generator loop.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "trace/trace_format.hpp"
+#include "txmodel/transaction.hpp"
+
+namespace optchain::trace {
+
+/// Knobs of a trace import.
+struct TraceWriterOptions {
+  /// Nominal transactions per chunk (the seek granularity). Must be > 0.
+  std::uint32_t chunk_capacity = kDefaultChunkCapacity;
+};
+
+/// Streams transactions into a chunk-indexed .optx trace (see
+/// trace_format.hpp for the layout). Usage:
+///
+///   trace::TraceWriter writer("bitcoin.optx");
+///   while (source.next(transaction)) writer.append(transaction);
+///   writer.finish();
+class TraceWriter {
+ public:
+  /// Opens `path` for writing and emits the header. Throws
+  /// std::runtime_error on I/O failure or chunk_capacity == 0.
+  explicit TraceWriter(const std::string& path,
+                       TraceWriterOptions options = {});
+
+  /// finish()es an unfinished writer, swallowing errors — call finish()
+  /// explicitly to observe them.
+  ~TraceWriter();
+
+  /// Not copyable (owns the output stream and the in-flight chunk).
+  TraceWriter(const TraceWriter&) = delete;
+  /// Not copy-assignable.
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// Appends one transaction. Indices must be dense (0, 1, 2, ...) and
+  /// inputs must reference earlier transactions; violations throw
+  /// std::runtime_error (an importer feeding a malformed dump fails loudly
+  /// instead of sealing a corrupt trace).
+  void append(const tx::Transaction& transaction);
+
+  /// Flushes the tail chunk, writes the footer index and trailer, and
+  /// closes the file. Returns the total transaction count. Idempotent;
+  /// append() after finish() throws.
+  std::uint64_t finish();
+
+  /// Transactions appended so far.
+  std::uint64_t total() const noexcept { return total_; }
+
+ private:
+  void flush_chunk();
+
+  std::ofstream out_;
+  std::string path_;
+  std::uint32_t chunk_capacity_;
+  std::vector<std::uint8_t> payload_;      // current chunk's encoded body
+  std::uint64_t chunk_count_ = 0;          // transactions in current chunk
+  std::vector<ChunkInfo> chunks_;          // footer index under construction
+  std::uint64_t offset_ = 0;               // current file offset
+  std::uint64_t total_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace optchain::trace

@@ -40,6 +40,46 @@ std::uint64_t read_varint(std::span<const std::uint8_t> data,
   }
 }
 
+void encode_transaction(std::vector<std::uint8_t>& out,
+                        const Transaction& transaction) {
+  write_varint(out, transaction.inputs.size());
+  for (const OutPoint& in : transaction.inputs) {
+    write_varint(out, in.tx);
+    write_varint(out, in.vout);
+  }
+  write_varint(out, transaction.outputs.size());
+  for (const TxOut& txo : transaction.outputs) {
+    OPTCHAIN_EXPECTS(txo.value >= 0);
+    write_varint(out, static_cast<std::uint64_t>(txo.value));
+    write_varint(out, txo.owner);
+  }
+}
+
+void decode_transaction(std::span<const std::uint8_t> data,
+                        std::size_t& offset, TxIndex index, Transaction& out) {
+  out.index = index;
+  out.inputs.clear();
+  out.outputs.clear();
+  const std::uint64_t n_inputs = read_varint(data, offset);
+  out.inputs.reserve(n_inputs);
+  for (std::uint64_t j = 0; j < n_inputs; ++j) {
+    OutPoint point;
+    const std::uint64_t referenced = read_varint(data, offset);
+    if (referenced >= index) fail("forward/self input reference");
+    point.tx = static_cast<TxIndex>(referenced);
+    point.vout = static_cast<std::uint32_t>(read_varint(data, offset));
+    out.inputs.push_back(point);
+  }
+  const std::uint64_t n_outputs = read_varint(data, offset);
+  out.outputs.reserve(n_outputs);
+  for (std::uint64_t j = 0; j < n_outputs; ++j) {
+    TxOut txo;
+    txo.value = static_cast<Amount>(read_varint(data, offset));
+    txo.owner = static_cast<WalletId>(read_varint(data, offset));
+    out.outputs.push_back(txo);
+  }
+}
+
 std::vector<std::uint8_t> encode_transactions(
     std::span<const Transaction> transactions) {
   std::vector<std::uint8_t> out;
@@ -52,17 +92,7 @@ std::vector<std::uint8_t> encode_transactions(
   for (std::size_t i = 0; i < transactions.size(); ++i) {
     const Transaction& transaction = transactions[i];
     OPTCHAIN_EXPECTS(transaction.index == i);  // dense
-    write_varint(out, transaction.inputs.size());
-    for (const OutPoint& in : transaction.inputs) {
-      write_varint(out, in.tx);
-      write_varint(out, in.vout);
-    }
-    write_varint(out, transaction.outputs.size());
-    for (const TxOut& txo : transaction.outputs) {
-      OPTCHAIN_EXPECTS(txo.value >= 0);
-      write_varint(out, static_cast<std::uint64_t>(txo.value));
-      write_varint(out, txo.owner);
-    }
+    encode_transaction(out, transaction);
   }
   return out;
 }
@@ -80,25 +110,7 @@ std::vector<Transaction> decode_transactions(
   out.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
     Transaction transaction;
-    transaction.index = static_cast<TxIndex>(i);
-    const std::uint64_t n_inputs = read_varint(data, offset);
-    transaction.inputs.reserve(n_inputs);
-    for (std::uint64_t j = 0; j < n_inputs; ++j) {
-      OutPoint point;
-      const std::uint64_t referenced = read_varint(data, offset);
-      if (referenced >= i) fail("forward/self input reference");
-      point.tx = static_cast<TxIndex>(referenced);
-      point.vout = static_cast<std::uint32_t>(read_varint(data, offset));
-      transaction.inputs.push_back(point);
-    }
-    const std::uint64_t n_outputs = read_varint(data, offset);
-    transaction.outputs.reserve(n_outputs);
-    for (std::uint64_t j = 0; j < n_outputs; ++j) {
-      TxOut txo;
-      txo.value = static_cast<Amount>(read_varint(data, offset));
-      txo.owner = static_cast<WalletId>(read_varint(data, offset));
-      transaction.outputs.push_back(txo);
-    }
+    decode_transaction(data, offset, static_cast<TxIndex>(i), transaction);
     out.push_back(std::move(transaction));
   }
   if (offset != data.size()) fail("trailing bytes");

@@ -29,6 +29,21 @@ void write_varint(std::vector<std::uint8_t>& out, std::uint64_t value);
 std::uint64_t read_varint(std::span<const std::uint8_t> data,
                           std::size_t& offset);
 
+/// Appends the per-transaction encoding (varint n_inputs {tx, vout}*,
+/// varint n_outputs {value, owner}*) to `out`. The transaction's index is
+/// implied by stream position, never stored. This is the shared body codec
+/// of the flat OPTX v1 stream and the chunked OPTX v2 trace container
+/// (src/trace).
+void encode_transaction(std::vector<std::uint8_t>& out,
+                        const Transaction& transaction);
+
+/// Decodes one transaction from data[offset...] into `out`, assigning it
+/// `index` and advancing `offset`. Throws std::runtime_error on truncation
+/// or a forward/self input reference (inputs must name transactions with a
+/// smaller index).
+void decode_transaction(std::span<const std::uint8_t> data,
+                        std::size_t& offset, TxIndex index, Transaction& out);
+
 /// Serializes the stream (indices must be dense, 0..n-1).
 std::vector<std::uint8_t> encode_transactions(
     std::span<const Transaction> transactions);

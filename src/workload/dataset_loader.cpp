@@ -1,20 +1,13 @@
 #include "workload/dataset_loader.hpp"
 
-#include <charconv>
 #include <fstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "workload/edge_list_parser.hpp"
+
 namespace optchain::workload {
-namespace {
-
-[[noreturn]] void fail(const std::string& path, std::size_t line_no,
-                       const std::string& what) {
-  throw std::runtime_error(path + ":" + std::to_string(line_no) + ": " + what);
-}
-
-}  // namespace
 
 graph::TanDag load_tan_edge_list(const std::string& path) {
   std::ifstream in(path);
@@ -26,36 +19,12 @@ graph::TanDag load_tan_edge_list(const std::string& path) {
   std::vector<graph::NodeId> inputs;
   while (std::getline(in, line)) {
     ++line_no;
-    if (line.empty() || line[0] == '#') continue;
-
-    const std::size_t colon = line.find(':');
-    if (colon == std::string::npos) fail(path, line_no, "missing ':'");
-
-    std::uint32_t index = 0;
-    const auto [iptr, iec] =
-        std::from_chars(line.data(), line.data() + colon, index);
-    if (iec != std::errc{} || iptr != line.data() + colon) {
-      fail(path, line_no, "bad transaction index");
-    }
-    if (index != dag.num_nodes()) {
-      fail(path, line_no, "non-dense transaction index");
-    }
-
-    inputs.clear();
-    const char* cursor = line.data() + colon + 1;
-    const char* end = line.data() + line.size();
-    while (cursor < end) {
-      while (cursor < end && *cursor == ' ') ++cursor;
-      if (cursor == end) break;
-      std::uint32_t input = 0;
-      const auto [ptr, ec] = std::from_chars(cursor, end, input);
-      if (ec != std::errc{}) fail(path, line_no, "bad input index");
-      if (input >= index) fail(path, line_no, "forward/self reference");
-      inputs.push_back(input);
-      cursor = ptr;
-    }
+    if (edge_list_skip_line(line)) continue;
+    parse_edge_list_line(line, static_cast<std::uint32_t>(dag.num_nodes()),
+                         inputs, path + ":" + std::to_string(line_no));
     dag.add_node(inputs);
   }
+  if (in.bad()) throw std::runtime_error("read failed: " + path);
   return dag;
 }
 

@@ -1,0 +1,46 @@
+#include "workload/edge_list_parser.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace optchain::workload {
+namespace {
+
+[[noreturn]] void fail(const std::string& context, const std::string& what) {
+  throw std::runtime_error(context + ": " + what);
+}
+
+}  // namespace
+
+void parse_edge_list_line(const std::string& line,
+                          std::uint32_t expected_index,
+                          std::vector<std::uint32_t>& inputs,
+                          const std::string& context) {
+  inputs.clear();
+
+  const std::size_t colon = line.find(':');
+  if (colon == std::string::npos) fail(context, "missing ':'");
+
+  std::uint32_t index = 0;
+  const auto [iptr, iec] =
+      std::from_chars(line.data(), line.data() + colon, index);
+  if (iec != std::errc{} || iptr != line.data() + colon) {
+    fail(context, "bad transaction index");
+  }
+  if (index != expected_index) fail(context, "non-dense transaction index");
+
+  const char* cursor = line.data() + colon + 1;
+  const char* end = line.data() + line.size();
+  while (cursor < end) {
+    while (cursor < end && *cursor == ' ') ++cursor;
+    if (cursor == end) break;
+    std::uint32_t input = 0;
+    const auto [ptr, ec] = std::from_chars(cursor, end, input);
+    if (ec != std::errc{}) fail(context, "bad input index");
+    if (input >= index) fail(context, "forward/self reference");
+    inputs.push_back(input);
+    cursor = ptr;
+  }
+}
+
+}  // namespace optchain::workload

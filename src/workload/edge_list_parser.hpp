@@ -1,0 +1,33 @@
+// The one parser for TaN edge-list lines ("<tx_index>: <input_tx> ...").
+//
+// Both consumers of the text TaN format — the whole-file DAG loader
+// (dataset_loader.cpp) and the streaming EdgeListFileTxSource
+// (tx_source.cpp) — used to carry their own copy of the same
+// std::from_chars loop; this header is the shared implementation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace optchain::workload {
+
+/// Parses one TaN edge-list line into `inputs`.
+///
+/// The line must be "<index>: <input> <input> ..." with `index ==
+/// expected_index` (indices are dense) and every input strictly smaller than
+/// the index (the spend graph is a DAG by arrival order). Comment lines
+/// ('#') and blank lines must be filtered by the caller — they carry no
+/// transaction. Throws std::runtime_error (prefixed with `context`, e.g.
+/// "path:line") on malformed input.
+void parse_edge_list_line(const std::string& line,
+                          std::uint32_t expected_index,
+                          std::vector<std::uint32_t>& inputs,
+                          const std::string& context);
+
+/// True for lines the edge-list format skips: blank lines and '#' comments.
+inline bool edge_list_skip_line(const std::string& line) noexcept {
+  return line.empty() || line[0] == '#';
+}
+
+}  // namespace optchain::workload

@@ -1,18 +1,10 @@
 #include "workload/tx_source.hpp"
 
-#include <charconv>
 #include <stdexcept>
 
+#include "workload/edge_list_parser.hpp"
+
 namespace optchain::workload {
-namespace {
-
-[[noreturn]] void fail(const std::string& path, tx::TxIndex index,
-                       const std::string& what) {
-  throw std::runtime_error(path + ": tx " + std::to_string(index) + ": " +
-                           what);
-}
-
-}  // namespace
 
 EdgeListFileTxSource::EdgeListFileTxSource(const std::string& path)
     : file_(path), path_(path) {
@@ -21,37 +13,17 @@ EdgeListFileTxSource::EdgeListFileTxSource(const std::string& path)
 
 bool EdgeListFileTxSource::next(tx::Transaction& out) {
   while (std::getline(file_, line_)) {
-    if (line_.empty() || line_[0] == '#') continue;
+    if (edge_list_skip_line(line_)) continue;
+    parse_edge_list_line(line_, next_index_, inputs_scratch_,
+                         path_ + ": tx " + std::to_string(next_index_));
 
-    const std::size_t colon = line_.find(':');
-    if (colon == std::string::npos) fail(path_, next_index_, "missing ':'");
-
-    std::uint32_t index = 0;
-    const auto [iptr, iec] =
-        std::from_chars(line_.data(), line_.data() + colon, index);
-    if (iec != std::errc{} || iptr != line_.data() + colon) {
-      fail(path_, next_index_, "bad transaction index");
-    }
-    if (index != next_index_) {
-      fail(path_, next_index_, "non-dense transaction index");
-    }
-
-    out.index = index;
+    out.index = next_index_;
     out.inputs.clear();
     out.outputs.clear();
-    const char* cursor = line_.data() + colon + 1;
-    const char* end = line_.data() + line_.size();
-    while (cursor < end) {
-      while (cursor < end && *cursor == ' ') ++cursor;
-      if (cursor == end) break;
-      std::uint32_t input = 0;
-      const auto [ptr, ec] = std::from_chars(cursor, end, input);
-      if (ec != std::errc{}) fail(path_, next_index_, "bad input index");
-      if (input >= index) fail(path_, next_index_, "forward/self reference");
+    for (const std::uint32_t input : inputs_scratch_) {
       // Unique synthesized outpoint: the input transaction's next unspent
       // slot. Keeps the lock/spend ledger free of false double spends.
       out.inputs.push_back({input, spend_counts_[input]++});
-      cursor = ptr;
     }
     out.outputs.push_back({1, 0});
     spend_counts_.push_back(0);
@@ -60,6 +32,25 @@ bool EdgeListFileTxSource::next(tx::Transaction& out) {
   }
   if (file_.bad()) throw std::runtime_error("read failed: " + path_);
   return false;
+}
+
+std::optional<std::uint64_t> EdgeListFileTxSource::size_hint() const {
+  if (!counted_size_.has_value()) {
+    // Cheap first pass: transactions are exactly the non-comment, non-blank
+    // lines. A separate stream leaves the replay cursor untouched, and the
+    // count is cached so repeated hints (pipeline reserve, simulator ledger
+    // sizing) pay for one scan total.
+    std::ifstream counter(path_);
+    if (!counter) throw std::runtime_error("cannot open TaN dataset: " + path_);
+    std::uint64_t count = 0;
+    std::string line;
+    while (std::getline(counter, line)) {
+      if (!edge_list_skip_line(line)) ++count;
+    }
+    if (counter.bad()) throw std::runtime_error("read failed: " + path_);
+    counted_size_ = count;
+  }
+  return counted_size_;
 }
 
 std::vector<tx::Transaction> materialize(TxSource& source) {

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "txmodel/transaction.hpp"
+#include "workload/account_workload.hpp"
 #include "workload/bitcoin_like_generator.hpp"
 
 namespace optchain::workload {
@@ -84,6 +85,31 @@ class GeneratorTxSource final : public TxSource {
   std::uint64_t count_;
 };
 
+/// Streams `count` transactions from an AccountWorkloadGenerator — the
+/// account-model counterpart of GeneratorTxSource, so generator snapshots
+/// (trace::import_source) and streamed runs treat both models uniformly.
+class AccountGeneratorTxSource final : public TxSource {
+ public:
+  /// Streams `count` transactions of AccountWorkloadGenerator(config, seed).
+  AccountGeneratorTxSource(AccountWorkloadConfig config, std::uint64_t seed,
+                           std::uint64_t count)
+      : generator_(config, seed), remaining_(count), count_(count) {}
+
+  bool next(tx::Transaction& out) override {
+    if (remaining_ == 0) return false;
+    --remaining_;
+    out = generator_.next();
+    return true;
+  }
+
+  std::optional<std::uint64_t> size_hint() const override { return count_; }
+
+ private:
+  AccountWorkloadGenerator generator_;
+  std::uint64_t remaining_;
+  std::uint64_t count_;
+};
+
 /// Adapts a pre-materialized stream (non-owning; the span must outlive the
 /// source).
 class SpanTxSource final : public TxSource {
@@ -126,12 +152,22 @@ class EdgeListFileTxSource final : public TxSource {
 
   bool next(tx::Transaction& out) override;
 
+  /// Exact stream length via a cheap first pass over the file (transactions
+  /// are the non-comment, non-blank lines), computed once and cached — so
+  /// dataset-driven runs pre-size the TaN dag / score pool / outpoint ledger
+  /// exactly like generator-backed runs do. Throws std::runtime_error if the
+  /// file cannot be re-opened for counting.
+  std::optional<std::uint64_t> size_hint() const override;
+
  private:
   std::ifstream file_;
   std::string path_;
   std::string line_;
   tx::TxIndex next_index_ = 0;
   std::vector<std::uint32_t> spend_counts_;  // next vout per past transaction
+  std::vector<std::uint32_t> inputs_scratch_;  // parser output, reused
+  /// size_hint() memo (the counting pass runs at most once per source).
+  mutable std::optional<std::uint64_t> counted_size_;
 };
 
 /// Drains `source` into a vector (tests / small offline runs).

@@ -1,12 +1,19 @@
-// Tests for the binary transaction-stream codec.
+// Tests for the binary transaction-stream codec, including the OPTX v1 →
+// v2 migration contract: flat v1 files written by save_transactions stay
+// readable through the streaming trace::TraceReader / trace::TraceTxSource
+// path that replaced the fully-materializing decode in the CLI.
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
+#include "trace/trace_reader.hpp"
+#include "trace/trace_source.hpp"
 #include "txmodel/serialization.hpp"
 #include "workload/account_workload.hpp"
 #include "workload/bitcoin_like_generator.hpp"
+#include "workload/tx_source.hpp"
 
 namespace optchain::tx {
 namespace {
@@ -120,6 +127,70 @@ TEST_F(SerializationFileTest, SaveAndLoad) {
 TEST_F(SerializationFileTest, MissingFileThrows) {
   EXPECT_THROW(load_transactions("/nonexistent/stream.bin"),
                std::runtime_error);
+}
+
+TEST_F(SerializationFileTest, V1FileStreamsThroughTraceReader) {
+  // Migration: a flat OPTX v1 file is readable through the streaming trace
+  // layer and yields the exact decode_transactions stream.
+  workload::BitcoinLikeGenerator generator({}, 33);
+  const auto original = generator.generate(1500);
+  save_transactions(original, path_);
+
+  trace::TraceReader reader(path_);
+  EXPECT_EQ(reader.version(), 1u);
+  EXPECT_EQ(reader.size(), original.size());
+  EXPECT_EQ(reader.num_chunks(), 0u);  // flat stream: no chunk index
+  Transaction transaction;
+  for (const Transaction& expected : original) {
+    ASSERT_TRUE(reader.next(transaction)) << "tx " << expected.index;
+    EXPECT_EQ(transaction.index, expected.index);
+    EXPECT_EQ(transaction.inputs, expected.inputs);
+    EXPECT_EQ(transaction.outputs, expected.outputs);
+  }
+  EXPECT_FALSE(reader.next(transaction));
+}
+
+TEST_F(SerializationFileTest, V1TrailingGarbageFailsStreamedReplay) {
+  // decode_transactions rejects trailing bytes; the streaming reader must
+  // keep that guarantee — a bit-rotted count or appended garbage fails
+  // loudly instead of replaying a silently truncated stream.
+  workload::BitcoinLikeGenerator generator({}, 37);
+  const auto original = generator.generate(100);
+  save_transactions(original, path_);
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    out.put('\0');
+  }
+  trace::TraceReader reader(path_);
+  Transaction transaction;
+  EXPECT_THROW(
+      {
+        while (reader.next(transaction)) {
+        }
+      },
+      std::runtime_error);
+}
+
+TEST_F(SerializationFileTest, V1WindowedReplayDecodeSkips) {
+  // v1 has no index, so a window costs a decode-skip — but it must land on
+  // exactly the same boundary-policy stream a v2 window produces.
+  workload::BitcoinLikeGenerator generator({}, 35);
+  const auto original = generator.generate(800);
+  save_transactions(original, path_);
+
+  trace::TraceTxSource window(path_, 300, 500);
+  ASSERT_TRUE(window.size_hint().has_value());
+  EXPECT_EQ(*window.size_hint(), 200u);
+  const auto replayed = workload::materialize(window);
+  ASSERT_EQ(replayed.size(), 200u);
+  for (std::size_t i = 0; i < replayed.size(); ++i) {
+    const Transaction& full = original[300 + i];
+    EXPECT_EQ(replayed[i].index, i);
+    EXPECT_EQ(replayed[i].outputs, full.outputs);
+    for (const OutPoint& in : replayed[i].inputs) {
+      EXPECT_LT(in.tx, replayed[i].index);  // re-indexed, in-window only
+    }
+  }
 }
 
 TEST(SerializationTest, CompactnessVsText) {

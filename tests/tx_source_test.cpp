@@ -154,6 +154,29 @@ TEST(TxSourceTest, EdgeListSourceSynthesizesDistinctOutpoints) {
   std::remove(path.c_str());
 }
 
+TEST(TxSourceTest, EdgeListSourceCountsItsSizeHint) {
+  // The cheap first-pass count: exact, cached, and independent of the
+  // replay cursor — dataset-driven runs pre-size like generator runs.
+  BitcoinLikeGenerator generator({}, 13);
+  const auto txs = generator.generate(350);
+  const std::string path = temp_path("hinted.tan");
+  save_tan_edge_list(build_tan(txs), path);
+
+  EdgeListFileTxSource source(path);
+  ASSERT_TRUE(source.size_hint().has_value());
+  EXPECT_EQ(*source.size_hint(), txs.size());
+
+  tx::Transaction transaction;
+  ASSERT_TRUE(source.next(transaction));  // counting did not consume the
+  EXPECT_EQ(transaction.index, 0u);       // replay stream
+  EXPECT_EQ(*source.size_hint(), txs.size());  // cached, still exact
+
+  std::uint64_t remaining = 0;
+  while (source.next(transaction)) ++remaining;
+  EXPECT_EQ(remaining + 1, txs.size());
+  std::remove(path.c_str());
+}
+
 TEST(TxSourceTest, EdgeListSourceRejectsMalformedInput) {
   const std::string path = temp_path("bad.tan");
   {

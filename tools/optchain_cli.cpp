@@ -1,17 +1,27 @@
 // optchain — command-line driver for the library, built on the optchain::api
 // layer (PlacerRegistry + PlacementPipeline + RunSpec/RunReport).
 //
-//   optchain generate  --txs=N [--seed=S] [--account] --out=stream.bin
-//   optchain stats     --in=stream.bin
+//   optchain generate  --txs=N [--seed=S] [--account] --out=stream.optx
+//   optchain stats     --in=stream.optx [--begin=A --end=B]
 //   optchain methods                          # list registered strategies
-//   optchain place     --in=stream.bin --method=<name> --shards=K
-//                      [--csv=out.csv]
-//   optchain partition --in=stream.bin --shards=K [--epsilon=0.1]
-//   optchain simulate  --in=stream.bin --method=<name> --shards=K --rate=TPS
+//   optchain place     --in=stream.optx --method=<name> --shards=K
+//                      [--begin=A --end=B] [--csv=out.csv]
+//   optchain partition --in=stream.optx --shards=K [--epsilon=0.1]
+//   optchain simulate  --in=stream.optx --method=<name> --shards=K --rate=TPS
+//                      [--begin=A --end=B]
 //                      [--protocol=omniledger|rapidchain]
 //                      [--fault_rate=P] [--sim_seed=S] [--commit_window=SECS]
 //                      [--queue_interval=SECS] [--slowdown=a,b,...]
 //                      [--csv=out.csv]
+//
+// Streams are OPTX trace containers (src/trace): `generate` writes the
+// chunk-indexed v2 format, and every consumer replays through the streaming
+// trace::TraceTxSource — flat OPTX v1 files (the old codec) stay readable.
+// `--trace=` is accepted as a synonym for `--in=`, and `--begin=`/`--end=`
+// replay a window of the trace (out-of-window parents become external
+// funding; see src/trace/trace_source.hpp for the boundary policy). Nothing
+// here materializes the stream: a 10M-transaction replay holds one chunk
+// plus the engines' own per-transaction state.
 //
 // The simulate knobs cover every RunSpec operating point the bench
 // scenarios sweep: --sim_seed re-rolls the network/consensus sampling
@@ -21,13 +31,11 @@
 //
 // --method accepts any PlacerRegistry name (case-insensitive): OptChain,
 // T2S, Greedy, OmniLedger (alias: Random), LeastLoaded, Static, Metis.
-// New strategies registered via PlacerRegistry::register_placer() are
-// reachable here with no CLI changes.
-//
-// Streams are the binary codec of txmodel/serialization.hpp; `generate`
-// creates them, everything else consumes them, so a workload is generated
-// once and replayed across experiments.
+// Stream-dependent methods (Metis, Static without --static parts) need the
+// whole window in memory; the CLI materializes it for them and streams for
+// everyone else.
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <stdexcept>
 #include <string>
@@ -39,10 +47,10 @@
 #include "common/table.hpp"
 #include "graph/dag.hpp"
 #include "metis/kway_partitioner.hpp"
-#include "txmodel/serialization.hpp"
-#include "workload/account_workload.hpp"
-#include "workload/bitcoin_like_generator.hpp"
+#include "trace/trace_import.hpp"
+#include "trace/trace_source.hpp"
 #include "workload/tan_builder.hpp"
+#include "workload/tx_source.hpp"
 
 namespace {
 
@@ -57,12 +65,40 @@ int usage() {
   return 2;
 }
 
-std::vector<tx::Transaction> load_stream(const Flags& flags) {
-  const std::string path = flags.get_string("in", "");
+/// Opens the replay window named by --in= (or its synonym --trace=) plus
+/// --begin/--end as a streaming source; v1 and v2 containers both work.
+/// --end=0 means "to the end of the trace", matching ScenarioSpec::trace —
+/// an empty window is impossible to request, never a silent no-op.
+trace::TraceTxSource open_stream(const Flags& flags) {
+  std::string path = flags.get_string("in", "");
+  if (path.empty()) path = flags.get_string("trace", "");
   if (path.empty()) {
-    throw std::runtime_error("--in=<stream.bin> is required");
+    throw std::runtime_error("--in=<stream.optx> (or --trace=) is required");
   }
-  return tx::load_transactions(path);
+  const auto begin = static_cast<std::uint64_t>(flags.get_int("begin", 0));
+  const auto end = static_cast<std::uint64_t>(flags.get_int("end", 0));
+  return trace::TraceTxSource(path, begin,
+                              end == 0 ? trace::TraceTxSource::kToEnd : end);
+}
+
+/// Builds the TaN of the whole replay window without materializing the
+/// transaction stream (stats/partition need the graph, not the txs).
+graph::TanDag stream_tan(workload::TxSource& source) {
+  const auto hint = source.size_hint();
+  workload::TanBuilder builder(
+      static_cast<std::size_t>(hint.value_or(0)));
+  tx::Transaction transaction;
+  while (source.next(transaction)) builder.add(transaction);
+  return std::move(builder).take();
+}
+
+/// Stream-dependent strategies (Metis; Static without precomputed parts)
+/// need the full window up front; everyone else streams in O(chunk) memory.
+bool needs_materialized_stream(const std::string& method) {
+  std::string lower = method;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return lower == "metis" || lower == "static";
 }
 
 /// The run description shared by place/simulate, read off the flags.
@@ -97,26 +133,32 @@ void print_and_maybe_save(const api::RunReport& report, const Flags& flags) {
 }
 
 int cmd_generate(const Flags& flags) {
-  const auto n = static_cast<std::size_t>(flags.get_int("txs", 100000));
+  const auto n = static_cast<std::uint64_t>(flags.get_int("txs", 100000));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
-  const std::string out = flags.get_string("out", "stream.bin");
+  const std::string out = flags.get_string("out", "stream.optx");
 
-  std::vector<tx::Transaction> txs;
+  // Generator → trace writer, one transaction at a time: snapshotting a
+  // 10M-tx workload costs O(chunk) memory, and the result replays through
+  // every --in= consumer (and sweep cells) without regeneration.
+  trace::TraceWriterOptions options;
+  options.chunk_capacity = static_cast<std::uint32_t>(
+      flags.get_int("chunk", trace::kDefaultChunkCapacity));
+  trace::ImportResult result;
   if (flags.get_bool("account", false)) {
-    workload::AccountWorkloadGenerator generator({}, seed);
-    txs = generator.generate(n);
+    workload::AccountGeneratorTxSource source({}, seed, n);
+    result = trace::import_source(source, out, options);
   } else {
-    workload::BitcoinLikeGenerator generator({}, seed);
-    txs = generator.generate(n);
+    workload::GeneratorTxSource source({}, seed, n);
+    result = trace::import_source(source, out, options);
   }
-  tx::save_transactions(txs, out);
-  std::printf("wrote %zu transactions to %s\n", txs.size(), out.c_str());
+  std::printf("wrote %llu transactions to %s\n",
+              static_cast<unsigned long long>(result.txs), out.c_str());
   return 0;
 }
 
 int cmd_stats(const Flags& flags) {
-  const auto txs = load_stream(flags);
-  const graph::TanDag dag = workload::build_tan(txs);
+  trace::TraceTxSource source = open_stream(flags);
+  const graph::TanDag dag = stream_tan(source);
   const auto stats = graph::compute_degree_stats(dag);
   TextTable table({"statistic", "value"});
   table.add_row({"transactions", TextTable::fmt_int(
@@ -143,9 +185,15 @@ int cmd_methods(const Flags& /*flags*/) {
 }
 
 int cmd_place(const Flags& flags) {
-  const auto txs = load_stream(flags);
+  trace::TraceTxSource source = open_stream(flags);
   const api::RunSpec spec = spec_from_flags(flags);
-  const api::RunReport report = api::place(spec, txs);
+  api::RunReport report;
+  if (needs_materialized_stream(spec.method)) {
+    const std::vector<tx::Transaction> txs = workload::materialize(source);
+    report = api::place(spec, txs);
+  } else {
+    report = api::place(spec, source);
+  }
 
   std::printf("%s over %u shards: %.2f %% cross-shard (%llu / %llu)\n",
               report.method.c_str(), report.num_shards,
@@ -157,9 +205,9 @@ int cmd_place(const Flags& flags) {
 }
 
 int cmd_partition(const Flags& flags) {
-  const auto txs = load_stream(flags);
+  trace::TraceTxSource source = open_stream(flags);
   const auto k = static_cast<std::uint32_t>(flags.get_int("shards", 16));
-  const graph::TanDag dag = workload::build_tan(txs);
+  const graph::TanDag dag = stream_tan(source);
   const graph::Csr undirected = dag.to_undirected();
 
   metis::PartitionConfig config;
@@ -179,9 +227,15 @@ int cmd_partition(const Flags& flags) {
 }
 
 int cmd_simulate(const Flags& flags) {
-  const auto txs = load_stream(flags);
+  trace::TraceTxSource source = open_stream(flags);
   const api::RunSpec spec = spec_from_flags(flags);
-  const api::RunReport report = api::simulate(spec, txs);
+  api::RunReport report;
+  if (needs_materialized_stream(spec.method)) {
+    const std::vector<tx::Transaction> txs = workload::materialize(source);
+    report = api::simulate(spec, txs);
+  } else {
+    report = api::simulate(spec, source);
+  }
   print_and_maybe_save(report, flags);
   return 0;
 }
