@@ -120,11 +120,20 @@ int run(int argc, char** argv) {
 
     std::printf(
         "simulation: %llu txs, %llu events in %.2f s  (%.0f events/s, "
-        "%.0f sim-tx/s, cross %.2f%%)\n",
+        "%.0f sim-tx/s, cross %.2f%%, heap peak %llu)\n",
         static_cast<unsigned long long>(sim_txs),
         static_cast<unsigned long long>(result.total_events), elapsed,
         events_per_s, static_cast<double>(sim_txs) / elapsed,
-        100.0 * result.cross_fraction());
+        100.0 * result.cross_fraction(),
+        static_cast<unsigned long long>(result.event_heap_peak));
+    // Event-memory shape: the deepest the event heap got, plus the
+    // shard-addressed event counts as one CSV string (JsonWriter has no
+    // arrays; the counts are diagnostics, not a sweep axis).
+    std::string shard_events;
+    for (const std::uint64_t count : result.shard_event_counts) {
+      if (!shard_events.empty()) shard_events += ',';
+      shard_events += std::to_string(count);
+    }
     json.begin_object("simulation")
         .field("txs", sim_txs)
         .field("events", result.total_events)
@@ -137,6 +146,8 @@ int run(int argc, char** argv) {
         .field("cross_fraction", result.cross_fraction())
         .field("avg_latency_s", result.avg_latency_s)
         .field("throughput_tps", result.throughput_tps)
+        .field("event_heap_peak", result.event_heap_peak)
+        .field("shard_event_counts", shard_events)
         .end_object();
   }
 

@@ -327,6 +327,102 @@ int run_fig11(const Flags& flags, JsonWriter* json) {
   return 0;
 }
 
+// -------------------------------------------------------- parallel (custom)
+
+/// Wall-clock one simulate() call and return (report, seconds).
+std::pair<api::RunReport, double> timed_simulate(
+    const api::RunSpec& spec, std::span<const tx::Transaction> txs) {
+  const auto start = std::chrono::steady_clock::now();
+  api::RunReport report = api::simulate(spec, txs);
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - start;
+  return {std::move(report), wall.count()};
+}
+
+/// Engine benchmark, not a paper figure: the sequential engine vs the
+/// conservative parallel engine (sim/parallel/) on one big run, reporting
+/// wall-clock, events/s and speedup per --sim_jobs value. Bit-identity of
+/// the results is asserted, not assumed — a mismatch fails the scenario.
+int run_parallel_bench(const Flags& flags, JsonWriter* json) {
+  const std::uint64_t seed = seed_of(flags);
+  const std::uint64_t n = sized(flags, 100'000, 5'000);
+  const auto shards =
+      static_cast<std::uint32_t>(flags.get_int("k", 16));
+  const double rate = flags.get_double("rate", 4000.0);
+  const auto jobs_axis =
+      flags.get_int_list("sim_jobs", std::vector<std::int64_t>{1, 2, 4});
+
+  std::printf("%llu txs, %u shards, %.0f tps; sequential baseline then "
+              "--sim_jobs axis\n\n",
+              static_cast<unsigned long long>(n), shards, rate);
+  const auto txs = make_stream(n, seed);
+
+  api::RunSpec spec;
+  spec.method = "OptChain";
+  spec.num_shards = shards;
+  spec.seed = seed;
+  spec.rate_tps = rate;
+  spec.commit_window_s = 10.0;
+
+  const auto [baseline, baseline_wall] = timed_simulate(spec, txs);
+  const double baseline_events_per_s =
+      static_cast<double>(baseline.sim->total_events) / baseline_wall;
+
+  TextTable table({"engine", "wall(s)", "events/s", "speedup"});
+  table.add_row({"sequential", TextTable::fmt(baseline_wall, 3),
+                 TextTable::fmt(baseline_events_per_s, 0), "1.00"});
+  if (json != nullptr) {
+    json->field("txs", static_cast<double>(n))
+        .field("shards", static_cast<double>(shards))
+        .field("rate_tps", rate)
+        .field("total_events",
+               static_cast<double>(baseline.sim->total_events))
+        .begin_object("sequential")
+        .field("wall_s", baseline_wall)
+        .field("events_per_s", baseline_events_per_s)
+        .field("speedup", 1.0)
+        .end_object();
+  }
+
+  int exit_code = 0;
+  for (const std::int64_t jobs : jobs_axis) {
+    spec.sim_jobs = static_cast<std::uint32_t>(jobs);
+    const auto [report, wall] = timed_simulate(spec, txs);
+    // The determinism contract, enforced where the numbers are produced.
+    if (report.sim->total_events != baseline.sim->total_events ||
+        report.sim->avg_latency_s != baseline.sim->avg_latency_s) {
+      std::fprintf(stderr,
+                   "parallel: sim_jobs=%lld DIVERGED from the sequential "
+                   "engine (events %llu vs %llu)\n",
+                   static_cast<long long>(jobs),
+                   static_cast<unsigned long long>(report.sim->total_events),
+                   static_cast<unsigned long long>(
+                       baseline.sim->total_events));
+      exit_code = 1;
+    }
+    const double events_per_s =
+        static_cast<double>(report.sim->total_events) / wall;
+    const double speedup = baseline_wall / wall;
+    const std::string label = "jobs=" + std::to_string(jobs);
+    table.add_row({label, TextTable::fmt(wall, 3),
+                   TextTable::fmt(events_per_s, 0),
+                   TextTable::fmt(speedup, 2)});
+    if (json != nullptr) {
+      json->begin_object(label)
+          .field("wall_s", wall)
+          .field("events_per_s", events_per_s)
+          .field("speedup", speedup)
+          .end_object();
+    }
+  }
+  table.print();
+  maybe_save_csv(flags, "parallel_engine", table);
+  std::printf("\nresults are bit-identical across engines by contract; "
+              "speedup needs real cores (events/s saturates at the memory "
+              "bus on 1-core hosts)\n");
+  return exit_code;
+}
+
 // ----------------------------------------------------------- trace (custom)
 
 int run_trace(const Flags& flags, JsonWriter* json) {
@@ -1202,6 +1298,15 @@ std::vector<Scenario> build_registry() {
                       {churn_spec},
                       shape_churn,
                       nullptr});
+  registry.push_back({"parallel",
+                      "parallel engine events/s + speedup vs sequential "
+                      "(--sim_jobs=1,2,4 --k= --rate=)",
+                      "engineering benchmark (determinism contract of "
+                      "sim/parallel/)",
+                      {},
+                      nullptr,
+                      run_parallel_bench,
+                      /*exclude_from_all=*/true});
   registry.push_back({"trace",
                       "placement lineup replayed from an imported .optx "
                       "trace (--trace=; see optchain-trace)",

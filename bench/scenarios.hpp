@@ -53,6 +53,10 @@ struct Scenario {
   /// Fully custom scenarios; `json` (nullable) is an open object to add
   /// result fields to.
   std::function<int(const Flags&, JsonWriter*)> custom;
+  /// Excluded from `optchain-bench all` (still runnable by name): set for
+  /// wall-clock benchmarks whose output is inherently non-reproducible,
+  /// preserving `all`'s byte-identical-JSON contract.
+  bool exclude_from_all = false;
 };
 
 /// The 14 paper figures/tables plus the dynamic-workload extensions

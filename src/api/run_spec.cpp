@@ -4,8 +4,28 @@
 #include <utility>
 
 #include "api/placement_pipeline.hpp"
+#include "sim/parallel/parallel_simulation.hpp"
 
 namespace optchain::api {
+namespace {
+
+/// Runs `source` through the engine the spec selects: the conservative
+/// parallel engine when sim_jobs ≥ 1 and the network model gives it a
+/// positive lookahead (base latency), the sequential engine otherwise.
+/// Results are bit-identical either way — sim_jobs is a speed knob, not a
+/// semantics knob.
+sim::SimResult run_engine(const RunSpec& spec, workload::TxSource& source,
+                          PlacementPipeline& pipeline) {
+  const sim::SimConfig config = spec.sim_config();
+  if (spec.sim_jobs >= 1 && config.network.base_latency_s > 0.0) {
+    sim::parallel::ParallelSimulation simulation(config, spec.sim_jobs);
+    return simulation.run(source, pipeline);
+  }
+  sim::Simulation simulation(config);
+  return simulation.run(source, pipeline);
+}
+
+}  // namespace
 
 sim::SimConfig RunSpec::sim_config() const {
   sim::SimConfig config;
@@ -92,8 +112,8 @@ RunReport simulate(const RunSpec& spec,
                    std::span<const tx::Transaction> transactions) {
   PlacementPipeline pipeline = make_pipeline(
       spec.method, spec.num_shards, transactions, spec.seed);
-  sim::Simulation simulation(spec.sim_config());
-  sim::SimResult result = simulation.run(transactions, pipeline);
+  workload::SpanTxSource source(transactions);
+  sim::SimResult result = run_engine(spec, source, pipeline);
 
   RunReport report;
   report.method = result.placer_name;
@@ -113,8 +133,7 @@ RunReport simulate(const RunSpec& spec, workload::TxSource& source,
   PlacementPipeline pipeline =
       make_pipeline(spec.method, spec.num_shards, {}, spec.seed, {},
                     source.size_hint().value_or(expected_txs));
-  sim::Simulation simulation(spec.sim_config());
-  sim::SimResult result = simulation.run(source, pipeline);
+  sim::SimResult result = run_engine(spec, source, pipeline);
 
   RunReport report;
   report.method = result.placer_name;

@@ -43,6 +43,13 @@ struct RunSpec {
   /// Chronic per-shard slowdown factors (missing entries = 1.0).
   std::vector<double> shard_slowdown;
 
+  /// Worker threads for the conservative parallel engine
+  /// (sim/parallel/parallel_simulation.hpp). 0 = the sequential engine;
+  /// any value ≥ 1 produces bit-identical results (simulate() only).
+  /// Falls back to sequential when the network model has no positive base
+  /// latency (the parallel engine's lookahead).
+  std::uint32_t sim_jobs = 0;
+
   /// Scripted shard membership changes (simulate() only; see
   /// sim/shard_churn.hpp). Empty = the classic fixed shard set.
   sim::ShardChurnPlan churn;

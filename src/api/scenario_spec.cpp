@@ -129,6 +129,7 @@ Sweep ScenarioSpec::expand() const {
           spec.leader_fault_rate = leader_fault_rate;
           spec.shard_slowdown = shard_slowdown;
           spec.churn = churn;
+          spec.sim_jobs = sim_jobs;
           sweep.cells.push_back(std::move(cell));
         }
         ++cell_id;

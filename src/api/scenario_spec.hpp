@@ -105,6 +105,10 @@ struct ScenarioSpec {
   /// mode only; expand() rejects churn in placement mode). `shards` then
   /// names each cell's *initial* shard count.
   sim::ShardChurnPlan churn;
+  /// Worker threads of the in-simulation parallel engine (0 = sequential;
+  /// bit-identical either way — see RunSpec::sim_jobs). Orthogonal to
+  /// SweepRunner's cross-cell `jobs`.
+  std::uint32_t sim_jobs = 0;
 
   // ----- workload dynamics ---------------------------------------------
   /// Rate waves / hotspot skew / spam bursts decorating every cell's stream

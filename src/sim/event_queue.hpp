@@ -1,10 +1,21 @@
 // Deterministic discrete-event core.
 //
 // Events are typed POD records in a flat binary heap keyed by
-// (time, sequence); the sequence number breaks time ties in schedule order,
-// so a simulation run is a pure function of its inputs and seed — the
-// property every integration test and every paper experiment rely on
-// (determinism is tested in tests/sim_test.cpp).
+// (time, content, sequence): time ties break on the event's *content*
+// (a per-type rank, then the payload fields), with the schedule-order
+// sequence number only as the final fallback. A content key instead of pure
+// schedule order is what makes the order reproducible across engines — the
+// parallel engine (sim/parallel/) runs one queue per shard group and merges
+// worker streams by the same key, so both engines execute events in exactly
+// the same order even though their per-queue sequence numbers differ. No two
+// distinct simultaneous protocol events share a full content key (shard, tx
+// and type disambiguate every message class), so the seq fallback never
+// decides between engines. Determinism is tested in tests/sim_test.cpp and
+// the cross-engine contract in tests/parallel_sim_test.cpp.
+//
+// The rank orders simultaneous events sensibly: scripted churn first (a
+// membership change at time t precedes t's traffic), then queue sampling,
+// then client issues, then message/round events.
 //
 // The queue stores *data*, not closures: a 10M-transaction run schedules
 // tens of millions of events, and a std::function per event means a heap
@@ -14,8 +25,11 @@
 // per-event allocation in steady state.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -69,7 +83,62 @@ struct Event {
   static Event shard_change(std::uint32_t plan_index) {
     return {EventType::kShardChange, 0, 0, plan_index};
   }
+
+  /// Rank of this event among simultaneous events (smaller fires first):
+  /// churn < queue sample < client issue < everything else. Part of the
+  /// deterministic tie-break key shared by the sequential and parallel
+  /// engines (see the file comment).
+  static constexpr std::uint8_t tie_rank(EventType type) noexcept {
+    switch (type) {
+      case EventType::kShardChange:
+        return 0;
+      case EventType::kQueueSample:
+        return 1;
+      case EventType::kTxIssue:
+        return 2;
+      default:
+        return 3;
+    }
+  }
+
+  /// Content-key comparison of two simultaneous events: rank, then shard,
+  /// tx, flag, and type as the final content discriminators. Returns <0, 0
+  /// or >0 like memcmp. Exposed so the parallel engine's record merge orders
+  /// cross-queue ties exactly like a single queue would.
+  friend constexpr int content_order(const Event& a, const Event& b) noexcept {
+    const std::uint8_t ra = Event::tie_rank(a.type);
+    const std::uint8_t rb = Event::tie_rank(b.type);
+    if (ra != rb) return ra < rb ? -1 : 1;
+    if (a.shard != b.shard) return a.shard < b.shard ? -1 : 1;
+    if (a.tx != b.tx) return a.tx < b.tx ? -1 : 1;
+    if (a.flag != b.flag) return a.flag < b.flag ? -1 : 1;
+    if (a.type != b.type) return a.type < b.type ? -1 : 1;
+    return 0;
+  }
 };
+
+/// Heap pre-size for a run expected to stream `expected_txs` transactions
+/// (std::nullopt = unknown). The pending-event working set scales with the
+/// *in-flight* transaction count, not the stream length, so the hint is an
+/// over-bound — capped so a 10M-tx hint doesn't pre-commit tens of MB.
+/// SimResult::event_heap_peak reports what a run actually used.
+inline std::size_t event_heap_reserve(
+    std::optional<std::uint64_t> expected_txs) noexcept {
+  constexpr std::size_t kMin = 4096;
+  constexpr std::size_t kMax = std::size_t{1} << 18;
+  if (!expected_txs.has_value()) return kMin;
+  return std::max(kMin, std::min(static_cast<std::size_t>(*expected_txs),
+                                 kMax));
+}
+
+/// Full cross-engine ordering key of a scheduled event: (time, content).
+/// Strict-weak; equal keys (same time, same content) only occur for the
+/// *same* logical event, so any per-queue seq fallback is engine-local.
+constexpr bool event_key_less(SimTime ta, const Event& ea, SimTime tb,
+                              const Event& eb) noexcept {
+  if (ta != tb) return ta < tb;
+  return content_order(ea, eb) < 0;
+}
 
 /// Receives popped events; the owner of the queue implements the dispatch
 /// switch. Kept separate from EventQueue so shard nodes can schedule events
@@ -89,6 +158,7 @@ class EventQueue {
     OPTCHAIN_EXPECTS(at >= now_);
     heap_.push_back(Entry{at, next_seq_++, event});
     if (heap_.size() > 1) sift_up(heap_.size() - 1);
+    if (heap_.size() > peak_pending_) peak_pending_ = heap_.size();
   }
 
   /// Schedules `event` `delay` seconds from now.
@@ -99,6 +169,53 @@ class EventQueue {
   bool empty() const noexcept { return heap_.empty(); }
   std::size_t pending() const noexcept { return heap_.size(); }
   SimTime now() const noexcept { return now_; }
+
+  /// Largest number of events ever pending at once — the heap's true working
+  /// set, reported by bench_scale as the engine's memory-shape baseline.
+  std::size_t peak_pending() const noexcept { return peak_pending_; }
+
+  /// Time of the earliest pending event (queue must be non-empty).
+  SimTime next_time() const noexcept {
+    OPTCHAIN_EXPECTS(!heap_.empty());
+    return heap_.front().time;
+  }
+  /// The earliest pending event itself (queue must be non-empty).
+  const Event& next_event() const noexcept {
+    OPTCHAIN_EXPECTS(!heap_.empty());
+    return heap_.front().event;
+  }
+
+  /// Advances now() to `at` without running anything (no-op when `at` is in
+  /// the past). The parallel engine uses this at churn barriers so work
+  /// enqueued into a shard-group queue mid-migration is scheduled from the
+  /// churn time, not from the queue's last locally-processed event.
+  void advance_to(SimTime at) noexcept {
+    if (at > now_) now_ = at;
+  }
+
+  /// Removes every pending event matching `pred(event)` and returns them as
+  /// (time, event) pairs in unspecified order; the heap invariant is rebuilt
+  /// afterwards. Shard churn uses this to move a retiring shard group's
+  /// pending events (its in-flight round, late deliveries) to the successor
+  /// group's queue — the content tie-break key makes the re-scheduled order
+  /// independent of the new queue's sequence numbers.
+  template <typename Pred>
+  std::vector<std::pair<SimTime, Event>> extract_if(Pred pred) {
+    std::vector<std::pair<SimTime, Event>> extracted;
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < heap_.size(); ++i) {
+      if (pred(heap_[i].event)) {
+        extracted.emplace_back(heap_[i].time, heap_[i].event);
+      } else {
+        heap_[kept++] = heap_[i];
+      }
+    }
+    if (!extracted.empty()) {
+      heap_.resize(kept);
+      for (std::size_t i = kept / 2; i-- > 0;) sift_down(i);
+    }
+    return extracted;
+  }
 
   /// Pre-sizes the heap (steady-state runs then never reallocate it).
   void reserve(std::size_t events) { heap_.reserve(events); }
@@ -144,6 +261,8 @@ class EventQueue {
   };
   static bool earlier(const Entry& a, const Entry& b) noexcept {
     if (a.time != b.time) return a.time < b.time;
+    const int content = content_order(a.event, b.event);
+    if (content != 0) return content < 0;
     return a.seq < b.seq;
   }
 
@@ -172,10 +291,12 @@ class EventQueue {
     heap_[i] = moved;
   }
 
-  // Min-heap over (time, seq) in a flat vector: reservable, POD moves only.
+  // Min-heap over (time, content, seq) in a flat vector: reservable, POD
+  // moves only.
   std::vector<Entry> heap_;
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
+  std::size_t peak_pending_ = 0;
 };
 
 }  // namespace optchain::sim

@@ -1,0 +1,52 @@
+// Timestamped SPSC mailbox — the only cross-shard message channel of the
+// parallel engine.
+//
+// The conservative engine (sim/parallel/parallel_simulation.hpp) alternates
+// two strictly non-overlapping phases: workers execute shard-local events
+// inside the current lookahead window, then the coordinator replays their
+// record streams and runs the client side. Every message the client side
+// sends to a shard group — transaction deliveries, lock requests, unlocks —
+// is deposited here with its absolute arrival time during the coordinator
+// phase, and flushed into the destination worker's EventQueue before the
+// next worker phase starts.
+//
+// The lookahead rule makes this safe without per-message synchronization: a
+// message sent at coordinator time t arrives at t + message_delay ≥ t +
+// base_latency, and the window end is capped at window_start + base_latency,
+// so every deposit lands at-or-after the window end — never inside a window
+// a worker is currently executing. Single producer (the coordinator, in its
+// phase), single consumer (the coordinator again, at the flush point between
+// phases); the phase barrier's mutex hand-off provides the happens-before
+// edges, so the buffer itself needs no atomics.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace optchain::sim::parallel {
+
+/// Deposit buffer of (arrival time, event) pairs bound for one worker's
+/// event queue. Synchronized purely by the engine's phase barrier (see the
+/// file comment); not safe for concurrent access on its own.
+class Mailbox {
+ public:
+  /// Deposits `event` for delivery at absolute time `at`.
+  void deposit(SimTime at, const Event& event) {
+    entries_.emplace_back(at, event);
+  }
+
+  bool empty() const noexcept { return entries_.empty(); }
+
+  /// Moves every deposit into `queue` (coordinator-side, between phases).
+  void flush_into(EventQueue& queue) {
+    for (const auto& [at, event] : entries_) queue.schedule(at, event);
+    entries_.clear();
+  }
+
+ private:
+  std::vector<std::pair<SimTime, Event>> entries_;
+};
+
+}  // namespace optchain::sim::parallel

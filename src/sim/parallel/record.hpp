@@ -1,0 +1,62 @@
+// Worker-phase execution records — the data the coordinator replays.
+//
+// During a worker phase each worker executes its shard groups' events ahead
+// of the coordinator and appends one WorkerRecord per executed event, in its
+// queue's pop order (= the content-key order of sim/event_queue.hpp). The
+// coordinator phase then N-way-merges the per-worker record streams with its
+// own event queue by event_key_less and replays them one at a time: protocol
+// outcomes (lock grants, commits, proof sends) were already decided on the
+// worker — deterministically, because every decision depends only on state
+// owned by the event's shard — and the record carries exactly what the
+// client side of the sequential engine would have observed at that moment:
+// the shard's post-event mempool size, its last round duration, and each
+// block item's outcome. Replaying in merged key order is what makes observer
+// callbacks, metric accumulation (order-sensitive floating-point sums
+// included) and proof scheduling bit-identical to the sequential engine.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/event_queue.hpp"
+#include "sim/shard_node.hpp"
+
+namespace optchain::sim::parallel {
+
+/// Outcome of one block item, decided worker-side at round completion.
+struct ItemOutcome {
+  QueueItem item;
+  /// kSameShard / kLock: whether the input locks were granted.
+  bool locked = true;
+  /// kLock only: one-way delay of the proof message to the decision point
+  /// (client or output committee), computed from immutable positions.
+  double proof_delay = 0.0;
+};
+
+/// One executed worker event. `items` index into the worker's per-window
+/// ItemOutcome buffer (round records only).
+struct WorkerRecord {
+  SimTime time = 0.0;
+  Event event;
+  /// The shard the event resolved to through the churn successor chain at
+  /// execution time (== event.shard without churn).
+  std::uint32_t resolved_shard = 0;
+  /// Mempool size of the acted-on shard node after this event — the value
+  /// the coordinator's timing mirror must show from this instant on.
+  std::uint64_t queue_size_after = 0;
+  /// Round records: the just-finished round's duration (the node's new
+  /// last_round_duration()).
+  double last_round_duration = 0.0;
+  /// Round records: slice [item_begin, item_begin + item_count) of the
+  /// worker's ItemOutcome buffer, in block order.
+  std::uint32_t item_begin = 0;
+  std::uint32_t item_count = 0;
+};
+
+/// Merge order of two records: the shared cross-engine event key.
+inline bool record_key_less(const WorkerRecord& a,
+                            const WorkerRecord& b) noexcept {
+  return event_key_less(a.time, a.event, b.time, b.event);
+}
+
+}  // namespace optchain::sim::parallel

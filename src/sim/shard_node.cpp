@@ -13,7 +13,7 @@ ShardNode::ShardNode(std::uint32_t id, Position leader_position,
     : id_(id),
       leader_position_(leader_position),
       model_(std::move(model)),
-      events_(events),
+      events_(&events),
       on_commit_(std::move(on_commit)),
       faults_(faults),
       fault_rng_(mix64(faults.seed ^ (0x51a4d0000ULL + id))) {
@@ -51,7 +51,8 @@ void ShardNode::try_start_round() {
     ++view_changes_;
   }
   round_duration_ = duration;
-  events_.schedule_in(duration, Event::round_complete(id_, view_change));
+  events_->schedule_in(duration,
+                       Event::round_complete(id_, view_change));
 }
 
 void ShardNode::complete_round() {
@@ -62,7 +63,7 @@ void ShardNode::complete_round() {
   // Clients estimate verification time from the most recent observed round;
   // faults and slowdowns are visible to them through this value.
   last_round_duration_ = round_duration_;
-  const SimTime now = events_.now();
+  const SimTime now = events_->now();
   // The commit callback never enqueues into this shard synchronously (every
   // protocol reaction travels through the event queue), so iterating the
   // member block buffer is safe until try_start_round() refills it below.

@@ -1,0 +1,58 @@
+// Per-shard deterministic spawn streams.
+//
+// Creating a shard samples randomness twice: the leader's position and the
+// committee geography behind its ConsensusModel. Historically both draws
+// came from the simulation's one shared Rng, which made every shard's
+// timing depend on the *global draw order* — fine for a single sequential
+// engine, fatal for a parallel one (and a latent trap for any future change
+// that reorders spawns). Each shard now owns a derived stream: seed =
+// mix64(sim_seed ⊕ mix64(salt + shard_id)), so shard s's geography is a
+// pure function of (sim_seed, s) no matter which engine, worker or churn
+// schedule creates it. Both the sequential engine (sim/simulation.cpp) and
+// the parallel engine (sim/parallel/) spawn through this helper — that
+// shared path is the first half of the cross-engine bit-identity contract
+// (the second half is the event-key merge order; see sim/event_queue.hpp).
+//
+// The client's own position stays on the undivided Rng(sim_seed) stream:
+// there is exactly one client, drawn before any shard, in both engines.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "sim/consensus.hpp"
+#include "sim/network.hpp"
+
+namespace optchain::sim {
+
+/// Seed of shard `shard`'s private spawn stream under simulation seed
+/// `sim_seed`. The double mix decorrelates neighbouring shard ids and keeps
+/// the stream disjoint from the client stream (raw Rng(sim_seed)) and the
+/// per-shard fault streams (ShardNode's 0x51a4d0000-salted mix).
+inline std::uint64_t shard_spawn_seed(std::uint64_t sim_seed,
+                                      std::uint32_t shard) noexcept {
+  constexpr std::uint64_t kSpawnSalt = 0x5a17c0deULL;
+  return mix64(sim_seed ^ mix64(kSpawnSalt + shard));
+}
+
+/// Everything a spawn samples: the leader's position and the consensus
+/// timing model built around it.
+struct SpawnedShard {
+  Position leader_position;
+  ConsensusModel model;
+};
+
+/// Samples shard `shard`'s leader position and consensus model from its
+/// private spawn stream (see the file comment).
+inline SpawnedShard spawn_shard(const ConsensusConfig& consensus,
+                                const NetworkModel& network,
+                                std::uint64_t sim_seed, std::uint32_t shard) {
+  Rng rng(shard_spawn_seed(sim_seed, shard));
+  const Position leader = network.random_position(rng);
+  ConsensusModel model(consensus, network, leader, rng);
+  return SpawnedShard{leader, std::move(model)};
+}
+
+}  // namespace optchain::sim

@@ -1,8 +1,10 @@
 #include "sim/simulation.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/assert.hpp"
+#include "sim/shard_spawn.hpp"
 #include "workload/dynamic_profile.hpp"
 
 namespace optchain::sim {
@@ -25,8 +27,12 @@ Simulation::Simulation(SimConfig config)
 
 void Simulation::spawn_shard_node() {
   const auto s = static_cast<std::uint32_t>(shards_.size());
-  const Position leader = network_.random_position(rng_);
-  ConsensusModel model(config_.consensus, network_, leader, rng_);
+  // Per-shard spawn stream (sim/shard_spawn.hpp): shard s's geography is a
+  // pure function of (sim_seed, s), shared with the parallel engine.
+  SpawnedShard spawned =
+      spawn_shard(config_.consensus, network_, config_.seed, s);
+  const Position leader = spawned.leader_position;
+  ConsensusModel model = std::move(spawned.model);
   ShardFaults faults;
   faults.slowdown =
       s < config_.shard_slowdown.size() ? config_.shard_slowdown[s] : 1.0;
@@ -114,7 +120,12 @@ SimResult Simulation::run(workload::TxSource& source,
     pipeline.reserve(*hint);
   }
   inflight_.reserve(1024);
-  events_.reserve(4096);
+  // The event heap's working set is O(in-flight messages), not O(stream):
+  // size it from the expected-txs hint (capped — bench_scale's
+  // event_heap_peak tracks how much is actually used) so steady-state runs
+  // never reallocate it mid-flight.
+  events_.reserve(event_heap_reserve(hint));
+  shard_event_counts_.assign(shards_.size(), 0);
 
   // The issue chain pulls one transaction ahead: the prefetched transaction
   // is what the pending kTxIssue event will issue, and its existence is what
@@ -161,6 +172,9 @@ SimResult Simulation::run(workload::TxSource& source,
   for (const auto& shard : shards_) {
     result_.total_blocks += shard->blocks_committed();
   }
+  result_.event_heap_peak = events_.peak_pending();
+  shard_event_counts_.resize(shards_.size(), 0);
+  result_.shard_event_counts = shard_event_counts_;
   result_.final_shard_sizes = pipeline.assignment().sizes();
   assignment_ = nullptr;
   pipeline_ = nullptr;
@@ -169,6 +183,19 @@ SimResult Simulation::run(workload::TxSource& source,
 }
 
 void Simulation::on_event(const Event& event) {
+  // Shard-addressed events feed the per-shard diagnostics; client-side
+  // events (issues, samples, churn) have no shard. Counted by the shard the
+  // message was *addressed* to (pre-churn-resolution), matching the
+  // parallel engine's count at record-merge time.
+  if (event.type != EventType::kTxIssue &&
+      event.type != EventType::kQueueSample &&
+      event.type != EventType::kShardChange &&
+      event.type != EventType::kGossipHop) {
+    if (event.shard >= shard_event_counts_.size()) {
+      shard_event_counts_.resize(event.shard + 1, 0);
+    }
+    ++shard_event_counts_[event.shard];
+  }
   switch (event.type) {
     case EventType::kTxIssue:
       issue_transaction(event.tx);

@@ -114,6 +114,17 @@ struct SimResult {
   std::uint64_t total_blocks = 0;
   std::uint64_t total_events = 0;
 
+  /// Memory-shape diagnostics. `shard_event_counts[s]` counts the
+  /// shard-addressed events (deliveries, proofs, round completions,
+  /// unlocks) dispatched for shard s — identical across engines by
+  /// construction. `event_heap_peak` is the deepest any event heap got
+  /// during the run; it is engine-*specific* (the parallel engine's
+  /// per-shard-group heaps are individually shallower than the sequential
+  /// engine's one global heap) and deliberately outside the bit-identity
+  /// contract.
+  std::uint64_t event_heap_peak = 0;
+  std::vector<std::uint64_t> shard_event_counts;
+
   /// Shard churn accounting (zero without a churn plan): fired membership
   /// changes, transaction records bulk-migrated off retiring shards, and
   /// live UTXO-ledger records that moved with them.
@@ -250,6 +261,8 @@ class Simulation final : private EventHandler {
   std::unordered_map<std::uint64_t, std::pair<OutpointState, std::uint32_t>>
       outpoint_state_;
   std::vector<std::uint64_t> queue_sizes_;  // scratch for sample_queues
+  /// Shard-addressed events dispatched per shard (SimResult diagnostics).
+  std::vector<std::uint64_t> shard_event_counts_;
   /// Retirement successor chain: successor_of_[s] == s while s is active.
   /// Messages addressed to a retired shard resolve through this at delivery.
   std::vector<std::uint32_t> successor_of_;

@@ -48,18 +48,42 @@ TEST(EventQueueTest, RunsInTimeOrder) {
   EXPECT_DOUBLE_EQ(queue.now(), 3.0);
 }
 
-TEST(EventQueueTest, TieBreaksByScheduleOrder) {
+TEST(EventQueueTest, TieBreaksByContentKey) {
+  // Simultaneous events order by content (rank, shard, tx, ...), not by
+  // schedule order: the cross-engine determinism contract. Schedule in a
+  // deliberately scrambled order and expect churn < sample < issues-by-tx <
+  // shard-addressed-by-shard.
   EventQueue queue;
   RecordingHandler handler(queue);
-  queue.schedule(1.0, Event::tx_issue(1));
-  queue.schedule(1.0, Event::tx_issue(2));
   queue.schedule(1.0, Event::tx_issue(3));
+  queue.schedule(1.0, Event::deliver(EventType::kTxDeliver, 5, 9));
+  queue.schedule(1.0, Event::tx_issue(1));
+  queue.schedule(1.0, Event::queue_sample());
+  queue.schedule(1.0, Event::deliver(EventType::kTxDeliver, 2, 9));
+  queue.schedule(1.0, Event::shard_change(0));
   while (queue.run_one(handler)) {
   }
-  ASSERT_EQ(handler.events.size(), 3u);
-  EXPECT_EQ(handler.events[0].tx, 1u);
-  EXPECT_EQ(handler.events[1].tx, 2u);
-  EXPECT_EQ(handler.events[2].tx, 3u);
+  ASSERT_EQ(handler.events.size(), 6u);
+  EXPECT_EQ(handler.events[0].type, EventType::kShardChange);
+  EXPECT_EQ(handler.events[1].type, EventType::kQueueSample);
+  EXPECT_EQ(handler.events[2].tx, 1u);
+  EXPECT_EQ(handler.events[3].tx, 3u);
+  EXPECT_EQ(handler.events[4].shard, 2u);
+  EXPECT_EQ(handler.events[5].shard, 5u);
+}
+
+TEST(EventQueueTest, IdenticalSimultaneousEventsKeepScheduleOrder) {
+  // The seq fallback only kicks in for byte-identical events (same time,
+  // same content) — engine-local duplicates where either order is fine.
+  EventQueue queue;
+  RecordingHandler handler(queue);
+  queue.schedule(1.0, Event::tx_issue(7));
+  queue.schedule(1.0, Event::tx_issue(7));
+  while (queue.run_one(handler)) {
+  }
+  ASSERT_EQ(handler.events.size(), 2u);
+  EXPECT_EQ(handler.events[0].tx, 7u);
+  EXPECT_EQ(handler.events[1].tx, 7u);
 }
 
 TEST(EventQueueTest, EventsMayScheduleEvents) {
