@@ -5,26 +5,46 @@
 // §V.A) through two paths and emits a machine-readable BENCH_scale.json so
 // the perf trajectory accumulates per PR:
 //
-//   1. placement-only: GeneratorTxSource -> PlacementPipeline::place_stream
-//      (OptChain, no materialized stream — O(1) transactions in memory)
+//   1. placement-only: a pre-generated stream through the micro-batched
+//      front-end (api::BatchPlacementPipeline) and the tx-at-a-time loop
 //   2. full-sim: a (smaller, default 100k) streamed run through the typed
 //      POD event engine and the OmniLedger cross-shard protocol
 //
 // Flags:
-//   --txs=N       placement stream length   (default 1,000,000)
-//   --sim_txs=N   full-sim stream length    (default 100,000)
-//   --shards=K    shard count               (default 16)
-//   --rate=TPS    sim issue rate            (default 4000)
-//   --seed=S      workload seed             (default 1)
-//   --method=M    placement strategy        (default OptChain)
-//   --out=PATH    JSON output path          (default BENCH_scale.json)
-//   --smoke       CI smoke mode: 20k placement / 4k sim transactions
+//   --txs=N         placement stream length   (default 1,000,000)
+//   --sim_txs=N     full-sim stream length    (default 100,000)
+//   --shards=K      shard count               (default 16)
+//   --rate=TPS      sim issue rate            (default 4000)
+//   --seed=S        workload seed             (default 1)
+//   --method=M      placement strategy        (default OptChain)
+//   --place_jobs=N  batched front-end workers; 0 = tx-at-a-time only
+//                   (default 1: the batched kernel, single-threaded)
+//   --batch=N       micro-batch length        (default 512)
+//   --out=PATH      JSON output path          (default BENCH_scale.json)
+//   --smoke         CI smoke mode: 20k placement / 4k sim transactions
+//
+// The placement path runs twice when place_jobs >= 1: once through the
+// micro-batched front-end (the headline "placement" object) and once
+// through the tx-at-a-time loop ("placement_sequential"), asserting the two
+// outcomes are identical — the bench doubles as an end-to-end check of the
+// bit-identity contract at paper scale.
+//
+// Since the batch-pipeline PR the placement stream is materialized before
+// the clock starts and workload generation is timed separately
+// ("workload_gen"): earlier BENCH_scale.json placement numbers include
+// generator time in the placement rate, so compare like with like
+// (placement-only rates are higher than the old combined rates on
+// unchanged code).
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include <sys/resource.h>
 
+#include "api/batch_pipeline.hpp"
 #include "api/placement_pipeline.hpp"
 #include "bench_common.hpp"
 #include "sim/simulation.hpp"
@@ -59,6 +79,9 @@ int run(int argc, char** argv) {
   const double rate = flags.get_double("rate", 4000.0);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const std::string method = flags.get_string("method", "OptChain");
+  const auto place_jobs =
+      static_cast<std::uint32_t>(flags.get_int("place_jobs", 1));
+  const auto batch = static_cast<std::uint32_t>(flags.get_int("batch", 512));
   const std::string out_path = flags.get_string("out", "BENCH_scale.json");
 
   print_header("bench_scale — million-transaction engine",
@@ -76,12 +99,74 @@ int run(int argc, char** argv) {
       .field("rate_tps", rate)
       .field("seed", seed)
       .field("method", method)
+      .field("place_jobs", place_jobs)
+      .field("batch", batch)
       .field("smoke", smoke)
       .end_object();
 
-  // ---- placement-only streaming path -----------------------------------
+  // ---- workload generation (timed separately, not placement) -----------
+  std::vector<tx::Transaction> stream;
   {
+    stream.reserve(txs);
     workload::GeneratorTxSource source({}, seed, txs);
+    tx::Transaction transaction;
+    const auto start = Clock::now();
+    while (source.next(transaction)) stream.push_back(std::move(transaction));
+    const double elapsed = seconds_since(start);
+    std::printf("generation: %llu txs in %.2f s  (%.0f tx/s)\n",
+                static_cast<unsigned long long>(txs), elapsed,
+                static_cast<double>(txs) / elapsed);
+    json.begin_object("workload_gen")
+        .field("txs", txs)
+        .field("seconds", elapsed)
+        .field("tx_per_s", static_cast<double>(txs) / elapsed)
+        .end_object();
+  }
+
+  // ---- placement-only path ---------------------------------------------
+  // Headline run: the micro-batched front-end (place_jobs >= 1), else the
+  // tx-at-a-time loop.
+  api::StreamOutcome batched_outcome;
+  {
+    workload::SpanTxSource source(stream);
+    api::PlacementPipeline pipeline =
+        api::make_pipeline(method, shards, {}, seed, {}, txs);
+    api::BatchLatencyStats batch_stats;
+    const auto start = Clock::now();
+    if (place_jobs >= 1) {
+      api::BatchPlacementPipeline batched(pipeline, {place_jobs, batch});
+      batched_outcome = batched.place_stream(source);
+      batch_stats = batched.latency_stats();
+    } else {
+      batched_outcome = pipeline.place_stream(source);
+    }
+    const double elapsed = seconds_since(start);
+    const double tx_per_s = static_cast<double>(txs) / elapsed;
+
+    std::printf(
+        "placement : %llu txs in %.2f s  (%.0f tx/s, cross %.2f%%, "
+        "jobs=%u batch=%u, batch p50 %.0f us p99 %.0f us)\n",
+        static_cast<unsigned long long>(txs), elapsed, tx_per_s,
+        100.0 * batched_outcome.fraction(), place_jobs, batch,
+        batch_stats.p50_us, batch_stats.p99_us);
+    json.begin_object("placement")
+        .field("txs", txs)
+        .field("seconds", elapsed)
+        .field("tx_per_s", tx_per_s)
+        .field("cross_fraction", batched_outcome.fraction())
+        .field("tan_edges", pipeline.dag().num_edges())
+        .field("place_jobs", place_jobs)
+        .field("batch", batch)
+        .field("batch_p50_us", batch_stats.p50_us)
+        .field("batch_p99_us", batch_stats.p99_us)
+        .end_object();
+  }
+
+  // Sequential comparison run: same stream through the tx-at-a-time loop.
+  // Doubles as a paper-scale bit-identity check — any divergence from the
+  // batched outcome is a hard failure, not a logged curiosity.
+  if (place_jobs >= 1) {
+    workload::SpanTxSource source(stream);
     api::PlacementPipeline pipeline =
         api::make_pipeline(method, shards, {}, seed, {}, txs);
     const auto start = Clock::now();
@@ -89,15 +174,25 @@ int run(int argc, char** argv) {
     const double elapsed = seconds_since(start);
     const double tx_per_s = static_cast<double>(txs) / elapsed;
 
-    std::printf("placement : %llu txs in %.2f s  (%.0f tx/s, cross %.2f%%)\n",
-                static_cast<unsigned long long>(txs), elapsed, tx_per_s,
-                100.0 * outcome.fraction());
-    json.begin_object("placement")
+    std::printf("  sequential: %llu txs in %.2f s  (%.0f tx/s)\n",
+                static_cast<unsigned long long>(txs), elapsed, tx_per_s);
+    if (outcome.total != batched_outcome.total ||
+        outcome.cross != batched_outcome.cross ||
+        outcome.shard_sizes != batched_outcome.shard_sizes) {
+      std::fprintf(stderr,
+                   "bench_scale: batched and sequential placement DIVERGED "
+                   "(total %llu vs %llu, cross %llu vs %llu)\n",
+                   static_cast<unsigned long long>(batched_outcome.total),
+                   static_cast<unsigned long long>(outcome.total),
+                   static_cast<unsigned long long>(batched_outcome.cross),
+                   static_cast<unsigned long long>(outcome.cross));
+      std::exit(1);
+    }
+    json.begin_object("placement_sequential")
         .field("txs", txs)
         .field("seconds", elapsed)
         .field("tx_per_s", tx_per_s)
-        .field("cross_fraction", outcome.fraction())
-        .field("tan_edges", pipeline.dag().num_edges())
+        .field("identical_to_batched", true)
         .end_object();
   }
 

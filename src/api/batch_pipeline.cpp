@@ -1,0 +1,282 @@
+#include "api/batch_pipeline.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "core/batch_scorer.hpp"
+
+namespace optchain::api {
+
+namespace {
+
+/// Slots claimed per cursor fetch — large enough to amortize the atomic,
+/// small enough to balance uneven gather costs across workers.
+constexpr std::size_t kClaimChunk = 8;
+
+double percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace
+
+/// One transaction of the in-flight micro-batch.
+struct BatchPlacementPipeline::Slot {
+  tx::Transaction tx;
+  std::uint32_t input_begin = 0;  // into inputs_ / divisors_
+  std::uint32_t input_count = 0;
+  bool independent = false;       // no in-batch parent
+  // Where the score phase put this slot's gathered vector.
+  std::uint32_t arena_worker = 0;
+  std::uint32_t arena_begin = 0;
+  std::uint32_t arena_len = 0;
+};
+
+/// Per-worker scoring state: a private scratch plus an output arena the
+/// commit phase reads spans out of.
+struct BatchPlacementPipeline::Worker {
+  std::unique_ptr<core::BatchScorable::Scratch> scratch;
+  std::vector<core::ScoreEntry> arena;
+  std::vector<core::ScoreEntry> merged;  // per-gather staging buffer
+};
+
+BatchPlacementPipeline::BatchPlacementPipeline(PlacementPipeline& pipeline,
+                                               BatchConfig config)
+    : pipeline_(pipeline), config_(config) {
+  config_.jobs = std::max<std::uint32_t>(1, config_.jobs);
+  OPTCHAIN_EXPECTS(config_.batch_txs >= 1);
+  kernel_ = dynamic_cast<core::BatchScorable*>(&pipeline_.placer());
+  slots_.resize(config_.batch_txs);
+  if (kernel_ != nullptr) {
+    workers_ = std::make_unique<Worker[]>(config_.jobs);
+    for (std::uint32_t w = 0; w < config_.jobs; ++w) {
+      workers_[w].scratch = kernel_->make_scratch();
+    }
+    threads_.reserve(config_.jobs - 1);
+    for (std::uint32_t w = 1; w < config_.jobs; ++w) {
+      threads_.emplace_back([this, w] { worker_main(w); });
+    }
+  }
+}
+
+BatchPlacementPipeline::~BatchPlacementPipeline() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void BatchPlacementPipeline::worker_main(std::uint32_t worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] { return stop_ || round_ != seen; });
+      if (stop_) return;
+      seen = round_;
+    }
+    score_range(worker);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (++finished_ == threads_.size()) work_done_.notify_one();
+    }
+  }
+}
+
+void BatchPlacementPipeline::score_range(std::uint32_t worker) {
+  Worker& state = workers_[worker];
+  const std::uint32_t k = pipeline_.assignment_.k();
+  const std::size_t ready_count = ready_.size();
+  for (;;) {
+    const std::size_t begin =
+        cursor_.fetch_add(kClaimChunk, std::memory_order_relaxed);
+    if (begin >= ready_count) break;
+    const std::size_t end = std::min(ready_count, begin + kClaimChunk);
+    for (std::size_t i = begin; i < end; ++i) {
+      Slot& slot = slots_[ready_[i]];
+      const auto parents =
+          std::span<const tx::TxIndex>(inputs_)
+              .subspan(slot.input_begin, slot.input_count);
+      const auto divisors =
+          std::span<const double>(divisors_)
+              .subspan(slot.input_begin, slot.input_count);
+      kernel_->gather(parents, divisors, k, *state.scratch, state.merged);
+      slot.arena_worker = worker;
+      slot.arena_begin = static_cast<std::uint32_t>(state.arena.size());
+      slot.arena_len = static_cast<std::uint32_t>(state.merged.size());
+      state.arena.insert(state.arena.end(), state.merged.begin(),
+                         state.merged.end());
+    }
+  }
+}
+
+void BatchPlacementPipeline::prepare_batch(std::uint32_t count) {
+  inputs_.clear();
+  divisors_.clear();
+  ready_.clear();
+  const tx::TxIndex base = slots_[0].tx.index;
+  graph::TanDag& dag = *pipeline_.dag_;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Slot& slot = slots_[i];
+    slot.tx.distinct_input_txs(inputs_scratch_);
+    slot.input_begin = static_cast<std::uint32_t>(inputs_.size());
+    slot.input_count = static_cast<std::uint32_t>(inputs_scratch_.size());
+    slot.arena_worker = 0;
+    slot.arena_begin = 0;
+    slot.arena_len = 0;
+    // Register the TaN node *before* reading spender counts, exactly like
+    // the sequential add-node-before-choose ordering — so each divisor
+    // snapshot includes this transaction, and in-batch spends bump the
+    // counts seen by later batch members.
+    OPTCHAIN_EXPECTS(dag.num_nodes() == slot.tx.index);
+    dag.add_node(inputs_scratch_);
+    bool independent = true;
+    for (const tx::TxIndex v : inputs_scratch_) {
+      inputs_.push_back(v);
+      divisors_.push_back(kernel_->parent_divisor(v, dag.spender_count(v)));
+      independent &= (v < base);
+    }
+    slot.independent = independent;
+    // With one worker there is nobody to overlap with: staging gathers
+    // through the arena would only add a copy. Commit gathers every slot
+    // in place instead (parents of independent slots are final even before
+    // the batch, so the operand values — and therefore the bits — are the
+    // same either way).
+    if (config_.jobs > 1 && independent && slot.input_count > 0) {
+      ready_.push_back(i);
+    }
+  }
+}
+
+void BatchPlacementPipeline::score_batch() {
+  for (std::uint32_t w = 0; w < config_.jobs; ++w) workers_[w].arena.clear();
+  if (ready_.empty()) return;
+  parallel_txs_ += ready_.size();
+  cursor_.store(0, std::memory_order_relaxed);
+  if (config_.jobs == 1) {
+    score_range(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    finished_ = 0;
+    ++round_;
+  }
+  work_ready_.notify_all();
+  score_range(0);
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_done_.wait(lock, [&] { return finished_ == threads_.size(); });
+}
+
+void BatchPlacementPipeline::commit_batch(
+    std::uint32_t count, std::span<const std::uint32_t> warm_parts) {
+  const std::uint32_t k = pipeline_.assignment_.k();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Slot& slot = slots_[i];
+    placement::PlacementRequest request;
+    request.index = slot.tx.index;
+    request.input_txs = std::span<const tx::TxIndex>(inputs_).subspan(
+        slot.input_begin, slot.input_count);
+    request.transaction = &slot.tx;
+
+    std::span<const core::ScoreEntry> merged;
+    const bool staged = slot.independent && config_.jobs > 1;
+    if (staged) {
+      merged = std::span<const core::ScoreEntry>(
+                   workers_[slot.arena_worker].arena)
+                   .subspan(slot.arena_begin, slot.arena_len);
+    } else {
+      // Chained slots' in-batch parents are final now (they committed
+      // earlier in arrival order) — and at jobs == 1 every slot gathers
+      // here (see prepare_batch). The divisors were snapshotted during
+      // prepare, so this is one FP op sequence, identical to the
+      // sequential path.
+      if (!slot.independent) ++chained_txs_;
+      const auto divisors = std::span<const double>(divisors_).subspan(
+          slot.input_begin, slot.input_count);
+      kernel_->gather(request.input_txs, divisors, k, *workers_[0].scratch,
+                      chained_merged_);
+      merged = chained_merged_;
+    }
+
+    placement::ShardId shard =
+        kernel_->choose_gathered(request, merged, pipeline_.assignment_);
+    const bool forced = slot.tx.index < warm_parts.size();
+    if (forced) shard = warm_parts[slot.tx.index];
+    if (!pipeline_.assignment_.is_active(shard)) {
+      shard = pipeline_.assignment_.least_loaded();
+    }
+    pipeline_.assignment_.record(slot.tx.index, shard);
+    kernel_->commit_gathered(request, merged, shard);
+    const bool counted = !forced && !slot.tx.is_coinbase();
+    if (counted) {
+      pipeline_.counter_.record(
+          pipeline_.assignment_.is_cross_shard(request.input_txs, shard));
+    }
+  }
+}
+
+StreamOutcome BatchPlacementPipeline::place_stream(
+    workload::TxSource& source, std::span<const std::uint32_t> warm_parts) {
+  using clock = std::chrono::steady_clock;
+  if (const auto hint = source.size_hint()) {
+    pipeline_.reserve(*hint);
+  }
+  // The kernel path bypasses step(), so a pending preview() decision would
+  // be silently dropped — reject the combination outright.
+  OPTCHAIN_EXPECTS(kernel_ == nullptr || !pipeline_.previewed_.has_value());
+  const std::uint64_t counted_before = pipeline_.counter_.total();
+  const std::uint64_t cross_before = pipeline_.counter_.cross();
+  for (;;) {
+    std::uint32_t count = 0;
+    while (count < config_.batch_txs && source.next(slots_[count].tx)) {
+      ++count;
+    }
+    if (count == 0) break;
+    const clock::time_point start = clock::now();
+    if (kernel_ != nullptr) {
+      prepare_batch(count);
+      score_batch();
+      commit_batch(count, warm_parts);
+    } else {
+      // Generic placers: the exact sequential loop, batch-sliced. Identical
+      // by construction; the batching only provides latency accounting.
+      for (std::uint32_t i = 0; i < count; ++i) {
+        if (slots_[i].tx.index < warm_parts.size()) {
+          pipeline_.step_forced(slots_[i].tx, warm_parts[slots_[i].tx.index]);
+        } else {
+          pipeline_.step(slots_[i].tx);
+        }
+      }
+    }
+    latencies_us_.push_back(
+        std::chrono::duration<double, std::micro>(clock::now() - start)
+            .count());
+    if (count < config_.batch_txs) break;  // source drained mid-batch
+  }
+  StreamOutcome outcome;
+  outcome.total = pipeline_.counter_.total() - counted_before;
+  outcome.cross = pipeline_.counter_.cross() - cross_before;
+  outcome.shard_sizes = pipeline_.assignment_.sizes();
+  return outcome;
+}
+
+BatchLatencyStats BatchPlacementPipeline::latency_stats() const {
+  BatchLatencyStats stats;
+  stats.batches = latencies_us_.size();
+  if (latencies_us_.empty()) return stats;
+  std::vector<double> sorted = latencies_us_;
+  std::sort(sorted.begin(), sorted.end());
+  stats.p50_us = percentile(sorted, 0.50);
+  stats.p99_us = percentile(sorted, 0.99);
+  stats.max_us = sorted.back();
+  return stats;
+}
+
+}  // namespace optchain::api

@@ -36,6 +36,8 @@
 
 namespace optchain::api {
 
+class BatchPlacementPipeline;
+
 /// The outcome of placing one transaction.
 struct StepResult {
   /// The shard the transaction was placed into.
@@ -170,6 +172,10 @@ class PlacementPipeline {
   const placement::Placer& placer() const noexcept { return *placer_; }
 
  private:
+  // The micro-batched front-end drives the same dag/assignment/counter state
+  // through its phased commit loop (see api/batch_pipeline.hpp).
+  friend class BatchPlacementPipeline;
+
   StepResult step_impl(const tx::Transaction& transaction,
                        std::optional<placement::ShardId> forced,
                        std::span<const latency::ShardTiming> timings);

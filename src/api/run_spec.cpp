@@ -3,11 +3,27 @@
 #include <string>
 #include <utility>
 
+#include "api/batch_pipeline.hpp"
 #include "api/placement_pipeline.hpp"
 #include "sim/parallel/parallel_simulation.hpp"
 
 namespace optchain::api {
 namespace {
+
+/// Streams `source` through the front-end the spec selects: the micro-
+/// batched engine when place_jobs ≥ 1, the tx-at-a-time loop otherwise.
+/// Results are bit-identical either way — place_jobs is a speed knob, not a
+/// semantics knob (the PR 6 sim_jobs contract, extended to placement).
+StreamOutcome run_placement(const RunSpec& spec, workload::TxSource& source,
+                            PlacementPipeline& pipeline,
+                            std::span<const std::uint32_t> warm_parts = {}) {
+  if (spec.place_jobs >= 1) {
+    BatchPlacementPipeline batched(pipeline,
+                                   {spec.place_jobs, spec.place_batch});
+    return batched.place_stream(source, warm_parts);
+  }
+  return pipeline.place_stream(source, warm_parts);
+}
 
 /// Runs `source` through the engine the spec selects: the conservative
 /// parallel engine when sim_jobs ≥ 1 and the network model gives it a
@@ -80,8 +96,9 @@ RunReport place(const RunSpec& spec,
                 std::span<const std::uint32_t> warm_parts) {
   PlacementPipeline pipeline = make_pipeline(
       spec.method, spec.num_shards, transactions, spec.seed);
+  workload::SpanTxSource source(transactions);
   const StreamOutcome outcome =
-      pipeline.place_stream(transactions, warm_parts);
+      run_placement(spec, source, pipeline, warm_parts);
 
   RunReport report;
   report.method = std::string(pipeline.method_name());
@@ -97,7 +114,7 @@ RunReport place(const RunSpec& spec, workload::TxSource& source,
   PlacementPipeline pipeline =
       make_pipeline(spec.method, spec.num_shards, {}, spec.seed, {},
                     source.size_hint().value_or(expected_txs));
-  const StreamOutcome outcome = pipeline.place_stream(source);
+  const StreamOutcome outcome = run_placement(spec, source, pipeline);
 
   RunReport report;
   report.method = std::string(pipeline.method_name());

@@ -50,6 +50,15 @@ struct RunSpec {
   /// latency (the parallel engine's lookahead).
   std::uint32_t sim_jobs = 0;
 
+  /// Scoring workers of the micro-batched placement front-end
+  /// (api/batch_pipeline.hpp). 0 = the classic tx-at-a-time loop; any value
+  /// ≥ 1 routes place() through BatchPlacementPipeline with that many
+  /// workers — bit-identical results, like sim_jobs (place() only).
+  std::uint32_t place_jobs = 0;
+
+  /// Micro-batch length of the batched front-end (used when place_jobs ≥ 1).
+  std::uint32_t place_batch = 512;
+
   /// Scripted shard membership changes (simulate() only; see
   /// sim/shard_churn.hpp). Empty = the classic fixed shard set.
   sim::ShardChurnPlan churn;

@@ -130,6 +130,8 @@ Sweep ScenarioSpec::expand() const {
           spec.shard_slowdown = shard_slowdown;
           spec.churn = churn;
           spec.sim_jobs = sim_jobs;
+          spec.place_jobs = place_jobs;
+          spec.place_batch = place_batch;
           sweep.cells.push_back(std::move(cell));
         }
         ++cell_id;

@@ -109,6 +109,13 @@ struct ScenarioSpec {
   /// bit-identical either way — see RunSpec::sim_jobs). Orthogonal to
   /// SweepRunner's cross-cell `jobs`.
   std::uint32_t sim_jobs = 0;
+  /// Scoring workers of the micro-batched placement front-end applied to
+  /// every placement cell (0 = the tx-at-a-time loop; bit-identical either
+  /// way — see RunSpec::place_jobs). Orthogonal to SweepRunner's `jobs`.
+  std::uint32_t place_jobs = 0;
+  /// Micro-batch length of the batched front-end (place_jobs ≥ 1; see
+  /// RunSpec::place_batch).
+  std::uint32_t place_batch = 512;
 
   // ----- workload dynamics ---------------------------------------------
   /// Rate waves / hotspot skew / spam bursts decorating every cell's stream

@@ -1,0 +1,88 @@
+// BatchScorable — the capability a placer exposes so the micro-batched
+// front-end (api::BatchPlacementPipeline) can parallelize it.
+//
+// The OptChain decision splits cleanly in two:
+//   gather — p'(u) = (1 − α) Σ p'(v)/|Nout(v)| reads only *final* parent
+//            vectors plus DAG-structural divisors: embarrassingly parallel
+//            across transactions whose parents are all placed;
+//   commit — the argmax reads live shard sizes and the α self-mass mutates
+//            the score store: inherently sequential in arrival order.
+// This interface names that split. The front-end discovers it via
+// dynamic_cast from placement::Placer; placers that do not implement it run
+// through the exact sequential step loop instead (still bit-identical, just
+// not parallel).
+//
+// Contract: for every transaction u, gather(parents, divisors) followed by
+// choose_gathered + commit_gathered in arrival order must produce byte- and
+// decision-identical state to the sequential choose() + notify_placed()
+// pair. Divisors are computed by the caller during its sequential prepare
+// pass (parent_divisor) so the gather itself never reads mutable DAG state.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/score_pool.hpp"
+#include "placement/placer.hpp"
+#include "placement/shard_assignment.hpp"
+
+namespace optchain::core {
+
+/// Capability interface for placers whose per-transaction decision separates
+/// into a thread-safe gather over final parent score vectors and a
+/// sequential arrival-order commit (see the file comment for the exact
+/// contract). Implemented by OptChainPlacer; detected by
+/// api::BatchPlacementPipeline via dynamic_cast.
+class BatchScorable {
+ public:
+  virtual ~BatchScorable() = default;
+
+  /// Opaque per-thread scratch state for gather(). Each scoring worker owns
+  /// one instance; an instance must never be used by two concurrent
+  /// gather() calls.
+  class Scratch {
+   public:
+    virtual ~Scratch() = default;
+  };
+
+  /// Allocates a fresh scratch instance for one scoring thread.
+  virtual std::unique_ptr<Scratch> make_scratch() const = 0;
+
+  /// The |Nout(v)| divisor for `parent` exactly as the sequential scorer
+  /// would compute it when the parent's observed spender count (including
+  /// the arriving transaction) is `spenders`. May consult non-thread-safe
+  /// state (e.g. a declared-outputs closure) — call only from the
+  /// sequential prepare pass.
+  virtual double parent_divisor(tx::TxIndex parent,
+                                std::uint32_t spenders) const = 0;
+
+  /// Thread-safe gather: fills `merged` with the sorted, pruned sparse
+  /// pre-commit vector p'(u) = (1 − α) Σ_i p'(parents[i]) / divisors[i] —
+  /// byte-identical to what the sequential scoring path would cache. Every
+  /// parent's vector must be final (placed and committed) before the call.
+  /// `k` is the current shard count.
+  virtual void gather(std::span<const tx::TxIndex> parents,
+                      std::span<const double> divisors, std::uint32_t k,
+                      Scratch& scratch,
+                      std::vector<ScoreEntry>& merged) const = 0;
+
+  /// Commit-phase decision from a pre-gathered vector: normalizes `merged`
+  /// by live shard sizes and runs the same argmax as choose(). Reads live
+  /// assignment state — call sequentially, in arrival order.
+  virtual placement::ShardId choose_gathered(
+      const placement::PlacementRequest& request,
+      std::span<const ScoreEntry> merged,
+      const placement::ShardAssignment& assignment) = 0;
+
+  /// Finalizes the arrival-order commit of `request.index` into `shard`:
+  /// stores `merged` with the α self-mass folded in. Replaces the
+  /// choose() + notify_placed() pair for batched arrivals; call sequentially
+  /// right after choose_gathered() for the same transaction.
+  virtual void commit_gathered(const placement::PlacementRequest& request,
+                               std::span<const ScoreEntry> merged,
+                               placement::ShardId shard) = 0;
+};
+
+}  // namespace optchain::core

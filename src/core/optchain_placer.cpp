@@ -20,12 +20,18 @@ OptChainPlacer::OptChainPlacer(
 placement::ShardId OptChainPlacer::choose(
     const placement::PlacementRequest& request,
     const placement::ShardAssignment& assignment) {
-  const std::uint32_t k = assignment.k();
   OPTCHAIN_EXPECTS(request.index < dag_.num_nodes());
 
   // Step 1-2: normalized T2S scores (all-zero for coinbase), computed into
   // the reused member buffer.
   scorer_.score(dag_, request.index, assignment, last_scores_);
+  return select(request, assignment);
+}
+
+placement::ShardId OptChainPlacer::select(
+    const placement::PlacementRequest& request,
+    const placement::ShardAssignment& assignment) {
+  const std::uint32_t k = assignment.k();
 
   // Step 3: subtract the weighted L2S expectation when timing data exists.
   if (!request.timings.empty() && config_.l2s_weight > 0.0) {
@@ -41,20 +47,21 @@ placement::ShardId OptChainPlacer::choose(
   // scores without timing data) go to the smaller shard, keeping startup
   // placement balanced; final tie on the lower shard id for determinism.
   if (config_.expected_txs == 0 && assignment.all_active()) {
-    // No capacity cap (full OptChain): every shard is eligible, so the loop
-    // reduces to a running (score, size) argmax whose common case — a score
-    // strictly below the incumbent, true for the ~k-|support| zero entries
-    // of a sparse T2S vector — is a single compare, no size loads.
-    placement::ShardId best = 0;
+    // No capacity cap (full OptChain). First a flat max reduction over the
+    // dense score vector — no size loads, no data-dependent branches, so
+    // the compiler can vectorize it — then the (smaller size, lower id)
+    // tie-break touches only the max-score shards (usually one).
     double best_score = last_scores_[0];
-    std::uint64_t best_size = assignment.size_of(0);
     for (std::uint32_t j = 1; j < k; ++j) {
-      const double score = last_scores_[j];
-      if (score < best_score) continue;
+      best_score = std::max(best_score, last_scores_[j]);
+    }
+    placement::ShardId best = 0;
+    std::uint64_t best_size = std::numeric_limits<std::uint64_t>::max();
+    for (std::uint32_t j = 0; j < k; ++j) {
+      if (last_scores_[j] != best_score) continue;
       const std::uint64_t size = assignment.size_of(j);
-      if (score > best_score || size < best_size) {
+      if (size < best_size) {
         best = j;
-        best_score = score;
         best_size = size;
       }
     }
@@ -89,6 +96,36 @@ void OptChainPlacer::notify_placed(const placement::PlacementRequest& request,
                                    placement::ShardId shard) {
   // Step 5: fix u's own mass into its shard.
   scorer_.commit(request.index, shard);
+}
+
+std::unique_ptr<BatchScorable::Scratch> OptChainPlacer::make_scratch() const {
+  return std::make_unique<BatchScratch>();
+}
+
+void OptChainPlacer::gather(std::span<const tx::TxIndex> parents,
+                            std::span<const double> divisors, std::uint32_t k,
+                            Scratch& scratch,
+                            std::vector<ScoreEntry>& merged) const {
+  scorer_.gather(parents, divisors, k,
+                 static_cast<BatchScratch&>(scratch).scratch, merged);
+}
+
+placement::ShardId OptChainPlacer::choose_gathered(
+    const placement::PlacementRequest& request,
+    std::span<const ScoreEntry> merged,
+    const placement::ShardAssignment& assignment) {
+  // Steps 2-4 with step 1 already done by gather(): normalize by the live
+  // shard sizes, then run the exact choose() selection.
+  scorer_.normalize(merged, assignment, last_scores_);
+  return select(request, assignment);
+}
+
+void OptChainPlacer::commit_gathered(const placement::PlacementRequest& request,
+                                     std::span<const ScoreEntry> merged,
+                                     placement::ShardId shard) {
+  // Steps 1-and-5 storage in one shot: the gathered vector is appended with
+  // the α self-mass folded in (no slack-slot round trip).
+  scorer_.adopt_committed(request.index, merged, shard);
 }
 
 }  // namespace optchain::core

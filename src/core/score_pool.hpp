@@ -11,9 +11,20 @@
 //
 // One wrinkle: the scorer finalizes the *latest* node after placement by
 // adding α to its own shard's entry, which may need to INSERT an entry. The
-// pool therefore reserves one slack slot after every append; commit_to_last
-// can grow the last vector in place, and the next append reclaims the slot
-// if it went unused (the bump pointer is rewound). Net waste: zero.
+// pool offers two protocols:
+//   append_node + add_to_last  — the tx-at-a-time path: the append reserves
+//     one slack slot so the later α-commit can insert in place; the next
+//     append reclaims the slot eagerly if it went unused (the bump pointer
+//     never counted it, so an uncommitted node — preview/diverted paths —
+//     wastes nothing once the stream moves on).
+//   append_committed           — the batched path: the placement is already
+//     known at append time, so the α entry is folded into the copy and no
+//     slack slot is ever reserved.
+// Slot accounting (used_slots / slot_capacity / wasted_slots / slab_bytes)
+// makes the "net waste: zero" claim checkable by tests instead of folklore:
+// used_slots() == total_entries() always holds, and permanent waste is
+// bounded by one node run + slack per *closed* page (the tail gap when a
+// node did not fit), never by per-node slack.
 #pragma once
 
 #include <algorithm>
@@ -60,6 +71,17 @@ class ScorePool {
     return {pages_[handle.page].get() + handle.offset, handle.len};
   }
 
+  /// Issues a read-prefetch hint for `node`'s vector (no-op on toolchains
+  /// without __builtin_prefetch). The gather kernel calls this one parent
+  /// ahead so the page line is warm when the merge loop reaches it.
+  void prefetch(std::uint32_t node) const noexcept {
+    OPTCHAIN_EXPECTS(node < handles_.size());
+#if defined(__GNUC__) || defined(__clang__)
+    const Handle& handle = handles_[node];
+    __builtin_prefetch(pages_[handle.page].get() + handle.offset, 0, 1);
+#endif
+  }
+
   /// Appends the next node's vector (entries sorted by shard id). Reserves
   /// one extra slot so a following add_to_last() can insert in place.
   void append_node(std::span<const ScoreEntry> entries) {
@@ -70,6 +92,42 @@ class ScorePool {
                              static_cast<std::uint32_t>(slot - current_page()),
                              len});
     total_entries_ += len;
+  }
+
+  /// Appends the next node's *final* vector in one shot: `entries` (sorted
+  /// by shard id) with `value` merged into `shard` — added to an existing
+  /// entry or inserted in shard order. Equivalent to append_node() followed
+  /// by add_to_last(), but the placement is known up front so no slack slot
+  /// is reserved: the batched commit path never carries reserved-but-unused
+  /// bytes.
+  void append_committed(std::span<const ScoreEntry> entries,
+                        std::uint32_t shard, double value) {
+    const auto len = static_cast<std::uint32_t>(entries.size());
+    bool present = false;
+    for (const ScoreEntry& entry : entries) {
+      if (entry.shard == shard) {
+        present = true;
+        break;
+      }
+    }
+    const std::uint32_t out_len = len + (present ? 0u : 1u);
+    ScoreEntry* slot = allocate_exact(out_len);
+    ScoreEntry* out = slot;
+    bool inserted = present;
+    for (const ScoreEntry& entry : entries) {
+      if (!inserted && entry.shard > shard) {
+        *out++ = {shard, value};
+        inserted = true;
+      }
+      *out++ = entry;
+      if (entry.shard == shard) out[-1].value += value;
+    }
+    if (!inserted) *out++ = {shard, value};
+    OPTCHAIN_ASSERT(out == slot + out_len);
+    handles_.push_back(Handle{static_cast<std::uint32_t>(pages_.size() - 1),
+                             static_cast<std::uint32_t>(slot - current_page()),
+                             out_len});
+    total_entries_ += out_len;
   }
 
   /// Adds `value` to the last appended node's entry for `shard`, inserting
@@ -99,6 +157,34 @@ class ScorePool {
     ++page_fill_;  // the slack slot became a real entry
   }
 
+  // ----- slot accounting (memory telemetry; asserted by the pool tests) ---
+
+  /// Slab pages allocated so far.
+  std::size_t num_pages() const noexcept { return pages_.size(); }
+
+  /// Entry slots holding live data across all pages. Invariant:
+  /// used_slots() == total_entries() — pending slack slots are never counted
+  /// as used (they are reclaimed eagerly by the next append unless the
+  /// α-commit claimed them).
+  std::size_t used_slots() const noexcept { return closed_fill_ + page_fill_; }
+
+  /// Entry slots allocated across all pages (the slab's capacity).
+  std::size_t slot_capacity() const noexcept {
+    return closed_slots_ + page_capacity_back_;
+  }
+
+  /// Slots that can never be used again: the tail gaps of *closed* pages
+  /// (a node run that did not fit opened a fresh page). Bounded by
+  /// (max node len + 1) per closed page; per-node slack never shows up here.
+  std::size_t wasted_slots() const noexcept {
+    return closed_slots_ - closed_fill_;
+  }
+
+  /// Heap bytes held by the slab pages.
+  std::size_t slab_bytes() const noexcept {
+    return slot_capacity() * sizeof(ScoreEntry);
+  }
+
  private:
   struct Handle {
     std::uint32_t page;
@@ -108,21 +194,39 @@ class ScorePool {
 
   ScoreEntry* current_page() const noexcept { return pages_.back().get(); }
 
+  void open_page(std::uint32_t min_entries) {
+    closed_slots_ += page_capacity_back_;
+    closed_fill_ += page_fill_;
+    const std::uint32_t page_size = std::max(page_entries_, min_entries);
+    pages_.push_back(std::make_unique<ScoreEntry[]>(page_size));
+    page_capacity_back_ = page_size;
+    page_fill_ = 0;
+  }
+
   /// Bump-allocates `count` contiguous entries, reclaiming the previous
   /// append's unused slack slot and opening a new page when the current one
-  /// cannot fit the run (oversized runs get a dedicated page).
+  /// cannot fit the run (oversized runs get a dedicated page). The last of
+  /// the `count` slots is the new node's slack: it is not counted as filled —
+  /// the next allocation starts on top of it unless add_to_last claimed it.
   ScoreEntry* allocate(std::uint32_t count) {
     slack_available_ = true;
     if (pages_.empty() || page_fill_ + count > page_capacity_back_) {
-      const std::uint32_t page_size = std::max(page_entries_, count);
-      pages_.push_back(std::make_unique<ScoreEntry[]>(page_size));
-      page_capacity_back_ = page_size;
-      page_fill_ = 0;
+      open_page(count);
     }
     ScoreEntry* slot = current_page() + page_fill_;
-    page_fill_ += count - 1;  // the +1 slack slot is not counted as filled:
-                              // the next allocate() starts on top of it
-                              // unless add_to_last claimed it
+    page_fill_ += count - 1;
+    return slot;
+  }
+
+  /// Bump-allocates exactly `count` entries with no slack slot (the
+  /// append_committed path: the α entry is part of the run).
+  ScoreEntry* allocate_exact(std::uint32_t count) {
+    slack_available_ = false;
+    if (pages_.empty() || page_fill_ + count > page_capacity_back_) {
+      open_page(count);
+    }
+    ScoreEntry* slot = current_page() + page_fill_;
+    page_fill_ += count;
     return slot;
   }
 
@@ -131,6 +235,8 @@ class ScorePool {
   std::uint32_t page_fill_ = 0;           // filled entries in the last page
   std::uint32_t page_capacity_back_ = 0;  // capacity of the last page
   bool slack_available_ = false;
+  std::size_t closed_fill_ = 0;   // Σ page_fill_ over closed pages
+  std::size_t closed_slots_ = 0;  // Σ capacity over closed pages
   std::vector<Handle> handles_;
   std::size_t total_entries_ = 0;
 };

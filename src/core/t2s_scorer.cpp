@@ -15,69 +15,136 @@ T2sScorer::T2sScorer(T2sConfig config,
   }
 }
 
-void T2sScorer::score(const graph::TanDag& dag, tx::TxIndex u,
-                      const placement::ShardAssignment& assignment,
-                      std::vector<double>& normalized) {
-  OPTCHAIN_EXPECTS(u == pool_.num_nodes());  // dense arrival order
-  OPTCHAIN_EXPECTS(u < dag.num_nodes());
+void T2sScorer::gather(std::span<const tx::TxIndex> parents,
+                       std::span<const double> divisors, std::uint32_t k,
+                       ScoreScratch& scratch,
+                       std::vector<ScoreEntry>& merged) const {
+  OPTCHAIN_EXPECTS(parents.size() == divisors.size());
+  merged.clear();
 
-  const std::uint32_t k = assignment.k();
-  // Accumulate (1 − α) Σ p'(v)/divisor(v) sparsely: collect entries, then
-  // merge by shard id. Both scratch buffers retain their capacity across
-  // calls, so the steady-state loop is allocation-free.
-  accumulator_.clear();
-  for (const graph::NodeId v : dag.inputs(u)) {
-    const double divisor =
-        config_.divisor == DivisorPolicy::kCurrentSpenders
-            ? static_cast<double>(dag.spender_count(v))
-            : static_cast<double>(std::max<std::uint32_t>(
-                  1, declared_outputs_(v)));
-    OPTCHAIN_ASSERT(divisor >= 1.0);  // u itself spends v
-    for (const ScoreEntry& entry : pool_.vector_of(v)) {
-      accumulator_.push_back({entry.shard, entry.value / divisor});
-    }
+  // Sizing pass doubles as a prefetch pass: each parent's handle is touched
+  // one iteration before its entries are read below, so the page lines are
+  // (likely) warm by the time the merge loop dereferences them.
+  std::size_t total_len = 0;
+  for (std::size_t i = 0; i < parents.size(); ++i) {
+    pool_.prefetch(parents[i]);
+    total_len += pool_.vector_of(parents[i]).size();
   }
+  if (total_len == 0) return;
 
-  merged_.clear();
-  if (!accumulator_.empty()) {
-    std::sort(accumulator_.begin(), accumulator_.end(),
+  if (total_len > k) {
+    // Dense scatter: with more gathered entries than shards, summing into
+    // k epoch-tagged bins beats sorting the entry list — O(total + k') with
+    // k' = touched shards, no comparison sort over total entries. Per-shard
+    // partial sums accumulate in parent push order, matching the stable
+    // order of the sparse branch.
+    if (scratch.bin_epoch.size() < k) {
+      scratch.bin_epoch.resize(k, 0);
+      scratch.bins.resize(k, 0.0);
+    }
+    std::uint32_t generation = ++scratch.generation;
+    if (generation == 0) {  // tag wrap: invalidate all bins once per 2^32
+      std::fill(scratch.bin_epoch.begin(), scratch.bin_epoch.end(), 0u);
+      generation = scratch.generation = 1;
+    }
+    scratch.touched.clear();
+    for (std::size_t i = 0; i < parents.size(); ++i) {
+      const double divisor = divisors[i];
+      OPTCHAIN_ASSERT(divisor >= 1.0);
+      for (const ScoreEntry& entry : pool_.vector_of(parents[i])) {
+        const double weight = entry.value / divisor;
+        OPTCHAIN_ASSERT(entry.shard < k);
+        if (scratch.bin_epoch[entry.shard] == generation) {
+          scratch.bins[entry.shard] += weight;
+        } else {
+          scratch.bin_epoch[entry.shard] = generation;
+          scratch.bins[entry.shard] = weight;
+          scratch.touched.push_back(entry.shard);
+        }
+      }
+    }
+    std::sort(scratch.touched.begin(), scratch.touched.end());
+    for (const std::uint32_t shard : scratch.touched) {
+      merged.push_back({shard, scratch.bins[shard]});
+    }
+  } else {
+    // Sparse sort-merge: collect entries, sort by shard id, fold adjacent
+    // runs. For total_len ≤ k the entry list is tiny and the sort is an
+    // insertion sort in practice.
+    scratch.accumulator.clear();
+    for (std::size_t i = 0; i < parents.size(); ++i) {
+      const double divisor = divisors[i];
+      OPTCHAIN_ASSERT(divisor >= 1.0);
+      for (const ScoreEntry& entry : pool_.vector_of(parents[i])) {
+        scratch.accumulator.push_back({entry.shard, entry.value / divisor});
+      }
+    }
+    std::sort(scratch.accumulator.begin(), scratch.accumulator.end(),
               [](const ScoreEntry& a, const ScoreEntry& b) {
                 return a.shard < b.shard;
               });
-    double total = 0.0;
-    for (const ScoreEntry& entry : accumulator_) {
-      if (!merged_.empty() && merged_.back().shard == entry.shard) {
-        merged_.back().value += entry.value;
+    for (const ScoreEntry& entry : scratch.accumulator) {
+      if (!merged.empty() && merged.back().shard == entry.shard) {
+        merged.back().value += entry.value;
       } else {
-        merged_.push_back(entry);
+        merged.push_back(entry);
       }
-    }
-    const double scale = 1.0 - config_.alpha;
-    for (ScoreEntry& entry : merged_) {
-      entry.value *= scale;
-      total += entry.value;
-    }
-    // Prune negligible mass to bound per-node memory.
-    if (config_.prune_threshold > 0.0 && total > 0.0) {
-      const double cutoff = total * config_.prune_threshold;
-      std::erase_if(merged_,
-                    [cutoff](const ScoreEntry& e) { return e.value < cutoff; });
     }
   }
 
-  normalized.assign(k, 0.0);
-  for (const ScoreEntry& entry : merged_) {
+  // Shared tail: damp by (1 − α), then prune negligible mass to bound
+  // per-node memory.
+  const double scale = 1.0 - config_.alpha;
+  double total = 0.0;
+  for (ScoreEntry& entry : merged) {
+    entry.value *= scale;
+    total += entry.value;
+  }
+  if (config_.prune_threshold > 0.0 && total > 0.0) {
+    const double cutoff = total * config_.prune_threshold;
+    std::erase_if(merged,
+                  [cutoff](const ScoreEntry& e) { return e.value < cutoff; });
+  }
+}
+
+void T2sScorer::normalize(std::span<const ScoreEntry> merged,
+                          const placement::ShardAssignment& assignment,
+                          std::vector<double>& normalized) const {
+  normalized.assign(assignment.k(), 0.0);
+  for (const ScoreEntry& entry : merged) {
     const std::uint64_t shard_size = assignment.size_of(entry.shard);
     if (shard_size > 0) {
       normalized[entry.shard] =
           entry.value / static_cast<double>(shard_size);
     }
   }
+}
+
+void T2sScorer::score(const graph::TanDag& dag, tx::TxIndex u,
+                      const placement::ShardAssignment& assignment,
+                      std::vector<double>& normalized) {
+  OPTCHAIN_EXPECTS(u == pool_.num_nodes());  // dense arrival order
+  OPTCHAIN_EXPECTS(u < dag.num_nodes());
+
+  const std::span<const graph::NodeId> parents = dag.inputs(u);
+  divisors_.clear();
+  for (const graph::NodeId v : parents) {
+    divisors_.push_back(parent_divisor(v, dag.spender_count(v)));
+  }
+  gather(parents, divisors_, assignment.k(), scratch_, merged_);
+  normalize(merged_, assignment, normalized);
   pool_.append_node(merged_);
 }
 
 void T2sScorer::commit(tx::TxIndex u, std::uint32_t shard) {
   pool_.add_to_last(u, shard, config_.alpha);
+}
+
+void T2sScorer::adopt_committed(tx::TxIndex u,
+                                std::span<const ScoreEntry> merged,
+                                std::uint32_t shard) {
+  OPTCHAIN_EXPECTS(u == pool_.num_nodes());  // dense arrival order
+  pool_.append_committed(merged, shard, config_.alpha);
 }
 
 std::vector<std::vector<double>> recompute_all_scores_dense(

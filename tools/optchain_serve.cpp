@@ -1,0 +1,203 @@
+// optchain-serve — placement-as-a-service throughput daemon.
+//
+// Replays an imported OPTX trace (PR 5's optchain-trace containers) through
+// the micro-batched placement front-end (api::BatchPlacementPipeline) in a
+// loop, and reports the sustained placement rate plus per-batch latency
+// percentiles — the ROADMAP's "placement as a service" north-star measured
+// end to end instead of extrapolated from a one-shot bench.
+//
+//   optchain-serve --trace=snapshot.optx --duration=5s \
+//       --place_jobs=4 --batch=512 --out=BENCH_serve.json
+//
+// Each pass decodes nothing: the trace window is materialized once at
+// startup (use --stream to re-decode from disk every pass instead, which
+// measures the container read path too), then every pass builds a fresh
+// pipeline and streams the same window through it. --duration=0 serves
+// until SIGINT/SIGTERM; any duration also stops early on a signal, then
+// still writes the JSON report for whatever completed.
+//
+// Flags:
+//   --trace=PATH       OPTX container to replay (required)
+//   --begin=N --end=N  window [begin, end) of the trace (default: all)
+//   --method=NAME      PlacerRegistry strategy (default OptChain)
+//   --shards=K         shard count (default 16)
+//   --seed=S           method seed (default 1)
+//   --place_jobs=N     scoring workers per pass (default 1)
+//   --batch=N          transactions per micro-batch (default 512)
+//   --duration=SECS    serving time budget; 0 = until signal (default 5)
+//   --stream           re-decode the trace from disk on every pass
+//   --out=PATH         JSON report path (default BENCH_serve.json)
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "api/batch_pipeline.hpp"
+#include "api/placement_pipeline.hpp"
+#include "common/flags.hpp"
+#include "common/json_writer.hpp"
+#include "trace/trace_source.hpp"
+#include "workload/tx_source.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_signal(int) { g_stop = 1; }
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using clock = std::chrono::steady_clock;
+  try {
+    const optchain::Flags flags(argc, argv);
+    const std::string trace_path = flags.get_string("trace", "");
+    if (trace_path.empty()) {
+      std::fprintf(stderr,
+                   "usage: optchain-serve --trace=PATH [--duration=SECS] "
+                   "[--place_jobs=N] [--batch=N] [--method=NAME] "
+                   "[--shards=K] [--begin=N] [--end=N] [--stream] "
+                   "[--out=PATH]\n");
+      return 2;
+    }
+    const auto begin = static_cast<std::uint64_t>(flags.get_int("begin", 0));
+    const auto end = static_cast<std::uint64_t>(flags.get_int(
+        "end",
+        static_cast<std::int64_t>(optchain::trace::TraceTxSource::kToEnd)));
+    const std::string method = flags.get_string("method", "OptChain");
+    const auto shards =
+        static_cast<std::uint32_t>(flags.get_int("shards", 16));
+    const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+    optchain::api::BatchConfig batch_config;
+    batch_config.jobs =
+        static_cast<std::uint32_t>(flags.get_int("place_jobs", 1));
+    batch_config.batch_txs =
+        static_cast<std::uint32_t>(flags.get_int("batch", 512));
+    const double duration_s = flags.get_double("duration", 5.0);
+    const bool stream_from_disk = flags.get_bool("stream", false);
+    const std::string out_path =
+        flags.get_string("out", "BENCH_serve.json");
+
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+
+    // Open the window; materialize it unless --stream asked for the
+    // decode-every-pass mode.
+    optchain::trace::TraceTxSource trace_source(trace_path, begin, end);
+    std::vector<optchain::tx::Transaction> window;
+    if (!stream_from_disk) {
+      window.reserve(static_cast<std::size_t>(
+          trace_source.size_hint().value_or(0)));
+      optchain::tx::Transaction transaction;
+      while (trace_source.next(transaction)) window.push_back(transaction);
+    }
+    const std::uint64_t window_txs = stream_from_disk
+                                         ? trace_source.size_hint().value_or(0)
+                                         : window.size();
+    if (window_txs == 0) {
+      std::fprintf(stderr, "optchain-serve: empty trace window\n");
+      return 2;
+    }
+    std::printf(
+        "optchain-serve: %llu txs/window, method=%s shards=%u "
+        "place_jobs=%u batch=%u duration=%s\n",
+        static_cast<unsigned long long>(window_txs), method.c_str(), shards,
+        batch_config.jobs, batch_config.batch_txs,
+        duration_s <= 0.0 ? "until-signal"
+                          : (std::to_string(duration_s) + "s").c_str());
+
+    std::uint64_t passes = 0;
+    std::uint64_t total_txs = 0;
+    double placement_seconds = 0.0;
+    double last_cross_fraction = 0.0;
+    std::vector<double> latencies_us;
+    const clock::time_point serve_start = clock::now();
+    while (g_stop == 0) {
+      if (duration_s > 0.0 &&
+          std::chrono::duration<double>(clock::now() - serve_start).count() >=
+              duration_s) {
+        break;
+      }
+      optchain::api::PlacementPipeline pipeline = optchain::api::make_pipeline(
+          method, shards, window, seed, {}, window_txs);
+      optchain::api::BatchPlacementPipeline batched(pipeline, batch_config);
+      const clock::time_point pass_start = clock::now();
+      optchain::api::StreamOutcome outcome;
+      if (stream_from_disk) {
+        if (passes > 0) trace_source.rewind();
+        outcome = batched.place_stream(trace_source);
+      } else {
+        optchain::workload::SpanTxSource source(window);
+        outcome = batched.place_stream(source);
+      }
+      const double pass_s =
+          std::chrono::duration<double>(clock::now() - pass_start).count();
+      placement_seconds += pass_s;
+      total_txs += window_txs;
+      last_cross_fraction = outcome.fraction();
+      const auto batch_lat = batched.batch_latencies_us();
+      latencies_us.insert(latencies_us.end(), batch_lat.begin(),
+                          batch_lat.end());
+      ++passes;
+      std::printf("  pass %llu: %.0f tx/s (%.3fs, cross %.2f%%)\n",
+                  static_cast<unsigned long long>(passes),
+                  static_cast<double>(window_txs) / pass_s, pass_s,
+                  100.0 * last_cross_fraction);
+      std::fflush(stdout);
+    }
+    if (passes == 0) {
+      std::fprintf(stderr,
+                   "optchain-serve: no pass completed inside the budget\n");
+      return 1;
+    }
+
+    const double sustained_tps =
+        static_cast<double>(total_txs) / placement_seconds;
+    std::sort(latencies_us.begin(), latencies_us.end());
+    const double p50 = percentile(latencies_us, 0.50);
+    const double p99 = percentile(latencies_us, 0.99);
+    std::printf(
+        "sustained %.0f tx/s over %llu passes (%llu txs, %.2fs placement); "
+        "batch latency p50 %.1f us, p99 %.1f us\n",
+        sustained_tps, static_cast<unsigned long long>(passes),
+        static_cast<unsigned long long>(total_txs), placement_seconds, p50,
+        p99);
+
+    optchain::JsonWriter json;
+    json.field("tool", "optchain-serve")
+        .field("trace", trace_path)
+        .field("method", method)
+        .field("shards", shards)
+        .field("place_jobs", batch_config.jobs)
+        .field("batch", batch_config.batch_txs)
+        .field("stream_from_disk", stream_from_disk)
+        .field("window_txs", window_txs)
+        .field("passes", passes)
+        .field("total_txs", total_txs)
+        .field("placement_seconds", placement_seconds)
+        .field("sustained_tx_per_s", sustained_tps)
+        .field("cross_fraction", last_cross_fraction)
+        .field("batches", static_cast<std::uint64_t>(latencies_us.size()))
+        .field("batch_p50_us", p50)
+        .field("batch_p99_us", p99)
+        .field("batch_max_us",
+               latencies_us.empty() ? 0.0 : latencies_us.back());
+    json.save(out_path);
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "optchain-serve: %s\n", error.what());
+    return 2;
+  }
+}
