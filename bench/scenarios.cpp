@@ -423,6 +423,89 @@ int run_parallel_bench(const Flags& flags, JsonWriter* json) {
   return exit_code;
 }
 
+// --------------------------------------------------------- network (custom)
+
+/// Link-fabric study, not a paper figure: the placement lineup under
+/// link-level network topologies (sim/fabric/: geo-region latency tiers,
+/// access-link bandwidth queues with tail drop, stragglers), sweeping
+/// placers × topology × cross-shard cost — the inter-region latency scale.
+/// The paper's flat model prices every message the same; this scenario
+/// shows what each placer's cross-shard avoidance is worth once crossing
+/// shards costs real network resources. Output is deterministic (no wall
+/// clock), so the scenario participates in `optchain-bench all`.
+int run_network_bench(const Flags& flags, JsonWriter* json) {
+  const std::uint64_t seed = seed_of(flags);
+  const std::uint64_t n = sized(flags, 50'000, 3'000);
+  const auto shards = static_cast<std::uint32_t>(flags.get_int("k", 16));
+  const double rate = flags.get_double("rate", 4000.0);
+  const std::vector<std::string> topologies =
+      flags.get_string_list("topology", {"flat", "wan", "congested"});
+  const std::vector<double> inter_scales =
+      flags.get_double_list("inter_scale", {1.0, 2.0});
+  const std::vector<std::string> methods =
+      method_axis(flags, {"OptChain", "OmniLedger", "Greedy"});
+
+  std::printf("%llu txs, %u shards, %.0f tps; topologies × inter-region "
+              "latency scale × methods\n\n",
+              static_cast<unsigned long long>(n), shards, rate);
+  const auto txs = make_stream(n, seed);
+
+  TextTable table({"topology", "xscale", "method", "tput(tps)", "avg_lat(s)",
+                   "cross%", "drops", "peak_backlog(s)"});
+  if (json != nullptr) {
+    json->field("txs", n)
+        .field("shards", shards)
+        .field("rate_tps", rate);
+  }
+  for (const std::string& topology : topologies) {
+    const sim::FabricConfig base = sim::fabric_preset(topology);
+    for (const double scale : inter_scales) {
+      // A single-region topology has no inter-region tier to scale; keep
+      // one row instead of duplicating identical runs per scale value.
+      if (base.regions < 2 && scale != inter_scales.front()) continue;
+      sim::FabricConfig fabric = base;
+      fabric.inter_region_latency_s *= scale;
+      const std::string scale_label = TextTable::fmt(scale, 1);
+      for (const std::string& method : methods) {
+        api::RunSpec spec;
+        spec.method = method;
+        spec.num_shards = shards;
+        spec.seed = seed;
+        spec.rate_tps = rate;
+        spec.commit_window_s = 10.0;
+        spec.fabric = fabric;
+        const api::RunReport report = api::simulate(spec, txs);
+        table.add_row(
+            {topology, scale_label, report.method,
+             TextTable::fmt(report.sim->throughput_tps, 0),
+             TextTable::fmt(report.sim->avg_latency_s, 2),
+             TextTable::fmt_percent(report.cross_fraction()),
+             TextTable::fmt_int(
+                 static_cast<long long>(report.sim->link_drops)),
+             TextTable::fmt(report.sim->link_peak_backlog_s, 3)});
+        if (json != nullptr) {
+          json->begin_object(topology + "/x" + scale_label + "/" +
+                             report.method)
+              .field("throughput_tps", report.sim->throughput_tps)
+              .field("avg_latency_s", report.sim->avg_latency_s)
+              .field("cross_fraction", report.cross_fraction())
+              .field("link_messages", report.sim->link_messages)
+              .field("link_drops", report.sim->link_drops)
+              .field("link_queue_delay_s", report.sim->link_queue_delay_s)
+              .field("link_peak_backlog_s", report.sim->link_peak_backlog_s)
+              .end_object();
+        }
+      }
+    }
+  }
+  table.print();
+  maybe_save_csv(flags, "network_fabric", table);
+  std::printf("\n\"flat\" is the degenerate fabric (bit-identical to the "
+              "classic NetworkModel path); wan/congested add region tiers, "
+              "queueing and stragglers\n");
+  return 0;
+}
+
 // ----------------------------------------------------------- batch (custom)
 
 /// Engine benchmark, not a paper figure: the tx-at-a-time placement loop vs
@@ -1407,6 +1490,14 @@ std::vector<Scenario> build_registry() {
                       nullptr,
                       run_batch_bench,
                       /*exclude_from_all=*/true});
+  registry.push_back({"network",
+                      "placement lineup under link-level topologies "
+                      "(--topology=flat,wan,congested --inter_scale=1,2 "
+                      "--k= --rate=)",
+                      "extension (link-level fabric; sim/fabric/)",
+                      {},
+                      nullptr,
+                      run_network_bench});
   registry.push_back({"trace",
                       "placement lineup replayed from an imported .optx "
                       "trace (--trace=; see optchain-trace)",

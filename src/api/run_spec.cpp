@@ -26,14 +26,15 @@ StreamOutcome run_placement(const RunSpec& spec, workload::TxSource& source,
 }
 
 /// Runs `source` through the engine the spec selects: the conservative
-/// parallel engine when sim_jobs ≥ 1 and the network model gives it a
-/// positive lookahead (base latency), the sequential engine otherwise.
-/// Results are bit-identical either way — sim_jobs is a speed knob, not a
-/// semantics knob.
+/// parallel engine when sim_jobs ≥ 1 and the fabric gives it a positive
+/// lookahead (its min delivery delay; the network base latency when the
+/// fabric is disabled), the sequential engine otherwise. Results are
+/// bit-identical either way — sim_jobs is a speed knob, not a semantics
+/// knob, fabric runs included.
 sim::SimResult run_engine(const RunSpec& spec, workload::TxSource& source,
                           PlacementPipeline& pipeline) {
   const sim::SimConfig config = spec.sim_config();
-  if (spec.sim_jobs >= 1 && config.network.base_latency_s > 0.0) {
+  if (spec.sim_jobs >= 1 && config.fabric.min_delay(config.network) > 0.0) {
     sim::parallel::ParallelSimulation simulation(config, spec.sim_jobs);
     return simulation.run(source, pipeline);
   }
@@ -53,6 +54,7 @@ sim::SimConfig RunSpec::sim_config() const {
   config.queue_sample_interval_s = queue_sample_interval_s;
   config.leader_fault_rate = leader_fault_rate;
   config.shard_slowdown = shard_slowdown;
+  config.fabric = fabric;
   config.churn = churn;
   config.observers = observers;
   return config;
@@ -80,6 +82,15 @@ TextTable RunReport::to_table() const {
     table.add_row({"blocks", TextTable::fmt_int(static_cast<long long>(
                                  sim->total_blocks))});
     table.add_row({"completed", sim->completed ? "yes" : "no"});
+    if (sim->link_messages > 0) {  // fabric-enabled runs only
+      table.add_row({"link messages", TextTable::fmt_int(static_cast<long long>(
+                                          sim->link_messages))});
+      table.add_row({"link drops", TextTable::fmt_int(static_cast<long long>(
+                                       sim->link_drops))});
+      table.add_row(
+          {"link peak backlog (s)", TextTable::fmt(sim->link_peak_backlog_s,
+                                                   3)});
+    }
   }
   for (std::size_t s = 0; s < shard_sizes.size(); ++s) {
     table.add_row({"shard " + std::to_string(s) + " txs",

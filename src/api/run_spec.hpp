@@ -43,6 +43,12 @@ struct RunSpec {
   /// Chronic per-shard slowdown factors (missing entries = 1.0).
   std::vector<double> shard_slowdown;
 
+  /// Link-level network fabric (simulate() only; see sim/fabric/): geo-region
+  /// latency tiers, per-access-link bandwidth queues, jitter and stragglers.
+  /// Disabled by default — every delivery then uses the flat NetworkModel
+  /// path unchanged. Start from sim::fabric_preset("wan"), etc.
+  sim::FabricConfig fabric;
+
   /// Worker threads for the conservative parallel engine
   /// (sim/parallel/parallel_simulation.hpp). 0 = the sequential engine;
   /// any value ≥ 1 produces bit-identical results (simulate() only).

@@ -41,6 +41,7 @@ Sweep ScenarioSpec::expand() const {
         "warm prefix (warm_ratio > 0)");
   }
   dynamic.validate();
+  fabric.validate();  // reject broken fabric configs before any cell runs
 
   // Trace replay: resolve the window against the container once — the
   // import happened offline, exactly once, and every cell and replica below
@@ -128,6 +129,7 @@ Sweep ScenarioSpec::expand() const {
           spec.queue_sample_interval_s = queue_sample_interval_s;
           spec.leader_fault_rate = leader_fault_rate;
           spec.shard_slowdown = shard_slowdown;
+          spec.fabric = fabric;
           spec.churn = churn;
           spec.sim_jobs = sim_jobs;
           spec.place_jobs = place_jobs;

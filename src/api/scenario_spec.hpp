@@ -116,6 +116,10 @@ struct ScenarioSpec {
   /// Micro-batch length of the batched front-end (place_jobs ≥ 1; see
   /// RunSpec::place_batch).
   std::uint32_t place_batch = 512;
+  /// Link-level network fabric applied to every simulation cell (disabled
+  /// by default — cells then use the flat NetworkModel path unchanged; see
+  /// RunSpec::fabric). expand() validates the config up front.
+  sim::FabricConfig fabric;
 
   // ----- workload dynamics ---------------------------------------------
   /// Rate waves / hotspot skew / spam bursts decorating every cell's stream

@@ -9,7 +9,8 @@ namespace optchain::sim {
 
 ConsensusModel::ConsensusModel(const ConsensusConfig& config,
                                const NetworkModel& network,
-                               const Position& leader, Rng& rng)
+                               const Position& leader, Rng& rng,
+                               double bandwidth_override_bps)
     : config_(config) {
   OPTCHAIN_EXPECTS(config.committee_size >= 1);
   OPTCHAIN_EXPECTS(config.txs_per_block >= 1);
@@ -27,7 +28,13 @@ ConsensusModel::ConsensusModel(const ConsensusConfig& config,
   committee_rtt_ = total_rtt / sample;
   gossip_depth_ = std::ceil(std::log2(static_cast<double>(
       std::max<std::uint32_t>(2, config.committee_size))));
-  per_block_transfer_s_ = network.transfer_time(config.block_bytes);
+  // The same expression as NetworkModel::transfer_time, so an override equal
+  // to the network bandwidth reproduces the historical double exactly.
+  per_block_transfer_s_ =
+      bandwidth_override_bps > 0.0
+          ? static_cast<double>(config.block_bytes) * 8.0 /
+                bandwidth_override_bps
+          : network.transfer_time(config.block_bytes);
 }
 
 double ConsensusModel::round_duration(std::uint32_t txs_in_block) const {

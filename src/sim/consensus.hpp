@@ -35,8 +35,13 @@ struct ConsensusConfig {
 /// positions around the shard leader to fix the committee round-trip time.
 class ConsensusModel {
  public:
+  /// `bandwidth_override_bps` > 0 replaces the network model's bandwidth for
+  /// the block-dissemination term — how a link-level fabric (sim/fabric/)
+  /// makes consensus pay the shard's access-link rate. 0 (the default)
+  /// keeps the historical network-bandwidth term.
   ConsensusModel(const ConsensusConfig& config, const NetworkModel& network,
-                 const Position& leader, Rng& rng);
+                 const Position& leader, Rng& rng,
+                 double bandwidth_override_bps = 0.0);
 
   /// Duration of one consensus round over a block carrying `txs_in_block`
   /// transactions (partial blocks transfer proportionally fewer bytes).

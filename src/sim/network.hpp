@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -26,7 +28,16 @@ struct Position {
 
 class NetworkModel {
  public:
-  explicit NetworkModel(NetworkConfig config = {}) : config_(config) {}
+  /// Throws std::invalid_argument when bandwidth_bps is not positive (or is
+  /// NaN) — a zero/negative bandwidth would otherwise yield silent inf/nan
+  /// transfer times that poison every downstream delay sum.
+  explicit NetworkModel(NetworkConfig config = {}) : config_(config) {
+    if (!(config_.bandwidth_bps > 0.0)) {
+      throw std::invalid_argument(
+          "NetworkConfig: bandwidth_bps must be positive (got " +
+          std::to_string(config_.bandwidth_bps) + ")");
+    }
+  }
 
   /// Samples a uniform position on the unit square.
   Position random_position(Rng& rng) const {

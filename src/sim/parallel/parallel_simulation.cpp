@@ -23,15 +23,16 @@ constexpr SimTime kNever = std::numeric_limits<SimTime>::infinity();
 ParallelSimulation::ParallelSimulation(SimConfig config, std::uint32_t jobs)
     : config_(std::move(config)),
       jobs_(std::max<std::uint32_t>(jobs, 1)),
-      lookahead_(config_.network.base_latency_s),
+      lookahead_(config_.fabric.min_delay(config_.network)),
       network_(config_.network),
+      fabric_(config_.fabric, network_, config_.seed),
       rng_(config_.seed),
       result_{} {
   OPTCHAIN_EXPECTS(config_.num_shards >= 1);
   OPTCHAIN_EXPECTS(config_.tx_rate_tps > 0.0);
-  // The lookahead IS the base latency; without one the window degenerates
-  // and the engine cannot run ahead (api::simulate falls back to the
-  // sequential engine in that case).
+  // The lookahead IS the fabric's minimum delivery delay; without one the
+  // window degenerates and the engine cannot run ahead (api::simulate falls
+  // back to the sequential engine in that case).
   OPTCHAIN_EXPECTS(lookahead_ > 0.0);
   for (const ShardChurnEvent& change : config_.churn.events) {
     OPTCHAIN_EXPECTS(change.time_s >= 0.0);
@@ -40,6 +41,7 @@ ParallelSimulation::ParallelSimulation(SimConfig config, std::uint32_t jobs)
   // Same draw order as the sequential constructor: client first (the one
   // shared-Rng draw), then each shard from its private spawn stream.
   client_position_ = network_.random_position(rng_);
+  OPTCHAIN_ASSERT(fabric_.add_endpoint() == kClientEndpoint);
   workers_ = std::vector<Worker>(jobs_);  // fixed: nodes reference queues
   shards_.reserve(config_.num_shards);
   for (std::uint32_t s = 0; s < config_.num_shards; ++s) spawn_shard_node();
@@ -51,8 +53,9 @@ ParallelSimulation::~ParallelSimulation() {
 
 void ParallelSimulation::spawn_shard_node() {
   const auto s = static_cast<std::uint32_t>(shards_.size());
-  SpawnedShard spawned =
-      spawn_shard(config_.consensus, network_, config_.seed, s);
+  SpawnedShard spawned = spawn_shard(
+      config_.consensus, network_, config_.seed, s,
+      config_.fabric.enabled ? config_.fabric.link.bandwidth_bps : 0.0);
   const Position leader = spawned.leader_position;
   ShardFaults faults;
   faults.slowdown =
@@ -69,12 +72,15 @@ void ParallelSimulation::spawn_shard_node() {
       faults));
   shard_to_worker_.push_back(w);
   partitions_.emplace_back();
+  OPTCHAIN_ASSERT(fabric_.add_endpoint() == endpoint_of(s));
   ShardMirror mirror;
-  // Cached client↔leader round-trip: a pure function of immutable positions,
-  // so the cached double is bit-identical to the sequential engine's
-  // per-issue recomputation.
+  // Cached client↔leader round-trip: fabric propagation is stateless and a
+  // pure function of immutable positions and endpoint ids, so the cached
+  // double is bit-identical to the sequential engine's per-issue
+  // recomputation.
   mirror.mean_comm =
-      2.0 * network_.propagation_delay(client_position_, leader);
+      2.0 * fabric_.propagation_delay(kClientEndpoint, endpoint_of(s),
+                                      client_position_, leader);
   mirror.last_round = shards_.back()->last_round_duration();
   mirror.queue_size = 0;
   mirror_.push_back(mirror);
@@ -112,6 +118,7 @@ SimResult ParallelSimulation::run(workload::TxSource& source,
 
   result_ = SimResult{};
   result_.placer_name = std::string(pipeline.method_name());
+  fabric_.reset_state();
 
   metrics_ = stats::MetricsObserver(config_.commit_window_s);
   observers_.clear();
@@ -218,6 +225,12 @@ SimResult ParallelSimulation::run(workload::TxSource& source,
   // inside the final window, and only replayed rounds exist in the
   // sequential engine's timeline.
   result_.total_blocks = blocks_replayed_;
+  const LinkFabric::Stats& link_stats = fabric_.stats();
+  result_.link_messages = link_stats.messages;
+  result_.link_bytes = link_stats.bytes;
+  result_.link_drops = link_stats.drops;
+  result_.link_queue_delay_s = link_stats.queue_delay_s;
+  result_.link_peak_backlog_s = link_stats.peak_backlog_s;
   result_.event_heap_peak = events_.peak_pending();
   for (const Worker& worker : workers_) {
     result_.event_heap_peak =
@@ -321,21 +334,12 @@ void ParallelSimulation::worker_item_committed(std::uint32_t node_id,
     case ItemKind::kCommit:
       partition_spend(item.tx, s);
       break;
-    case ItemKind::kLock: {
+    case ItemKind::kLock:
+      // The lock verdict is decided here (partition state is worker-owned);
+      // the proof's *delay* is computed at replay time on the coordinator —
+      // the fabric's uplink state must advance in merged phase-B order.
       outcome.locked = partition_try_lock(item.tx, s);
-      // Everything the proof delay depends on is immutable or finalized by
-      // an earlier window: leader positions, the protocol mode, and the
-      // in-flight record's output shard.
-      const Position decision_point =
-          config_.protocol == ProtocolMode::kOmniLedger
-              ? client_position_
-              : shards_[resolve_shard(
-                            inflight_.at(item.tx).cross.output_shard)]
-                    ->leader_position();
-      outcome.proof_delay = network_.message_delay(
-          shards_[s]->leader_position(), decision_point, config_.proof_bytes);
       break;
-    }
   }
   worker.items.push_back(outcome);
 }
@@ -483,13 +487,30 @@ void ParallelSimulation::replay_item(const WorkerRecord& record,
       shadow_spend(index);
       commit_transaction(index, record.time);
       break;
-    case ItemKind::kLock:
-      // The proof re-enters the coordinator's own queue — its handling
+    case ItemKind::kLock: {
+      // The proof delay is computed here, in merged replay order — the
+      // exact moment the sequential engine computes it — so the fabric's
+      // uplink/jitter state advances identically in both engines. The
+      // proof re-enters the coordinator's own queue; its handling
       // (client-side quorum state) belongs to phase B of a later window.
-      events_.schedule(record.time + outcome.proof_delay,
-                       Event::proof(index, record.resolved_shard,
-                                    outcome.locked));
+      const std::uint32_t origin = record.resolved_shard;
+      const std::uint32_t decision_ep =
+          config_.protocol == ProtocolMode::kOmniLedger
+              ? kClientEndpoint
+              : endpoint_of(
+                    resolve_shard(inflight_.at(index).cross.output_shard));
+      const Position decision_point =
+          decision_ep == kClientEndpoint
+              ? client_position_
+              : shards_[decision_ep - 1]->leader_position();
+      const double proof_delay = fabric_.message_delay(
+          record.time, endpoint_of(origin), decision_ep,
+          shards_[origin]->leader_position(), decision_point,
+          config_.proof_bytes);
+      events_.schedule(record.time + proof_delay,
+                       Event::proof(index, origin, outcome.locked));
       break;
+    }
   }
 }
 
@@ -536,7 +557,8 @@ void ParallelSimulation::issue_transaction(std::uint32_t index) {
       std::max<std::uint64_t>(staged_.serialized_size(), kMinPayloadBytes);
   if (!placed.cross) {
     send_to_shard(Event::deliver(EventType::kTxDeliver, target, index),
-                  network_.message_delay(
+                  fabric_.message_delay(
+                      now_, kClientEndpoint, endpoint_of(target),
                       client_position_, shards_[target]->leader_position(),
                       payload));
   } else {
@@ -545,7 +567,8 @@ void ParallelSimulation::issue_transaction(std::uint32_t index) {
     flight.cross.output_shard = target;
     for (const placement::ShardId s : placed.input_shards) {
       send_to_shard(Event::deliver(EventType::kLockRequest, s, index),
-                    network_.message_delay(
+                    fabric_.message_delay(
+                        now_, kClientEndpoint, endpoint_of(s),
                         client_position_, shards_[s]->leader_position(),
                         payload));
     }
@@ -582,15 +605,21 @@ void ParallelSimulation::handle_proof(std::uint32_t index, bool accepted,
   }
   if (--pending.remaining_locks > 0) return;
 
-  const ShardNode& output = *shards_[resolve_shard(pending.output_shard)];
+  const std::uint32_t output_shard = resolve_shard(pending.output_shard);
+  const ShardNode& output = *shards_[output_shard];
+  const std::uint32_t decision_ep =
+      config_.protocol == ProtocolMode::kOmniLedger
+          ? kClientEndpoint
+          : endpoint_of(output_shard);
   const Position decision_point =
       config_.protocol == ProtocolMode::kOmniLedger
           ? client_position_
           : output.leader_position();
 
   if (!pending.rejected) {
-    const double to_output = network_.message_delay(
-        decision_point, output.leader_position(), config_.proof_bytes + 512);
+    const double to_output = fabric_.message_delay(
+        now_, decision_ep, endpoint_of(output_shard), decision_point,
+        output.leader_position(), config_.proof_bytes + 512);
     send_to_shard(
         Event::deliver(EventType::kUnlockCommit, pending.output_shard, index),
         to_output);
@@ -598,9 +627,9 @@ void ParallelSimulation::handle_proof(std::uint32_t index, bool accepted,
   }
 
   for (const std::uint32_t shard : pending.accepted_shards) {
-    const double to_shard = network_.message_delay(
-        decision_point, shards_[shard]->leader_position(),
-        config_.proof_bytes);
+    const double to_shard = fabric_.message_delay(
+        now_, decision_ep, endpoint_of(shard), decision_point,
+        shards_[shard]->leader_position(), config_.proof_bytes);
     send_to_shard(Event::deliver(EventType::kUnlockAbort, shard, index),
                   to_shard);
   }
@@ -673,6 +702,14 @@ void ParallelSimulation::sample_queues() {
   }
   for (SimObserver* observer : observers_) {
     observer->on_queue_sample(now_, queue_sizes_);
+  }
+  // The fabric is coordinator-owned, so this reads exactly the state a
+  // sequential sample at the same merged position would see.
+  if (fabric_.enabled()) {
+    fabric_.sample_links(now_, link_samples_);
+    for (SimObserver* observer : observers_) {
+      observer->on_link_sample(now_, link_samples_);
+    }
   }
 }
 

@@ -24,13 +24,14 @@
 namespace optchain::sim::parallel {
 
 /// Outcome of one block item, decided worker-side at round completion.
+/// Only the *verdict* travels in the record: message delays (e.g. the kLock
+/// proof's trip to its decision point) are computed by the coordinator at
+/// replay time, because the link fabric's uplink state must advance in
+/// merged phase-B order — the sequential dispatch order.
 struct ItemOutcome {
   QueueItem item;
   /// kSameShard / kLock: whether the input locks were granted.
   bool locked = true;
-  /// kLock only: one-way delay of the proof message to the decision point
-  /// (client or output committee), computed from immutable positions.
-  double proof_delay = 0.0;
 };
 
 /// One executed worker event. `items` index into the worker's per-window

@@ -45,13 +45,19 @@ struct SpawnedShard {
 };
 
 /// Samples shard `shard`'s leader position and consensus model from its
-/// private spawn stream (see the file comment).
+/// private spawn stream (see the file comment). A positive
+/// `bandwidth_override_bps` makes block dissemination pay that access-link
+/// rate instead of the network model's bandwidth (the fabric hook — see
+/// ConsensusModel); 0 keeps the historical term. The override is pure
+/// config, so both engines pass the same value and stay bit-identical.
 inline SpawnedShard spawn_shard(const ConsensusConfig& consensus,
                                 const NetworkModel& network,
-                                std::uint64_t sim_seed, std::uint32_t shard) {
+                                std::uint64_t sim_seed, std::uint32_t shard,
+                                double bandwidth_override_bps = 0.0) {
   Rng rng(shard_spawn_seed(sim_seed, shard));
   const Position leader = network.random_position(rng);
-  ConsensusModel model(consensus, network, leader, rng);
+  ConsensusModel model(consensus, network, leader, rng,
+                       bandwidth_override_bps);
   return SpawnedShard{leader, std::move(model)};
 }
 

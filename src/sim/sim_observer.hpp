@@ -20,6 +20,17 @@
 
 namespace optchain::sim {
 
+/// One access-link utilization sample (fabric runs only): the state of
+/// endpoint `endpoint`'s uplink at the sample instant. Endpoint 0 is the
+/// client; endpoint 1 + s is shard s's leader (see sim/fabric/fabric.hpp).
+struct LinkSample {
+  std::uint32_t endpoint = 0;  ///< sampled endpoint id
+  /// Seconds of traffic still queued on the uplink (0 when idle).
+  double backlog_s = 0.0;
+  /// Cumulative tail drops on this uplink since the run started.
+  std::uint64_t drops = 0;
+};
+
 /// The simulation's instrumentation hook seam; every hook has an empty
 /// default, so observers override only what they measure (see the file
 /// comment for the firing contract).
@@ -54,6 +65,15 @@ class SimObserver {
   /// the round still produced its block, just late).
   virtual void on_block_commit(std::uint32_t shard, double time) {
     (void)shard, (void)time;
+  }
+
+  /// Periodic access-link snapshot, emitted at the queue-sample cadence when
+  /// a link-level fabric is enabled (sim::FabricConfig::enabled) and never
+  /// otherwise — flat runs see exactly the historical hook sequence.
+  /// `links[i]` samples endpoint i's uplink. The span is only valid during
+  /// the call.
+  virtual void on_link_sample(double time, std::span<const LinkSample> links) {
+    (void)time, (void)links;
   }
 
   /// The shard set changed at `time` (scripted sim::ShardChurnPlan event).

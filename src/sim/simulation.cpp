@@ -12,6 +12,7 @@ namespace optchain::sim {
 Simulation::Simulation(SimConfig config)
     : config_(config),
       network_(config.network),
+      fabric_(config.fabric, network_, config.seed),
       rng_(config.seed),
       result_{} {
   OPTCHAIN_EXPECTS(config_.num_shards >= 1);
@@ -21,6 +22,7 @@ Simulation::Simulation(SimConfig config)
   }
 
   client_position_ = network_.random_position(rng_);
+  OPTCHAIN_ASSERT(fabric_.add_endpoint() == kClientEndpoint);
   shards_.reserve(config_.num_shards);
   for (std::uint32_t s = 0; s < config_.num_shards; ++s) spawn_shard_node();
 }
@@ -28,9 +30,12 @@ Simulation::Simulation(SimConfig config)
 void Simulation::spawn_shard_node() {
   const auto s = static_cast<std::uint32_t>(shards_.size());
   // Per-shard spawn stream (sim/shard_spawn.hpp): shard s's geography is a
-  // pure function of (sim_seed, s), shared with the parallel engine.
-  SpawnedShard spawned =
-      spawn_shard(config_.consensus, network_, config_.seed, s);
+  // pure function of (sim_seed, s), shared with the parallel engine. An
+  // enabled fabric routes consensus block dissemination over the shard's
+  // access link (pure config — identical in both engines).
+  SpawnedShard spawned = spawn_shard(
+      config_.consensus, network_, config_.seed, s,
+      config_.fabric.enabled ? config_.fabric.link.bandwidth_bps : 0.0);
   const Position leader = spawned.leader_position;
   ConsensusModel model = std::move(spawned.model);
   ShardFaults faults;
@@ -45,6 +50,7 @@ void Simulation::spawn_shard_node() {
         on_item_committed(shard, item, time);
       },
       faults));
+  OPTCHAIN_ASSERT(fabric_.add_endpoint() == endpoint_of(s));
 }
 
 void Simulation::observe_timings() {
@@ -54,9 +60,13 @@ void Simulation::observe_timings() {
   timings_.resize(shards_.size());
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     const ShardNode& shard = *shards_[s];
+    // Stateless fabric propagation (= the flat model when disabled), so the
+    // placement view prices region tiers and stragglers without perturbing
+    // delivery state.
     timings_[s].mean_comm =
-        2.0 * network_.propagation_delay(client_position_,
-                                         shard.leader_position());
+        2.0 * fabric_.propagation_delay(
+                  kClientEndpoint, endpoint_of(static_cast<std::uint32_t>(s)),
+                  client_position_, shard.leader_position());
     const double backlog_blocks =
         static_cast<double>(shard.queue_size()) /
         static_cast<double>(config_.consensus.txs_per_block);
@@ -96,6 +106,7 @@ SimResult Simulation::run(workload::TxSource& source,
 
   result_ = SimResult{};
   result_.placer_name = std::string(pipeline.method_name());
+  fabric_.reset_state();
 
   // All metric collection flows through the observer seam: the engine's own
   // collectors are observers_[0], followed by whatever the caller installed
@@ -173,6 +184,12 @@ SimResult Simulation::run(workload::TxSource& source,
     result_.total_blocks += shard->blocks_committed();
   }
   result_.event_heap_peak = events_.peak_pending();
+  const LinkFabric::Stats& link_stats = fabric_.stats();
+  result_.link_messages = link_stats.messages;
+  result_.link_bytes = link_stats.bytes;
+  result_.link_drops = link_stats.drops;
+  result_.link_queue_delay_s = link_stats.queue_delay_s;
+  result_.link_peak_backlog_s = link_stats.peak_backlog_s;
   shard_event_counts_.resize(shards_.size(), 0);
   result_.shard_event_counts = shard_event_counts_;
   result_.final_shard_sizes = pipeline.assignment().sizes();
@@ -268,8 +285,9 @@ void Simulation::issue_transaction(std::uint32_t index) {
       std::max<std::uint64_t>(staged_.serialized_size(), kMinPayloadBytes);
   if (!placed.cross) {
     events_.schedule_in(
-        network_.message_delay(client_position_,
-                               shards_[target]->leader_position(), payload),
+        fabric_.message_delay(events_.now(), kClientEndpoint,
+                              endpoint_of(target), client_position_,
+                              shards_[target]->leader_position(), payload),
         Event::deliver(EventType::kTxDeliver, target, index));
   } else {
     flight.cross.remaining_locks =
@@ -277,8 +295,9 @@ void Simulation::issue_transaction(std::uint32_t index) {
     flight.cross.output_shard = target;
     for (const placement::ShardId s : placed.input_shards) {
       events_.schedule_in(
-          network_.message_delay(client_position_,
-                                 shards_[s]->leader_position(), payload),
+          fabric_.message_delay(events_.now(), kClientEndpoint,
+                                endpoint_of(s), client_position_,
+                                shards_[s]->leader_position(), payload),
           Event::deliver(EventType::kLockRequest, s, index));
     }
   }
@@ -391,14 +410,19 @@ void Simulation::on_item_committed(std::uint32_t shard, const QueueItem& item,
       const std::uint32_t index = item.tx;
       const bool accepted = try_lock_inputs(index, shard);
       const ShardNode& origin = *shards_[shard];
-      const Position decision_point =
+      const std::uint32_t decision_ep =
           config_.protocol == ProtocolMode::kOmniLedger
+              ? kClientEndpoint
+              : endpoint_of(
+                    resolve_shard(inflight_.at(index).cross.output_shard));
+      const Position decision_point =
+          decision_ep == kClientEndpoint
               ? client_position_
-              : shards_[resolve_shard(
-                            inflight_.at(index).cross.output_shard)]
-                    ->leader_position();
-      const double delay = network_.message_delay(
-          origin.leader_position(), decision_point, config_.proof_bytes);
+              : shards_[decision_ep - 1]->leader_position();
+      const double delay =
+          fabric_.message_delay(time, endpoint_of(shard), decision_ep,
+                                origin.leader_position(), decision_point,
+                                config_.proof_bytes);
       events_.schedule_in(delay, Event::proof(index, shard, accepted));
       break;
     }
@@ -417,7 +441,12 @@ void Simulation::handle_proof(std::uint32_t index, bool accepted,
   }
   if (--pending.remaining_locks > 0) return;
 
-  const ShardNode& output = *shards_[resolve_shard(pending.output_shard)];
+  const std::uint32_t output_shard = resolve_shard(pending.output_shard);
+  const ShardNode& output = *shards_[output_shard];
+  const std::uint32_t decision_ep =
+      config_.protocol == ProtocolMode::kOmniLedger
+          ? kClientEndpoint
+          : endpoint_of(output_shard);
   const Position decision_point =
       config_.protocol == ProtocolMode::kOmniLedger
           ? client_position_
@@ -425,8 +454,9 @@ void Simulation::handle_proof(std::uint32_t index, bool accepted,
 
   if (!pending.rejected) {
     // All proofs of acceptance: unlock-to-commit to the output shard.
-    const double to_output = network_.message_delay(
-        decision_point, output.leader_position(), config_.proof_bytes + 512);
+    const double to_output = fabric_.message_delay(
+        events_.now(), decision_ep, endpoint_of(output_shard), decision_point,
+        output.leader_position(), config_.proof_bytes + 512);
     events_.schedule_in(
         to_output,
         Event::deliver(EventType::kUnlockCommit, pending.output_shard, index));
@@ -438,9 +468,9 @@ void Simulation::handle_proof(std::uint32_t index, bool accepted,
   // in-flight record stays alive until the releases land (they need the
   // input list).
   for (const std::uint32_t shard : pending.accepted_shards) {
-    const double to_shard = network_.message_delay(
-        decision_point, shards_[shard]->leader_position(),
-        config_.proof_bytes);
+    const double to_shard = fabric_.message_delay(
+        events_.now(), decision_ep, endpoint_of(shard), decision_point,
+        shards_[shard]->leader_position(), config_.proof_bytes);
     events_.schedule_in(to_shard,
                         Event::deliver(EventType::kUnlockAbort, shard, index));
   }
@@ -483,6 +513,12 @@ void Simulation::sample_queues() {
     queue_sizes_[s] = shards_[s]->queue_size();
   }
   notify_queue_sample(events_.now(), queue_sizes_);
+  // Link samples piggyback on the queue-sample cadence; flat runs (fabric
+  // disabled) keep the historical hook sequence exactly.
+  if (fabric_.enabled()) {
+    fabric_.sample_links(events_.now(), link_samples_);
+    notify_link_sample(events_.now(), link_samples_);
+  }
 }
 
 void Simulation::notify_issue(std::uint32_t tx, double time, bool cross) {
@@ -504,6 +540,13 @@ void Simulation::notify_queue_sample(
     double time, std::span<const std::uint64_t> queue_sizes) {
   for (SimObserver* observer : observers_) {
     observer->on_queue_sample(time, queue_sizes);
+  }
+}
+
+void Simulation::notify_link_sample(double time,
+                                    std::span<const LinkSample> links) {
+  for (SimObserver* observer : observers_) {
+    observer->on_link_sample(time, links);
   }
 }
 

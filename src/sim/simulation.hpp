@@ -48,6 +48,7 @@
 #include "placement/shard_assignment.hpp"
 #include "sim/consensus.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/fabric/fabric.hpp"
 #include "sim/network.hpp"
 #include "sim/shard_churn.hpp"
 #include "sim/shard_node.hpp"
@@ -67,6 +68,12 @@ struct SimConfig {
   std::uint32_t num_shards = 16;
   double tx_rate_tps = 2000.0;
   NetworkConfig network;
+  /// Link-level network fabric (sim/fabric/). Disabled by default: every
+  /// delivery then goes through the flat `network` model unchanged. When
+  /// enabled, protocol messages pay region-tier propagation, access-link
+  /// serialization/queueing and jitter instead (see FabricConfig), and
+  /// consensus block dissemination pays the fabric's link bandwidth.
+  FabricConfig fabric;
   ConsensusConfig consensus;
   ProtocolMode protocol = ProtocolMode::kOmniLedger;
   std::uint64_t seed = 42;
@@ -132,6 +139,17 @@ struct SimResult {
   std::uint64_t migrated_txs = 0;
   std::uint64_t migrated_utxos = 0;
 
+  /// Link-fabric accounting (all zero when SimConfig::fabric is disabled;
+  /// copied from LinkFabric::stats() at run end, inside the cross-engine
+  /// bit-identity contract): delivered protocol messages and payload bytes,
+  /// tail drops (each retransmitted), total time messages spent queued on
+  /// busy uplinks, and the deepest uplink backlog ever observed.
+  std::uint64_t link_messages = 0;
+  std::uint64_t link_bytes = 0;
+  std::uint64_t link_drops = 0;
+  double link_queue_delay_s = 0.0;
+  double link_peak_backlog_s = 0.0;
+
   stats::LatencyRecorder latencies;
   stats::WindowCounter commits_per_window{50.0};
   stats::QueueTracker queue_tracker;
@@ -192,6 +210,7 @@ class Simulation final : private EventHandler {
   void notify_abort(std::uint32_t tx, double time);
   void notify_queue_sample(double time,
                            std::span<const std::uint64_t> queue_sizes);
+  void notify_link_sample(double time, std::span<const LinkSample> links);
   void notify_block_commit(std::uint32_t shard, double time);
   void notify_shard_change(std::uint32_t shard, double time, bool joined,
                            std::uint64_t migrated_txs,
@@ -213,6 +232,12 @@ class Simulation final : private EventHandler {
 
   static std::uint64_t outpoint_key(const tx::OutPoint& point) noexcept {
     return (static_cast<std::uint64_t>(point.tx) << 32) | point.vout;
+  }
+  /// Fabric endpoint ids: the client is endpoint 0, shard s is 1 + s (the
+  /// same convention in both engines — endpoints register in spawn order).
+  static constexpr std::uint32_t kClientEndpoint = 0;
+  static std::uint32_t endpoint_of(std::uint32_t shard) noexcept {
+    return shard + 1;
   }
   /// Attempts to lock `index`'s inputs owned by `shard`; returns false (and
   /// locks nothing) if any is held or spent by another transaction.
@@ -239,6 +264,9 @@ class Simulation final : private EventHandler {
   SimConfig config_;
   EventQueue events_;
   NetworkModel network_;
+  /// The link-level fabric every delivery routes through; a disabled config
+  /// makes it a stateless pass-through to network_.
+  LinkFabric fabric_;
   Rng rng_;
   Position client_position_;
   std::vector<std::unique_ptr<ShardNode>> shards_;
@@ -261,6 +289,7 @@ class Simulation final : private EventHandler {
   std::unordered_map<std::uint64_t, std::pair<OutpointState, std::uint32_t>>
       outpoint_state_;
   std::vector<std::uint64_t> queue_sizes_;  // scratch for sample_queues
+  std::vector<LinkSample> link_samples_;    // scratch for sample_queues
   /// Shard-addressed events dispatched per shard (SimResult diagnostics).
   std::vector<std::uint64_t> shard_event_counts_;
   /// Retirement successor chain: successor_of_[s] == s while s is active.

@@ -1,12 +1,22 @@
 #include "sim/tree_gossip.hpp"
 
 #include <algorithm>
+#include <functional>
+#include <utility>
 
 #include "common/assert.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/fabric/fabric.hpp"
 
 namespace optchain::sim {
 namespace {
+
+/// Hop delivery model of a phase: delay of `bytes` sent from tree node
+/// `from` to `to` at simulated time `now`. The flat overloads close over a
+/// NetworkModel (stateless — `now` unused); the fabric overload closes over
+/// a LinkFabric, whose uplink queues advance as hops are scheduled.
+using HopDelay = std::function<double(
+    double now, std::size_t from, std::size_t to, std::uint64_t bytes)>;
 
 /// One phase: the payload flows root -> leaves along the tree, each node
 /// responds as soon as its whole subtree has responded, and the phase ends
@@ -18,22 +28,22 @@ namespace {
 /// `shard`), dispatched by the on_event switch below.
 class TreePhase final : public EventHandler {
  public:
-  TreePhase(const NetworkModel& network, std::vector<Position> positions,
-            std::uint32_t branching, std::uint64_t down_bytes,
-            std::uint64_t up_bytes, double node_compute)
-      : network_(network),
-        positions_(std::move(positions)),
+  TreePhase(HopDelay delay, std::size_t nodes, std::uint32_t branching,
+            std::uint64_t down_bytes, std::uint64_t up_bytes,
+            double node_compute)
+      : delay_(std::move(delay)),
+        nodes_(nodes),
         branching_(branching),
         down_bytes_(down_bytes),
         up_bytes_(up_bytes),
         node_compute_(node_compute),
-        pending_children_(positions_.size(), 0),
-        subtree_done_at_(positions_.size(), 0.0) {
+        pending_children_(nodes, 0),
+        subtree_done_at_(nodes, 0.0) {
     OPTCHAIN_EXPECTS(branching_ >= 1);
   }
 
   double run() {
-    const std::size_t n = positions_.size();
+    const std::size_t n = nodes_;
     for (std::size_t i = 1; i < n; ++i) {
       ++pending_children_[parent_of(i)];
     }
@@ -71,10 +81,9 @@ class TreePhase final : public EventHandler {
     bool has_children = false;
     for (std::uint32_t c = 1; c <= branching_; ++c) {
       const std::size_t child = node * branching_ + c;
-      if (child >= positions_.size()) break;
+      if (child >= nodes_) break;
       has_children = true;
-      const double delay = network_.message_delay(
-          positions_[node], positions_[child], down_bytes_);
+      const double delay = delay_(ready, node, child, down_bytes_);
       events_.schedule(
           ready + delay,
           Event::gossip(static_cast<std::uint32_t>(child), /*upward=*/false));
@@ -92,15 +101,14 @@ class TreePhase final : public EventHandler {
       return;
     }
     const std::size_t parent = parent_of(node);
-    const double delay = network_.message_delay(positions_[node],
-                                                positions_[parent], up_bytes_);
+    const double delay = delay_(now, node, parent, up_bytes_);
     events_.schedule(
         now + delay,
         Event::gossip(static_cast<std::uint32_t>(parent), /*upward=*/true));
   }
 
-  const NetworkModel& network_;
-  std::vector<Position> positions_;
+  HopDelay delay_;
+  std::size_t nodes_;
   std::uint32_t branching_;
   std::uint64_t down_bytes_;
   std::uint64_t up_bytes_;
@@ -112,6 +120,39 @@ class TreePhase final : public EventHandler {
   double done_time_ = 0.0;
 };
 
+/// The tree positions: leader at node 0, validators behind it.
+std::vector<Position> build_tree(const Position& leader,
+                                 std::span<const Position> validators) {
+  std::vector<Position> tree;
+  tree.reserve(validators.size() + 1);
+  tree.push_back(leader);
+  tree.insert(tree.end(), validators.begin(), validators.end());
+  return tree;
+}
+
+/// Runs the two phases of a round under the given hop-delivery models.
+/// Phase 1 (prepare): full block travels down, signature shares up. Phase 2
+/// (commit): only the aggregate announcement travels (small), no
+/// re-validation.
+double run_two_phase(const HopDelay& prepare_delay,
+                     const HopDelay& commit_delay, std::size_t nodes,
+                     const ConsensusConfig& consensus,
+                     std::uint32_t txs_in_block,
+                     const TreeGossipConfig& config) {
+  OPTCHAIN_EXPECTS(txs_in_block <= consensus.txs_per_block);
+  const double fill = static_cast<double>(txs_in_block) /
+                      static_cast<double>(consensus.txs_per_block);
+  const auto block_bytes = static_cast<std::uint64_t>(
+      fill * static_cast<double>(consensus.block_bytes));
+  const double validation = consensus.per_tx_validation_s * txs_in_block;
+
+  TreePhase prepare(prepare_delay, nodes, config.branching, block_bytes,
+                    config.response_bytes, validation);
+  TreePhase commit(commit_delay, nodes, config.branching,
+                   config.response_bytes, config.response_bytes, 0.0);
+  return consensus.prepare_overhead_s + prepare.run() + commit.run();
+}
+
 }  // namespace
 
 double simulate_tree_gossip_round(const NetworkModel& network,
@@ -120,27 +161,13 @@ double simulate_tree_gossip_round(const NetworkModel& network,
                                   const ConsensusConfig& consensus,
                                   std::uint32_t txs_in_block,
                                   const TreeGossipConfig& config) {
-  OPTCHAIN_EXPECTS(txs_in_block <= consensus.txs_per_block);
-  std::vector<Position> tree;
-  tree.reserve(validators.size() + 1);
-  tree.push_back(leader);
-  tree.insert(tree.end(), validators.begin(), validators.end());
-
-  const double fill = static_cast<double>(txs_in_block) /
-                      static_cast<double>(consensus.txs_per_block);
-  const auto block_bytes = static_cast<std::uint64_t>(
-      fill * static_cast<double>(consensus.block_bytes));
-  const double validation =
-      consensus.per_tx_validation_s * txs_in_block;
-
-  // Phase 1 (prepare): full block travels down, signature shares up.
-  TreePhase prepare(network, tree, config.branching, block_bytes,
-                    config.response_bytes, validation);
-  // Phase 2 (commit): only the aggregate announcement travels (small), no
-  // re-validation.
-  TreePhase commit(network, tree, config.branching, config.response_bytes,
-                   config.response_bytes, 0.0);
-  return consensus.prepare_overhead_s + prepare.run() + commit.run();
+  const std::vector<Position> tree = build_tree(leader, validators);
+  const HopDelay flat = [&](double /*now*/, std::size_t from, std::size_t to,
+                            std::uint64_t bytes) {
+    return network.message_delay(tree[from], tree[to], bytes);
+  };
+  return run_two_phase(flat, flat, tree.size(), consensus, txs_in_block,
+                       config);
 }
 
 double simulate_tree_gossip_round(const NetworkModel& network,
@@ -157,6 +184,35 @@ double simulate_tree_gossip_round(const NetworkModel& network,
   }
   return simulate_tree_gossip_round(network, leader, validators, consensus,
                                     txs_in_block, config);
+}
+
+double simulate_tree_gossip_round(const FabricConfig& fabric,
+                                  const NetworkModel& network,
+                                  const Position& leader,
+                                  std::span<const Position> validators,
+                                  const ConsensusConfig& consensus,
+                                  std::uint32_t txs_in_block,
+                                  std::uint64_t sim_seed,
+                                  const TreeGossipConfig& config) {
+  const std::vector<Position> tree = build_tree(leader, validators);
+  // One fabric per phase: links start idle at each phase boundary, so the
+  // prepare fan-out's queue buildup doesn't leak into the commit wave.
+  LinkFabric prepare_fabric(fabric, network, sim_seed);
+  LinkFabric commit_fabric(fabric, network, sim_seed);
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    prepare_fabric.add_endpoint();
+    commit_fabric.add_endpoint();
+  }
+  const auto hop = [&tree](LinkFabric* links) -> HopDelay {
+    return [&tree, links](double now, std::size_t from, std::size_t to,
+                          std::uint64_t bytes) {
+      return links->message_delay(now, static_cast<std::uint32_t>(from),
+                                  static_cast<std::uint32_t>(to), tree[from],
+                                  tree[to], bytes);
+    };
+  };
+  return run_two_phase(hop(&prepare_fabric), hop(&commit_fabric), tree.size(),
+                       consensus, txs_in_block, config);
 }
 
 }  // namespace optchain::sim

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "sim/consensus.hpp"
+#include "sim/fabric/fabric_config.hpp"
 #include "sim/network.hpp"
 
 namespace optchain::sim {
@@ -52,6 +53,21 @@ double simulate_tree_gossip_round(const NetworkModel& network,
                                   const Position& leader,
                                   const ConsensusConfig& consensus,
                                   std::uint32_t txs_in_block, Rng& rng,
+                                  const TreeGossipConfig& config = {});
+
+/// Fabric-aware variant: every hop is delivered through a LinkFabric built
+/// from `fabric` (tree node i = fabric endpoint i, the leader at 0), so a
+/// parent's fan-out to its children serializes on the parent's uplink and
+/// geo-region tiers/jitter/stragglers apply per hop. Each phase gets a fresh
+/// fabric (links start idle, like a fresh round). With `fabric.enabled ==
+/// false` this reduces exactly to the flat overload above.
+double simulate_tree_gossip_round(const FabricConfig& fabric,
+                                  const NetworkModel& network,
+                                  const Position& leader,
+                                  std::span<const Position> validators,
+                                  const ConsensusConfig& consensus,
+                                  std::uint32_t txs_in_block,
+                                  std::uint64_t sim_seed,
                                   const TreeGossipConfig& config = {});
 
 }  // namespace optchain::sim

@@ -139,6 +139,18 @@ class MetricsObserver final : public sim::SimObserver {
   void on_block_commit(std::uint32_t /*shard*/, double /*time*/) override {
     ++blocks_;
   }
+  void on_link_sample(double /*time*/,
+                      std::span<const sim::LinkSample> links) override {
+    ++link_samples_;
+    for (const sim::LinkSample& link : links) {
+      peak_backlog_s_ =
+          peak_backlog_s_ < link.backlog_s ? link.backlog_s : peak_backlog_s_;
+      if (link.endpoint >= link_drops_.size()) {
+        link_drops_.resize(link.endpoint + 1, 0);
+      }
+      link_drops_[link.endpoint] = link.drops;  // cumulative; keep latest
+    }
+  }
   void on_shard_change(std::uint32_t /*shard*/, double /*time*/,
                        bool /*joined*/, std::uint64_t migrated_txs,
                        std::uint64_t migrated_utxos) override {
@@ -164,6 +176,16 @@ class MetricsObserver final : public sim::SimObserver {
   std::uint64_t shard_changes() const noexcept { return shard_changes_; }
   std::uint64_t migrated_txs() const noexcept { return migrated_txs_; }
   std::uint64_t migrated_utxos() const noexcept { return migrated_utxos_; }
+  /// Link-fabric accounting (zero unless the run enables the fabric).
+  std::uint64_t link_samples() const noexcept { return link_samples_; }
+  /// Worst sampled uplink backlog, in seconds of queued serialization.
+  double peak_backlog_s() const noexcept { return peak_backlog_s_; }
+  /// Total tail drops across endpoints (latest cumulative counters).
+  std::uint64_t link_drops() const noexcept {
+    std::uint64_t total = 0;
+    for (std::uint64_t d : link_drops_) total += d;
+    return total;
+  }
 
  private:
   LatencyRecorder latencies_;
@@ -176,6 +198,9 @@ class MetricsObserver final : public sim::SimObserver {
   std::uint64_t shard_changes_ = 0;
   std::uint64_t migrated_txs_ = 0;
   std::uint64_t migrated_utxos_ = 0;
+  std::uint64_t link_samples_ = 0;
+  double peak_backlog_s_ = 0.0;
+  std::vector<std::uint64_t> link_drops_;
   double duration_s_ = 0.0;
 };
 

@@ -12,7 +12,8 @@
 //                      [--protocol=omniledger|rapidchain]
 //                      [--fault_rate=P] [--sim_seed=S] [--commit_window=SECS]
 //                      [--queue_interval=SECS] [--slowdown=a,b,...]
-//                      [--csv=out.csv]
+//                      [--fabric=off|flat|wan|congested] [--regions=R]
+//                      [--jitter=SECS] [--csv=out.csv]
 //
 // Streams are OPTX trace containers (src/trace): `generate` writes the
 // chunk-indexed v2 format, and every consumer replays through the streaming
@@ -28,6 +29,10 @@
 // (replicas), --commit_window / --queue_interval set the Fig. 5-7 metric
 // cadences, and --slowdown=a,b,... applies a chronic per-shard slowdown
 // (shard s runs a_s times slower; missing entries default to 1).
+// --fabric=<preset> routes deliveries through the link-level network fabric
+// (sim/fabric/): geo-region latency tiers, bandwidth queues with tail drop,
+// jitter and stragglers. --regions= and --jitter= override the preset's
+// region count / jitter bound ("--fabric=wan --regions=8 --jitter=0.02").
 //
 // --method accepts any PlacerRegistry name (case-insensitive): OptChain,
 // T2S, Greedy, OmniLedger (alias: Random), LeastLoaded, Static, Metis.
@@ -119,6 +124,15 @@ api::RunSpec spec_from_flags(const Flags& flags) {
   if (flags.get_string("protocol", "omniledger") == "rapidchain") {
     spec.protocol = sim::ProtocolMode::kRapidChain;
   }
+  // Fabric preset first, then the per-knob overrides on top of it.
+  spec.fabric = sim::fabric_preset(flags.get_string("fabric", "off"));
+  const long long regions = flags.get_int("regions", -1);
+  if (regions >= 0) {
+    spec.fabric.regions = static_cast<std::uint32_t>(regions);
+  }
+  const double jitter = flags.get_double("jitter", -1.0);
+  if (jitter >= 0.0) spec.fabric.max_jitter_s = jitter;
+  spec.fabric.validate();
   return spec;
 }
 
