@@ -906,6 +906,47 @@ api::ScenarioSpec churn_spec(const Flags& flags) {
   return spec;
 }
 
+/// One `repartition` grid part: the online lineup (OptChain, Greedy, plus
+/// the Fennel streaming baseline) under the periodic Metis re-partition
+/// controller (sim/repartition.hpp) ticking every `interval_fraction` of
+/// the issue window, optionally under the churn plan of churn_spec. The
+/// --repartition_budget/--repartition_window flags cap the per-event
+/// migration and the TaN snapshot (defaults: a tenth of the stream per
+/// event — small enough that deferral shows up — and the whole graph).
+api::ScenarioSpec repartition_spec(const Flags& flags, std::string name,
+                                   double interval_fraction,
+                                   bool with_churn) {
+  api::ScenarioSpec spec;
+  spec.name = std::move(name);
+  spec.mode = api::RunMode::kSimulate;
+  spec.methods = method_axis(flags, {"OptChain", "Greedy", "Fennel"});
+  spec.seeds = {seed_of(flags)};
+  spec.replicas = static_cast<std::uint32_t>(flags.get_int("replicas", 1));
+  spec.commit_window_s = 10.0;
+  spec.rates = {static_cast<double>(flags.get_int("rate", 3000))};
+  spec.shards = {static_cast<std::uint32_t>(flags.get_int("k", 12))};
+  spec.issue_seconds = issue_window(flags, 60.0);
+  spec.txs = static_cast<std::uint64_t>(flags.get_int("txs", 0));
+  const double w = spec.txs > 0
+                       ? static_cast<double>(spec.txs) / spec.rates[0]
+                       : spec.issue_seconds;
+  const std::uint64_t n = spec.stream_length(spec.rates[0]);
+  spec.repartition.interval_s = interval_fraction * w;
+  spec.repartition.budget = static_cast<std::uint64_t>(flags.get_int(
+      "repartition_budget", static_cast<std::int64_t>(n / 10)));
+  spec.repartition.window = static_cast<std::uint64_t>(
+      flags.get_int("repartition_window", 0));
+  if (with_churn) {
+    spec.churn.events = {
+        {0.25 * w, sim::ChurnKind::kRemoveShard,
+         sim::ShardChurnEvent::kAutoShard},
+        {0.50 * w, sim::ChurnKind::kAddShard, 0},
+        {0.70 * w, sim::ChurnKind::kAddShard, 0},
+    };
+  }
+  return spec;
+}
+
 // ------------------------------------------------------------------ shapes
 
 void shape_fig3(std::span<const api::ScenarioSpec> specs,
@@ -1344,6 +1385,34 @@ void shape_churn(std::span<const api::ScenarioSpec> specs,
   maybe_save_csv(flags, "churn", table);
 }
 
+void shape_repartition(std::span<const api::ScenarioSpec> specs,
+                       std::span<const api::SweepReport> reports,
+                       const Flags& flags) {
+  TextTable table({"part", "method", "cross-TX", "throughput(tps)",
+                   "avg lat(s)", "repart events", "moved txs", "moved UTXOs",
+                   "deferred", "completed"});
+  for (std::size_t part = 0; part < specs.size(); ++part) {
+    const api::ScenarioSpec& spec = specs[part];
+    for (const std::string& method : spec.methods) {
+      const api::CellReport* cell =
+          reports[part].find(method, spec.shards[0], spec.rates[0]);
+      if (cell == nullptr) continue;
+      table.add_row(
+          {spec.name, method,
+           TextTable::fmt_percent(cell->cross_fraction.mean),
+           TextTable::fmt(cell->throughput_tps.mean, 0),
+           TextTable::fmt(cell->avg_latency_s.mean, 1),
+           TextTable::fmt(cell->repartition_events.mean, 0),
+           TextTable::fmt(cell->repartition_migrated_txs.mean, 0),
+           TextTable::fmt(cell->repartition_migrated_utxos.mean, 0),
+           TextTable::fmt(cell->repartition_deferred_txs.mean, 0),
+           cell->completed ? "yes" : "no"});
+    }
+  }
+  table.print();
+  maybe_save_csv(flags, "repartition", table);
+}
+
 // ---------------------------------------------------------------- registry
 
 std::vector<Scenario> build_registry() {
@@ -1471,6 +1540,27 @@ std::vector<Scenario> build_registry() {
                       {churn_spec},
                       shape_churn,
                       nullptr});
+  registry.push_back(
+      {"repartition",
+       "online Metis re-partitioning under a migration budget, two cadences "
+       "x churn on/off, Fennel streaming baseline",
+       "extension (online repartitioning; cf. Fennel WSDM'14, Metis)",
+       {[](const Flags& flags) {
+          return repartition_spec(flags, "repartition_fast", 0.20, false);
+        },
+        [](const Flags& flags) {
+          return repartition_spec(flags, "repartition_slow", 0.45, false);
+        },
+        [](const Flags& flags) {
+          return repartition_spec(flags, "repartition_fast_churn", 0.20,
+                                  true);
+        },
+        [](const Flags& flags) {
+          return repartition_spec(flags, "repartition_slow_churn", 0.45,
+                                  true);
+        }},
+       shape_repartition,
+       nullptr});
   registry.push_back({"parallel",
                       "parallel engine events/s + speedup vs sequential "
                       "(--sim_jobs=1,2,4 --k= --rate=)",

@@ -166,6 +166,10 @@ std::uint64_t PlacementPipeline::retire_shard(placement::ShardId shard,
   return assignment_.retire_shard(shard, successor);
 }
 
+void PlacementPipeline::reassign(tx::TxIndex index, placement::ShardId shard) {
+  assignment_.reassign(index, shard);
+}
+
 void PlacementPipeline::reserve(std::uint64_t expected_txs) {
   const auto n = static_cast<std::size_t>(expected_txs);
   // Bitcoin-like TaN networks carry ~2 edges per node (paper Fig. 2); a

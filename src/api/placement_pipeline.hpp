@@ -149,6 +149,11 @@ class PlacementPipeline {
   std::uint64_t retire_shard(placement::ShardId shard,
                              placement::ShardId successor);
 
+  /// Moves one already-placed transaction to the active shard `shard` — the
+  /// online re-partition controller's migration primitive (see
+  /// sim/repartition.hpp). A same-shard move is a no-op.
+  void reassign(tx::TxIndex index, placement::ShardId shard);
+
   /// Shard count (every shard that ever existed, retired ones included).
   std::uint32_t k() const noexcept { return assignment_.k(); }
   /// Transactions placed so far.

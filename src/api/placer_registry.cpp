@@ -7,6 +7,7 @@
 #include "core/optchain_placer.hpp"
 #include "metis/kway_partitioner.hpp"
 #include "placement/affinity_placer.hpp"
+#include "placement/fennel_placer.hpp"
 #include "placement/greedy_placer.hpp"
 #include "placement/least_loaded_placer.hpp"
 #include "placement/random_placer.hpp"
@@ -109,6 +110,10 @@ void register_builtin_placers(PlacerRegistry& registry) {
   });
   registry.register_placer("Greedy", [](const PlacerContext& context) {
     return std::make_unique<placement::GreedyPlacer>(
+        context.stream_size_hint());
+  });
+  registry.register_placer("Fennel", [](const PlacerContext& context) {
+    return std::make_unique<placement::FennelPlacer>(
         context.stream_size_hint());
   });
   registry.register_placer("OmniLedger", [](const PlacerContext&) {

@@ -56,6 +56,13 @@ sim::SimConfig RunSpec::sim_config() const {
   config.shard_slowdown = shard_slowdown;
   config.fabric = fabric;
   config.churn = churn;
+  config.repartition = repartition;
+  if (config.repartition.seed == 0) {
+    // Default the controller seed to the method/partition seed: the offline
+    // Metis baseline and the online controller then re-roll together, and
+    // replicas (which vary only sim_seed) keep identical re-partition plans.
+    config.repartition.seed = seed;
+  }
   config.observers = observers;
   return config;
 }
@@ -90,6 +97,20 @@ TextTable RunReport::to_table() const {
       table.add_row(
           {"link peak backlog (s)", TextTable::fmt(sim->link_peak_backlog_s,
                                                    3)});
+    }
+    if (sim->repartition_events > 0) {  // re-partition-enabled runs only
+      table.add_row({"repartition events",
+                     TextTable::fmt_int(static_cast<long long>(
+                         sim->repartition_events))});
+      table.add_row({"repartition migrated txs",
+                     TextTable::fmt_int(static_cast<long long>(
+                         sim->repartition_migrated_txs))});
+      table.add_row({"repartition migrated utxos",
+                     TextTable::fmt_int(static_cast<long long>(
+                         sim->repartition_migrated_utxos))});
+      table.add_row({"repartition deferred txs",
+                     TextTable::fmt_int(static_cast<long long>(
+                         sim->repartition_deferred_txs))});
     }
   }
   for (std::size_t s = 0; s < shard_sizes.size(); ++s) {

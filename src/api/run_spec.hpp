@@ -69,6 +69,13 @@ struct RunSpec {
   /// sim/shard_churn.hpp). Empty = the classic fixed shard set.
   sim::ShardChurnPlan churn;
 
+  /// Periodic Metis re-partitioning of the live assignment (simulate()
+  /// only; see sim/repartition.hpp). Disabled by default (interval 0).
+  /// When repartition.seed is 0, sim_config() derives the controller seed
+  /// from `seed` so the partitioner re-rolls with the method seed, not the
+  /// simulator's stochastic sampling.
+  sim::RepartitionConfig repartition;
+
   /// Borrowed sim::SimObserver hooks installed into the run (simulate()
   /// only); each must outlive it. This is how the stats/ collectors — or any
   /// custom instrumentation — attach to a run through the API instead of

@@ -35,6 +35,18 @@ Sweep ScenarioSpec::expand() const {
     throw std::invalid_argument(
         "ScenarioSpec: shard churn needs the simulator (mode = kSimulate)");
   }
+  if (repartition.enabled() && mode == RunMode::kPlace) {
+    throw std::invalid_argument(
+        "ScenarioSpec: re-partitioning needs the simulator (mode = "
+        "kSimulate)");
+  }
+  if (repartition.enabled() && warm_ratio > 0) {
+    throw std::invalid_argument(
+        "ScenarioSpec: re-partitioning cannot be combined with a Metis warm "
+        "prefix (warm_ratio > 0) — the warm prefix assumes a static "
+        "assignment");
+  }
+  repartition.validate();
   if (dynamic.active() && warm_ratio > 0) {
     throw std::invalid_argument(
         "ScenarioSpec: a dynamic profile cannot be combined with a Metis "
@@ -131,6 +143,7 @@ Sweep ScenarioSpec::expand() const {
           spec.shard_slowdown = shard_slowdown;
           spec.fabric = fabric;
           spec.churn = churn;
+          spec.repartition = repartition;
           spec.sim_jobs = sim_jobs;
           spec.place_jobs = place_jobs;
           spec.place_batch = place_batch;

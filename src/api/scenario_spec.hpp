@@ -105,6 +105,12 @@ struct ScenarioSpec {
   /// mode only; expand() rejects churn in placement mode). `shards` then
   /// names each cell's *initial* shard count.
   sim::ShardChurnPlan churn;
+  /// Periodic Metis re-partitioning applied to every cell (simulation mode
+  /// only; expand() rejects it in placement mode, and in combination with
+  /// warm_ratio — the Metis warm prefix assumes a static assignment).
+  /// Disabled by default (interval 0); see sim/repartition.hpp and
+  /// RunSpec::repartition for the seed-derivation rule.
+  sim::RepartitionConfig repartition;
   /// Worker threads of the in-simulation parallel engine (0 = sequential;
   /// bit-identical either way — see RunSpec::sim_jobs). Orthogonal to
   /// SweepRunner's cross-cell `jobs`.

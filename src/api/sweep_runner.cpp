@@ -282,6 +282,32 @@ SweepReport SweepRunner::run(const Sweep& sweep) const {
           return r.sim ? static_cast<double>(r.sim->migrated_utxos) : 0.0;
         },
         base);
+    out.repartition_events = aggregate(
+        [](const RunReport& r) {
+          return r.sim ? static_cast<double>(r.sim->repartition_events) : 0.0;
+        },
+        base);
+    out.repartition_migrated_txs = aggregate(
+        [](const RunReport& r) {
+          return r.sim
+                     ? static_cast<double>(r.sim->repartition_migrated_txs)
+                     : 0.0;
+        },
+        base);
+    out.repartition_migrated_utxos = aggregate(
+        [](const RunReport& r) {
+          return r.sim
+                     ? static_cast<double>(r.sim->repartition_migrated_utxos)
+                     : 0.0;
+        },
+        base);
+    out.repartition_deferred_txs = aggregate(
+        [](const RunReport& r) {
+          return r.sim
+                     ? static_cast<double>(r.sim->repartition_deferred_txs)
+                     : 0.0;
+        },
+        base);
     for (std::uint32_t r = 0; r < replicas; ++r) {
       if (results[base + r].sim && !results[base + r].sim->completed) {
         out.completed = false;
@@ -355,7 +381,9 @@ constexpr const char* kAggregateColumns[] = {
     "cross_fraction", "cross_txs",  "throughput_tps",
     "avg_latency_s",  "max_latency_s", "committed",
     "aborted",        "duration_s", "total_blocks",
-    "shard_changes",  "migrated_txs", "migrated_utxos"};
+    "shard_changes",  "migrated_txs", "migrated_utxos",
+    "repartition_events", "repartition_migrated_txs",
+    "repartition_migrated_utxos", "repartition_deferred_txs"};
 
 }  // namespace
 
@@ -383,7 +411,9 @@ std::string SweepReport::to_csv() const {
         &cell.cross_fraction, &cell.cross_txs,  &cell.throughput_tps,
         &cell.avg_latency_s,  &cell.max_latency_s, &cell.committed,
         &cell.aborted,        &cell.duration_s, &cell.total_blocks,
-        &cell.shard_changes,  &cell.migrated_txs, &cell.migrated_utxos};
+        &cell.shard_changes,  &cell.migrated_txs, &cell.migrated_utxos,
+        &cell.repartition_events, &cell.repartition_migrated_txs,
+        &cell.repartition_migrated_utxos, &cell.repartition_deferred_txs};
     for (const Aggregate* aggregate : aggregates) {
       append_aggregate(out, *aggregate);
     }
@@ -420,7 +450,11 @@ void SweepReport::write_json(JsonWriter& json) const {
         {"total_blocks", &cell.total_blocks},
         {"shard_changes", &cell.shard_changes},
         {"migrated_txs", &cell.migrated_txs},
-        {"migrated_utxos", &cell.migrated_utxos}};
+        {"migrated_utxos", &cell.migrated_utxos},
+        {"repartition_events", &cell.repartition_events},
+        {"repartition_migrated_txs", &cell.repartition_migrated_txs},
+        {"repartition_migrated_utxos", &cell.repartition_migrated_utxos},
+        {"repartition_deferred_txs", &cell.repartition_deferred_txs}};
     for (const auto& [name, aggregate] : metrics) {
       json.begin_object(name)
           .field("mean", aggregate->mean)

@@ -66,6 +66,11 @@ struct CellReport {
   Aggregate shard_changes;
   Aggregate migrated_txs;   ///< records bulk-migrated off retiring shards
   Aggregate migrated_utxos; ///< live UTXO records that moved with them
+  /// Re-partition metrics (all-zero without a repartition config).
+  Aggregate repartition_events;         ///< controller ticks fired
+  Aggregate repartition_migrated_txs;   ///< records moved by the controller
+  Aggregate repartition_migrated_utxos; ///< live UTXOs that moved with them
+  Aggregate repartition_deferred_txs;   ///< budget-deferred moves (pressure)
 
   std::vector<RunReport> runs;  ///< one per replica, expansion order
 

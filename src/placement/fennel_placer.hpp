@@ -1,0 +1,93 @@
+// Fennel-style streaming graph partitioning (Tsourakakis et al., WSDM'14) —
+// the cheap *online* baseline for the re-partition experiments
+// (sim/repartition.hpp): one pass, O(k) per transaction, no stream length
+// replay and no migration, against which the periodic Metis controller's
+// migration budget buys its quality.
+//
+// For an arriving transaction u (a TaN vertex), shard j scores
+//
+//   score(u, j) = |Nin(u) ∩ S_j| − α·γ·|S_j|^(γ−1)
+//
+// — the neighbors it would join minus the marginal cost of growing shard j
+// under the Fennel objective c(S) = α·Σ_j |S_j|^γ. The paper's standard
+// interpolation parameters: γ = 1.5 and α = √k · m / n^1.5, with m the edge
+// count and n the vertex count. Both are stream-global quantities; like the
+// paper's one-pass setting we use the expected stream length for n (the
+// Greedy/Metis convention in this repo) and the edges *seen so far* for m,
+// so α tightens as the TaN densifies. A hard capacity cap ν·n/k (ν = 1.1,
+// matching the repo-wide (1 + ε) balance convention) keeps the partition
+// balanced even under adversarial arrival order; full shards are skipped
+// and a fully-capped round falls back to the least-loaded active shard.
+//
+// Tie-breaking is the lowest shard id (strict > below) — deterministic, and
+// consistent with the Greedy baseline's paper-literal first-shard rule.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string_view>
+#include <vector>
+
+#include "placement/placer.hpp"
+
+namespace optchain::placement {
+
+class FennelPlacer final : public Placer {
+ public:
+  /// `expected_txs` = n in the α and capacity formulas. Pass 0 to derive n
+  /// from the running vertex count instead (open-ended streams).
+  explicit FennelPlacer(std::uint64_t expected_txs, double gamma = 1.5,
+                        double nu = 1.1)
+      : expected_txs_(expected_txs), gamma_(gamma), nu_(nu) {}
+
+  ShardId choose(const PlacementRequest& request,
+                 const ShardAssignment& assignment) override {
+    const std::uint32_t k = assignment.k();
+    const std::uint32_t active = assignment.active_count();
+    const double n = expected_txs_ != 0
+                         ? static_cast<double>(expected_txs_)
+                         : static_cast<double>(assignment.total() + 1);
+    const double cap =
+        nu_ * n / static_cast<double>(active == 0 ? 1 : active);
+    const double alpha =
+        std::sqrt(static_cast<double>(active)) *
+        static_cast<double>(edges_seen_) / (n * std::sqrt(n));
+
+    counts_.assign(k, 0);
+    for (const tx::TxIndex input : request.input_txs) {
+      ++counts_[assignment.shard_of(input)];
+    }
+
+    ShardId best = kUnplaced;
+    double best_score = 0.0;
+    for (ShardId j = 0; j < k; ++j) {
+      if (!assignment.is_active(j)) continue;  // retired by shard churn
+      const auto size = static_cast<double>(assignment.size_of(j));
+      if (size >= cap) continue;
+      const double score = static_cast<double>(counts_[j]) -
+                           alpha * gamma_ * std::pow(size, gamma_ - 1.0);
+      if (best == kUnplaced || score > best_score) {
+        best = j;
+        best_score = score;
+      }
+    }
+    return best == kUnplaced ? assignment.least_loaded() : best;
+  }
+
+  void notify_placed(const PlacementRequest& request,
+                     ShardId /*shard*/) override {
+    edges_seen_ += request.input_txs.size();
+  }
+
+  std::string_view name() const noexcept override { return "Fennel"; }
+
+ private:
+  std::uint64_t expected_txs_;
+  double gamma_;
+  double nu_;
+  std::uint64_t edges_seen_ = 0;  // m: TaN edges committed so far
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace optchain::placement

@@ -109,6 +109,21 @@ class ShardAssignment {
   /// of migrated transaction records. O(total()) — churn events are rare.
   std::uint64_t retire_shard(ShardId shard, ShardId successor);
 
+  /// Moves one already-placed transaction to `shard` (which must be active) —
+  /// the re-partition controller's single-record migration primitive. Size
+  /// counters move with the record; a same-shard move is a no-op.
+  void reassign(tx::TxIndex index, ShardId shard) {
+    OPTCHAIN_EXPECTS(index < shard_of_.size());
+    OPTCHAIN_EXPECTS(shard < k());
+    OPTCHAIN_EXPECTS(active_[shard] != 0);
+    const ShardId old = shard_of_[index];
+    if (old == shard) return;
+    OPTCHAIN_EXPECTS(sizes_[old] > 0);
+    --sizes_[old];
+    ++sizes_[shard];
+    shard_of_[index] = shard;
+  }
+
  private:
   std::vector<ShardId> shard_of_;
   std::vector<std::uint64_t> sizes_;

@@ -14,8 +14,8 @@
 // the cross-engine contract in tests/parallel_sim_test.cpp.
 //
 // The rank orders simultaneous events sensibly: scripted churn first (a
-// membership change at time t precedes t's traffic), then queue sampling,
-// then client issues, then message/round events.
+// membership change at time t precedes t's traffic), then re-partition
+// ticks, then queue sampling, then client issues, then message/round events.
 //
 // The queue stores *data*, not closures: a 10M-transaction run schedules
 // tens of millions of events, and a std::function per event means a heap
@@ -52,6 +52,7 @@ enum class EventType : std::uint8_t {
   kQueueSample,   // periodic mempool-size sampling tick
   kGossipHop,     // tree-gossip message at `node`; flag = 0 down / 1 up
   kShardChange,   // scripted shard churn: `tx` = index into the churn plan
+  kRepartition,   // periodic re-partition tick (see sim/repartition.hpp)
 };
 
 struct Event {
@@ -83,21 +84,24 @@ struct Event {
   static Event shard_change(std::uint32_t plan_index) {
     return {EventType::kShardChange, 0, 0, plan_index};
   }
+  static Event repartition() { return {EventType::kRepartition, 0, 0, 0}; }
 
   /// Rank of this event among simultaneous events (smaller fires first):
-  /// churn < queue sample < client issue < everything else. Part of the
-  /// deterministic tie-break key shared by the sequential and parallel
-  /// engines (see the file comment).
+  /// churn < repartition < queue sample < client issue < everything else.
+  /// Part of the deterministic tie-break key shared by the sequential and
+  /// parallel engines (see the file comment).
   static constexpr std::uint8_t tie_rank(EventType type) noexcept {
     switch (type) {
       case EventType::kShardChange:
         return 0;
-      case EventType::kQueueSample:
+      case EventType::kRepartition:
         return 1;
-      case EventType::kTxIssue:
+      case EventType::kQueueSample:
         return 2;
-      default:
+      case EventType::kTxIssue:
         return 3;
+      default:
+        return 4;
     }
   }
 

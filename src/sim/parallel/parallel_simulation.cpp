@@ -115,6 +115,13 @@ SimResult ParallelSimulation::run(workload::TxSource& source,
     successor_of_[s] = s;
   }
   utxo_records_.assign(churn_enabled() ? shards_.size() : 0, 0);
+  live_outputs_.clear();
+  repartitioner_.reset();
+  next_repartition_time_ = kNeverRepartition;
+  if (repartition_enabled()) {
+    repartitioner_ =
+        std::make_unique<RepartitionController>(config_.repartition);
+  }
 
   result_ = SimResult{};
   result_.placer_name = std::string(pipeline.method_name());
@@ -131,8 +138,11 @@ SimResult ParallelSimulation::run(workload::TxSource& source,
   const auto hint = source.size_hint();
   if (hint.has_value()) {
     pipeline.reserve(*hint);
-    if (churn_enabled()) {
+    if (track_utxos()) {
       shadow_spent_.reserve(static_cast<std::size_t>(*hint * 2));
+    }
+    if (repartition_enabled()) {
+      live_outputs_.reserve(static_cast<std::size_t>(*hint));
     }
   }
   inflight_.reserve(1024);
@@ -159,6 +169,12 @@ SimResult ParallelSimulation::run(workload::TxSource& source,
     churn_times_.push_back(config_.churn.events[c].time_s);
   }
   std::sort(churn_times_.begin(), churn_times_.end());
+  // Like churn, re-partition ticks cut windows: window ends never cross
+  // next_repartition_time_, so each tick fires alone at a barrier.
+  if (repartition_enabled()) {
+    next_repartition_time_ = config_.repartition.interval_s;
+    events_.schedule(next_repartition_time_, Event::repartition());
+  }
 
   start_workers();
 
@@ -179,11 +195,14 @@ SimResult ParallelSimulation::run(workload::TxSource& source,
     }
     if (t_min == kNever) break;  // nothing pending anywhere
 
-    // Scripted churn due: rank 0 makes it the globally earliest key at its
-    // time, so it fires alone at a barrier (workers idle, current window
-    // cut short by the min() below on earlier iterations).
+    // Scripted churn or a re-partition tick due: ranks 0/1 make them the
+    // globally earliest keys at their time, so each fires alone at a
+    // barrier (workers idle, current window cut short by the min()s below
+    // on earlier iterations). When both are due at once, churn's lower rank
+    // fires first — the next loop iteration picks up the tick.
     if (!events_.empty() && events_.next_time() == t_min &&
-        events_.next_event().type == EventType::kShardChange) {
+        (events_.next_event().type == EventType::kShardChange ||
+         events_.next_event().type == EventType::kRepartition)) {
       events_.run_one(*this);
       continue;
     }
@@ -192,6 +211,7 @@ SimResult ParallelSimulation::run(workload::TxSource& source,
     if (churn_cursor_ < churn_times_.size()) {
       window_end = std::min(window_end, churn_times_[churn_cursor_]);
     }
+    window_end = std::min(window_end, next_repartition_time_);
     OPTCHAIN_ASSERT(window_end > t_min);
 
     run_worker_phase(window_end);  // phase A: workers execute [t_min, E)
@@ -209,6 +229,10 @@ SimResult ParallelSimulation::run(workload::TxSource& source,
   result_.shard_changes = metrics_.shard_changes();
   result_.migrated_txs = metrics_.migrated_txs();
   result_.migrated_utxos = metrics_.migrated_utxos();
+  result_.repartition_events = metrics_.repartition_events();
+  result_.repartition_migrated_txs = metrics_.repartition_migrated_txs();
+  result_.repartition_migrated_utxos = metrics_.repartition_migrated_utxos();
+  result_.repartition_deferred_txs = metrics_.repartition_deferred_txs();
   result_.latencies = metrics_.latencies();
   result_.commits_per_window = metrics_.commits_per_window();
   result_.queue_tracker = metrics_.queue_tracker();
@@ -390,7 +414,8 @@ void ParallelSimulation::partition_spend(std::uint32_t index,
     if (assignment_->shard_of(point.tx) != shard) continue;
     auto& entry = partition[outpoint_key(point)];
     if (entry.first == OutpointState::kSpent && entry.second != index) {
-      OPTCHAIN_ASSERT(churn_enabled());
+      // Churn handoffs and re-partition moves can both drop a lock.
+      OPTCHAIN_ASSERT(churn_enabled() || repartition_enabled());
       continue;
     }
     entry = {OutpointState::kSpent, index};
@@ -424,7 +449,10 @@ void ParallelSimulation::replay_window(SimTime window_end) {
       }
     }
     if (use_coordinator) {
-      OPTCHAIN_ASSERT(events_.next_event().type != EventType::kShardChange);
+      // Barrier events never appear inside a window: window ends are cut at
+      // the next churn time and next_repartition_time_.
+      OPTCHAIN_ASSERT(events_.next_event().type != EventType::kShardChange &&
+                      events_.next_event().type != EventType::kRepartition);
       events_.run_one(*this);
     } else if (best != nullptr) {
       replay_record(workers_[best_worker], *best);
@@ -536,6 +564,9 @@ void ParallelSimulation::on_event(const Event& event) {
       apply_churn(config_.churn.events[event.tx]);
       ++churn_cursor_;
       break;
+    case EventType::kRepartition:
+      apply_repartition();
+      break;
     default:
       OPTCHAIN_ASSERT(false);  // shard events live in worker queues
   }
@@ -576,6 +607,11 @@ void ParallelSimulation::issue_transaction(std::uint32_t index) {
 
   if (churn_enabled()) {
     utxo_records_[target] += staged_.outputs.size();
+  }
+  if (repartition_enabled()) {
+    OPTCHAIN_ASSERT(live_outputs_.size() == index);
+    live_outputs_.push_back(
+        static_cast<std::uint32_t>(staged_.outputs.size()));
   }
 
   flight.inputs = std::move(staged_.inputs);
@@ -668,7 +704,7 @@ void ParallelSimulation::erase_if_settled(std::uint32_t index) {
 }
 
 void ParallelSimulation::shadow_spend(std::uint32_t index) {
-  if (!churn_enabled()) return;
+  if (!track_utxos()) return;
   // Replays the *unfiltered* sequential spend_inputs() on the shadow map:
   // first spender wins, tolerated respends (dropped-lock handoffs) consume
   // nothing, and synthetic hotspot outpoints never credit a record.
@@ -678,8 +714,15 @@ void ParallelSimulation::shadow_spend(std::uint32_t index) {
         shadow_spent_.try_emplace(outpoint_key(point), index);
     if (!inserted && it->second != index) continue;
     if (point.vout < workload::DynamicTxSource::kInjectedVoutBase) {
-      std::uint64_t& records = utxo_records_[assignment_->shard_of(point.tx)];
-      if (records > 0) --records;
+      if (churn_enabled()) {
+        std::uint64_t& records =
+            utxo_records_[assignment_->shard_of(point.tx)];
+        if (records > 0) --records;
+      }
+      if (repartition_enabled() && point.tx < live_outputs_.size()) {
+        std::uint32_t& live = live_outputs_[point.tx];
+        if (live > 0) --live;
+      }
     }
   }
 }
@@ -840,6 +883,78 @@ void ParallelSimulation::apply_churn(const ShardChurnEvent& change) {
   mirror_[successor].last_round = shards_[successor]->last_round_duration();
   notify_shard_change(target, time, /*joined=*/false, migrated_txs,
                       migrated_utxos);
+}
+
+// ------------------------------------------------------------- repartition
+
+void ParallelSimulation::notify_repartition(double time,
+                                            std::uint64_t migrated_txs,
+                                            std::uint64_t migrated_utxos,
+                                            std::uint64_t deferred_txs) {
+  for (SimObserver* observer : observers_) {
+    observer->on_repartition(time, migrated_txs, migrated_utxos, deferred_txs);
+  }
+}
+
+void ParallelSimulation::apply_repartition() {
+  // Fires at a barrier (like churn): workers idle, mailboxes flushed, every
+  // pending event ≥ now_. The controller drive and UTXO accounting match the
+  // sequential apply_repartition statement-for-statement; the
+  // ledger-partition migration below is the parallel engine's extra handoff.
+  const double time = now_;
+  const RepartitionOutcome outcome = repartitioner_->step(*pipeline_);
+  std::uint64_t moved_utxos = 0;
+  for (const RepartitionMove& move : outcome.applied) {
+    OPTCHAIN_ASSERT(move.tx < live_outputs_.size());
+    const std::uint64_t live = live_outputs_[move.tx];
+    moved_utxos += live;
+    if (churn_enabled() && live > 0) {
+      std::uint64_t& from = utxo_records_[move.from];
+      const std::uint64_t transfer = live < from ? live : from;
+      from -= transfer;
+      utxo_records_[move.to] += transfer;
+    }
+  }
+
+  // Ledger handoff: an outpoint's lock/spend entry lives in the partition
+  // of shard_of(its creator), so entries follow their moved creators.
+  // moved[tx] is the final destination; an entry already there stays put
+  // (which also keeps the map being iterated stable).
+  if (!outcome.applied.empty()) {
+    std::unordered_map<std::uint32_t, std::uint32_t> moved;
+    moved.reserve(outcome.applied.size());
+    std::vector<std::uint32_t> from_shards;
+    from_shards.reserve(outcome.applied.size());
+    for (const RepartitionMove& move : outcome.applied) {
+      moved[move.tx] = move.to;
+      from_shards.push_back(move.from);
+    }
+    std::sort(from_shards.begin(), from_shards.end());
+    from_shards.erase(std::unique(from_shards.begin(), from_shards.end()),
+                      from_shards.end());
+    for (const std::uint32_t from : from_shards) {
+      LedgerPartition& partition = partitions_[from];
+      for (auto it = partition.begin(); it != partition.end();) {
+        const auto mit =
+            moved.find(static_cast<std::uint32_t>(it->first >> 32));
+        if (mit != moved.end() && mit->second != from) {
+          partitions_[mit->second].insert(*it);
+          it = partition.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+
+  notify_repartition(time, outcome.applied.size(), moved_utxos,
+                     outcome.deferred);
+  if (work_remaining()) {
+    next_repartition_time_ = now_ + config_.repartition.interval_s;
+    events_.schedule(next_repartition_time_, Event::repartition());
+  } else {
+    next_repartition_time_ = kNeverRepartition;
+  }
 }
 
 // ----------------------------------------------------------- phase barrier

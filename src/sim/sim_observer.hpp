@@ -88,6 +88,18 @@ class SimObserver {
     (void)shard, (void)time, (void)joined, (void)migrated_txs,
         (void)migrated_utxos;
   }
+
+  /// A periodic re-partition event fired at `time` (sim/repartition.hpp
+  /// cadence; fires even when the plan is empty). `migrated_txs` transaction
+  /// records moved shards this event (at most the configured budget), owning
+  /// `migrated_utxos` live UTXO-ledger records that moved with them;
+  /// `deferred_txs` planned moves ran out of budget and wait for the next
+  /// event. Fires after the engine's own remap for that moment.
+  virtual void on_repartition(double time, std::uint64_t migrated_txs,
+                              std::uint64_t migrated_utxos,
+                              std::uint64_t deferred_txs) {
+    (void)time, (void)migrated_txs, (void)migrated_utxos, (void)deferred_txs;
+  }
 };
 
 }  // namespace optchain::sim

@@ -103,6 +103,12 @@ SimResult Simulation::run(workload::TxSource& source,
     successor_of_[s] = s;
   }
   utxo_records_.assign(churn_enabled() ? shards_.size() : 0, 0);
+  live_outputs_.clear();
+  repartitioner_.reset();
+  if (repartition_enabled()) {
+    repartitioner_ =
+        std::make_unique<RepartitionController>(config_.repartition);
+  }
 
   result_ = SimResult{};
   result_.placer_name = std::string(pipeline.method_name());
@@ -129,6 +135,9 @@ SimResult Simulation::run(workload::TxSource& source,
     // and placer (TanDag::reserve / ScorePool::reserve).
     outpoint_state_.reserve(static_cast<std::size_t>(*hint * 2));
     pipeline.reserve(*hint);
+    if (repartition_enabled()) {
+      live_outputs_.reserve(static_cast<std::size_t>(*hint));
+    }
   }
   inflight_.reserve(1024);
   // The event heap's working set is O(in-flight messages), not O(stream):
@@ -153,6 +162,11 @@ SimResult Simulation::run(workload::TxSource& source,
   for (std::uint32_t c = 0; c < config_.churn.events.size(); ++c) {
     events_.schedule(config_.churn.events[c].time_s, Event::shard_change(c));
   }
+  // The re-partition cadence chains itself like queue sampling: one pending
+  // tick at a time, rescheduled while work remains.
+  if (repartition_enabled()) {
+    events_.schedule(config_.repartition.interval_s, Event::repartition());
+  }
 
   while (work_remaining() && !events_.empty() &&
          events_.now() <= config_.max_sim_time_s) {
@@ -169,6 +183,10 @@ SimResult Simulation::run(workload::TxSource& source,
   result_.shard_changes = metrics_.shard_changes();
   result_.migrated_txs = metrics_.migrated_txs();
   result_.migrated_utxos = metrics_.migrated_utxos();
+  result_.repartition_events = metrics_.repartition_events();
+  result_.repartition_migrated_txs = metrics_.repartition_migrated_txs();
+  result_.repartition_migrated_utxos = metrics_.repartition_migrated_utxos();
+  result_.repartition_deferred_txs = metrics_.repartition_deferred_txs();
   result_.latencies = metrics_.latencies();
   result_.commits_per_window = metrics_.commits_per_window();
   result_.queue_tracker = metrics_.queue_tracker();
@@ -207,6 +225,7 @@ void Simulation::on_event(const Event& event) {
   if (event.type != EventType::kTxIssue &&
       event.type != EventType::kQueueSample &&
       event.type != EventType::kShardChange &&
+      event.type != EventType::kRepartition &&
       event.type != EventType::kGossipHop) {
     if (event.shard >= shard_event_counts_.size()) {
       shard_event_counts_.resize(event.shard + 1, 0);
@@ -259,6 +278,9 @@ void Simulation::on_event(const Event& event) {
     case EventType::kShardChange:
       apply_churn(config_.churn.events[event.tx]);
       break;
+    case EventType::kRepartition:
+      apply_repartition();
+      break;
     case EventType::kGossipHop:
       OPTCHAIN_ASSERT(false);  // tree gossip runs on its own queue
       break;
@@ -307,6 +329,13 @@ void Simulation::issue_transaction(std::uint32_t index) {
   // records migrate.
   if (churn_enabled()) {
     utxo_records_[target] += staged_.outputs.size();
+  }
+  // Repartition runs additionally track live outputs per transaction: what
+  // one migrated record carries with it.
+  if (repartition_enabled()) {
+    OPTCHAIN_ASSERT(live_outputs_.size() == index);
+    live_outputs_.push_back(
+        static_cast<std::uint32_t>(staged_.outputs.size()));
   }
 
   // The protocol only needs the inputs from here on; steal them instead of
@@ -361,20 +390,27 @@ void Simulation::spend_inputs(std::uint32_t index) {
   const Inflight& flight = inflight_.at(index);
   for (const tx::OutPoint& point : flight.inputs) {
     auto& entry = outpoint_state_[outpoint_key(point)];
-    // Without churn the lock protocol makes a conflicting double-commit
-    // impossible; a retirement mid-handoff can drop a lock, so churn runs
-    // tolerate (and ignore) a late conflicting spend instead of asserting.
+    // Without churn or repartition the lock protocol makes a conflicting
+    // double-commit impossible; a retirement or re-partition move
+    // mid-handoff can drop a lock, so those runs tolerate (and ignore) a
+    // late conflicting spend instead of asserting.
     if (entry.first == OutpointState::kSpent && entry.second != index) {
-      OPTCHAIN_ASSERT(churn_enabled());
+      OPTCHAIN_ASSERT(churn_enabled() || repartition_enabled());
       continue;
     }
     entry = {OutpointState::kSpent, index};
-    if (churn_enabled() &&
-        point.vout < workload::DynamicTxSource::kInjectedVoutBase) {
-      // Synthetic hotspot outpoints (vout >= kInjectedVoutBase) were never
-      // credited as outputs, so only genuine spends consume a record.
-      std::uint64_t& records = utxo_records_[assignment_->shard_of(point.tx)];
-      if (records > 0) --records;
+    // Synthetic hotspot outpoints (vout >= kInjectedVoutBase) were never
+    // credited as outputs, so only genuine spends consume a record.
+    if (point.vout < workload::DynamicTxSource::kInjectedVoutBase) {
+      if (churn_enabled()) {
+        std::uint64_t& records =
+            utxo_records_[assignment_->shard_of(point.tx)];
+        if (records > 0) --records;
+      }
+      if (repartition_enabled() && point.tx < live_outputs_.size()) {
+        std::uint32_t& live = live_outputs_[point.tx];
+        if (live > 0) --live;
+      }
     }
   }
 }
@@ -613,6 +649,38 @@ void Simulation::apply_churn(const ShardChurnEvent& change) {
   }
   notify_shard_change(target, time, /*joined=*/false, migrated_txs,
                       migrated_utxos);
+}
+
+void Simulation::notify_repartition(double time, std::uint64_t migrated_txs,
+                                    std::uint64_t migrated_utxos,
+                                    std::uint64_t deferred_txs) {
+  for (SimObserver* observer : observers_) {
+    observer->on_repartition(time, migrated_txs, migrated_utxos, deferred_txs);
+  }
+}
+
+void Simulation::apply_repartition() {
+  const double time = events_.now();
+  const RepartitionOutcome outcome = repartitioner_->step(*pipeline_);
+  std::uint64_t moved_utxos = 0;
+  for (const RepartitionMove& move : outcome.applied) {
+    OPTCHAIN_ASSERT(move.tx < live_outputs_.size());
+    const std::uint64_t live = live_outputs_[move.tx];
+    moved_utxos += live;
+    if (churn_enabled() && live > 0) {
+      // Keep the per-shard aggregates consistent with record ownership, so
+      // a later retirement reports the right migrated-UTXO count.
+      std::uint64_t& from = utxo_records_[move.from];
+      const std::uint64_t transfer = live < from ? live : from;
+      from -= transfer;
+      utxo_records_[move.to] += transfer;
+    }
+  }
+  notify_repartition(time, outcome.applied.size(), moved_utxos,
+                     outcome.deferred);
+  if (work_remaining()) {
+    events_.schedule_in(config_.repartition.interval_s, Event::repartition());
+  }
 }
 
 }  // namespace optchain::sim

@@ -50,6 +50,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/fabric/fabric.hpp"
 #include "sim/network.hpp"
+#include "sim/repartition.hpp"
 #include "sim/shard_churn.hpp"
 #include "sim/shard_node.hpp"
 #include "sim/sim_observer.hpp"
@@ -98,6 +99,10 @@ struct SimConfig {
   /// plan leaves every engine code path and random draw untouched.
   ShardChurnPlan churn;
 
+  /// Online re-partition cadence/budget (see sim/repartition.hpp). Disabled
+  /// by default; a disabled config leaves every code path untouched.
+  RepartitionConfig repartition;
+
   /// Message payload sizes (bytes).
   std::uint64_t proof_bytes = 256;
 
@@ -138,6 +143,15 @@ struct SimResult {
   std::uint64_t shard_changes = 0;
   std::uint64_t migrated_txs = 0;
   std::uint64_t migrated_utxos = 0;
+
+  /// Online re-partition accounting (zero unless SimConfig::repartition is
+  /// enabled): fired events, transaction records migrated by the controller,
+  /// live UTXO-ledger records that moved with them, and the sum over events
+  /// of moves deferred past the migration budget.
+  std::uint64_t repartition_events = 0;
+  std::uint64_t repartition_migrated_txs = 0;
+  std::uint64_t repartition_migrated_utxos = 0;
+  std::uint64_t repartition_deferred_txs = 0;
 
   /// Link-fabric accounting (all zero when SimConfig::fabric is disabled;
   /// copied from LinkFabric::stats() at run end, inside the cross-engine
@@ -261,6 +275,17 @@ class Simulation final : private EventHandler {
   }
   void apply_churn(const ShardChurnEvent& change);
 
+  // ----- online re-partition ---------------------------------------------
+  bool repartition_enabled() const noexcept {
+    return config_.repartition.enabled();
+  }
+  /// One kRepartition tick: drives the controller, transfers per-shard UTXO
+  /// aggregates with the moved records, notifies observers, reschedules.
+  void apply_repartition();
+  void notify_repartition(double time, std::uint64_t migrated_txs,
+                          std::uint64_t migrated_utxos,
+                          std::uint64_t deferred_txs);
+
   SimConfig config_;
   EventQueue events_;
   NetworkModel network_;
@@ -299,6 +324,12 @@ class Simulation final : private EventHandler {
   /// created by the shard's transactions minus spends. The per-retirement
   /// migrated-UTXO metric reads the retiring shard's entry.
   std::vector<std::uint64_t> utxo_records_;
+  /// Live (unspent, non-injected) outputs per transaction (repartition runs
+  /// only): what a single migrated record carries with it. Maintained by the
+  /// same spend path as utxo_records_.
+  std::vector<std::uint32_t> live_outputs_;
+  /// The online re-partition controller (repartition runs only).
+  std::unique_ptr<RepartitionController> repartitioner_;
   /// The engine's own collectors, attached through the same observer seam as
   /// external hooks (observers_[0]); copied into result_ when the run ends.
   stats::MetricsObserver metrics_;

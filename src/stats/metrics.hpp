@@ -158,6 +158,14 @@ class MetricsObserver final : public sim::SimObserver {
     migrated_txs_ += migrated_txs;
     migrated_utxos_ += migrated_utxos;
   }
+  void on_repartition(double /*time*/, std::uint64_t migrated_txs,
+                      std::uint64_t migrated_utxos,
+                      std::uint64_t deferred_txs) override {
+    ++repartition_events_;
+    repartition_migrated_txs_ += migrated_txs;
+    repartition_migrated_utxos_ += migrated_utxos;
+    repartition_deferred_txs_ += deferred_txs;
+  }
 
   const LatencyRecorder& latencies() const noexcept { return latencies_; }
   const WindowCounter& commits_per_window() const noexcept {
@@ -176,6 +184,20 @@ class MetricsObserver final : public sim::SimObserver {
   std::uint64_t shard_changes() const noexcept { return shard_changes_; }
   std::uint64_t migrated_txs() const noexcept { return migrated_txs_; }
   std::uint64_t migrated_utxos() const noexcept { return migrated_utxos_; }
+  /// Online re-partition accounting (zero unless the controller is enabled).
+  std::uint64_t repartition_events() const noexcept {
+    return repartition_events_;
+  }
+  std::uint64_t repartition_migrated_txs() const noexcept {
+    return repartition_migrated_txs_;
+  }
+  std::uint64_t repartition_migrated_utxos() const noexcept {
+    return repartition_migrated_utxos_;
+  }
+  /// Sum over events of the budget-deferred move count — budget pressure.
+  std::uint64_t repartition_deferred_txs() const noexcept {
+    return repartition_deferred_txs_;
+  }
   /// Link-fabric accounting (zero unless the run enables the fabric).
   std::uint64_t link_samples() const noexcept { return link_samples_; }
   /// Worst sampled uplink backlog, in seconds of queued serialization.
@@ -198,6 +220,10 @@ class MetricsObserver final : public sim::SimObserver {
   std::uint64_t shard_changes_ = 0;
   std::uint64_t migrated_txs_ = 0;
   std::uint64_t migrated_utxos_ = 0;
+  std::uint64_t repartition_events_ = 0;
+  std::uint64_t repartition_migrated_txs_ = 0;
+  std::uint64_t repartition_migrated_utxos_ = 0;
+  std::uint64_t repartition_deferred_txs_ = 0;
   std::uint64_t link_samples_ = 0;
   double peak_backlog_s_ = 0.0;
   std::vector<std::uint64_t> link_drops_;

@@ -72,6 +72,13 @@ void expect_bit_identical(const sim::SimResult& sequential,
   EXPECT_EQ(parallel.shard_changes, sequential.shard_changes);
   EXPECT_EQ(parallel.migrated_txs, sequential.migrated_txs);
   EXPECT_EQ(parallel.migrated_utxos, sequential.migrated_utxos);
+  EXPECT_EQ(parallel.repartition_events, sequential.repartition_events);
+  EXPECT_EQ(parallel.repartition_migrated_txs,
+            sequential.repartition_migrated_txs);
+  EXPECT_EQ(parallel.repartition_migrated_utxos,
+            sequential.repartition_migrated_utxos);
+  EXPECT_EQ(parallel.repartition_deferred_txs,
+            sequential.repartition_deferred_txs);
   EXPECT_EQ(parallel.final_shard_sizes, sequential.final_shard_sizes);
 
   // Latency distribution: same samples in the same order.

@@ -13,7 +13,9 @@
 //                      [--fault_rate=P] [--sim_seed=S] [--commit_window=SECS]
 //                      [--queue_interval=SECS] [--slowdown=a,b,...]
 //                      [--fabric=off|flat|wan|congested] [--regions=R]
-//                      [--jitter=SECS] [--csv=out.csv]
+//                      [--jitter=SECS]
+//                      [--repartition_interval=SECS] [--repartition_budget=N]
+//                      [--repartition_window=N] [--csv=out.csv]
 //
 // Streams are OPTX trace containers (src/trace): `generate` writes the
 // chunk-indexed v2 format, and every consumer replays through the streaming
@@ -33,6 +35,11 @@
 // (sim/fabric/): geo-region latency tiers, bandwidth queues with tail drop,
 // jitter and stragglers. --regions= and --jitter= override the preset's
 // region count / jitter bound ("--fabric=wan --regions=8 --jitter=0.02").
+// --repartition_interval=SECS enables the periodic Metis re-partition
+// controller (sim/repartition.hpp; 0 = off); --repartition_budget= caps the
+// transaction moves applied per event (0 = unlimited, excess deferred) and
+// --repartition_window= snapshots only the most recent N transactions of
+// the TaN (0 = the whole graph).
 //
 // --method accepts any PlacerRegistry name (case-insensitive): OptChain,
 // T2S, Greedy, OmniLedger (alias: Random), LeastLoaded, Static, Metis.
@@ -133,6 +140,12 @@ api::RunSpec spec_from_flags(const Flags& flags) {
   const double jitter = flags.get_double("jitter", -1.0);
   if (jitter >= 0.0) spec.fabric.max_jitter_s = jitter;
   spec.fabric.validate();
+  spec.repartition.interval_s = flags.get_double("repartition_interval", 0.0);
+  spec.repartition.budget =
+      static_cast<std::uint64_t>(flags.get_int("repartition_budget", 0));
+  spec.repartition.window =
+      static_cast<std::uint64_t>(flags.get_int("repartition_window", 0));
+  spec.repartition.validate();
   return spec;
 }
 
