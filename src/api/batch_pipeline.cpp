@@ -5,7 +5,9 @@
 #include <cmath>
 
 #include "common/assert.hpp"
+#include "common/histogram.hpp"
 #include "core/batch_scorer.hpp"
+#include "obs/phase_profiler.hpp"
 
 namespace optchain::api {
 
@@ -14,13 +16,6 @@ namespace {
 /// Slots claimed per cursor fetch — large enough to amortize the atomic,
 /// small enough to balance uneven gather costs across workers.
 constexpr std::size_t kClaimChunk = 8;
-
-double percentile(std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const auto rank = static_cast<std::size_t>(
-      q * static_cast<double>(sorted.size() - 1) + 0.5);
-  return sorted[std::min(rank, sorted.size() - 1)];
-}
 
 }  // namespace
 
@@ -241,9 +236,18 @@ StreamOutcome BatchPlacementPipeline::place_stream(
     if (count == 0) break;
     const clock::time_point start = clock::now();
     if (kernel_ != nullptr) {
-      prepare_batch(count);
-      score_batch();
-      commit_batch(count, warm_parts);
+      {
+        obs::ScopedPhase timer(obs::Phase::kBatchPrepare);
+        prepare_batch(count);
+      }
+      {
+        obs::ScopedPhase timer(obs::Phase::kBatchScore);
+        score_batch();
+      }
+      {
+        obs::ScopedPhase timer(obs::Phase::kBatchCommit);
+        commit_batch(count, warm_parts);
+      }
     } else {
       // Generic placers: the exact sequential loop, batch-sliced. Identical
       // by construction; the batching only provides latency accounting.
@@ -271,11 +275,13 @@ BatchLatencyStats BatchPlacementPipeline::latency_stats() const {
   BatchLatencyStats stats;
   stats.batches = latencies_us_.size();
   if (latencies_us_.empty()) return stats;
-  std::vector<double> sorted = latencies_us_;
-  std::sort(sorted.begin(), sorted.end());
-  stats.p50_us = percentile(sorted, 0.50);
-  stats.p99_us = percentile(sorted, 0.99);
-  stats.max_us = sorted.back();
+  // Nearest-rank quantiles via the shared common/histogram path — the same
+  // math the obs::MetricsRegistry histograms report.
+  SampleStats samples;
+  for (const double latency : latencies_us_) samples.add(latency);
+  stats.p50_us = samples.p50();
+  stats.p99_us = samples.p99();
+  stats.max_us = samples.max();
   return stats;
 }
 

@@ -5,10 +5,40 @@
 
 #include "api/batch_pipeline.hpp"
 #include "api/placement_pipeline.hpp"
+#include "obs/phase_profiler.hpp"
 #include "sim/parallel/parallel_simulation.hpp"
 
 namespace optchain::api {
 namespace {
+
+/// Arms the global obs::PhaseProfiler for one run when the spec asks for it
+/// (RunSpec::profile); finish() disables it and returns the collected rows.
+/// Wall-clock only — a profiled run's results are bit-identical to an
+/// unprofiled one.
+class ProfileScope {
+ public:
+  explicit ProfileScope(bool active) : active_(active) {
+    if (active_) {
+      obs::PhaseProfiler& profiler = obs::PhaseProfiler::instance();
+      profiler.reset();
+      profiler.set_enabled(true);
+    }
+  }
+
+  std::vector<ProfileEntry> finish() {
+    if (!active_) return {};
+    obs::PhaseProfiler& profiler = obs::PhaseProfiler::instance();
+    profiler.set_enabled(false);
+    std::vector<ProfileEntry> out;
+    for (const obs::PhaseEntry& entry : profiler.snapshot()) {
+      out.push_back({entry.phase, entry.seconds, entry.calls});
+    }
+    return out;
+  }
+
+ private:
+  bool active_;
+};
 
 /// Streams `source` through the front-end the spec selects: the micro-
 /// batched engine when place_jobs ≥ 1, the tx-at-a-time loop otherwise.
@@ -118,6 +148,15 @@ TextTable RunReport::to_table() const {
                    TextTable::fmt_int(static_cast<long long>(
                        shard_sizes[s]))});
   }
+  // Wall-clock phase profile (RunSpec::profile runs only) — e.g. the
+  // parallel engine's phase-A vs phase-B split. Deliberately last: these
+  // rows are non-reproducible timings, not results.
+  for (const ProfileEntry& entry : profile) {
+    table.add_row({"profile " + entry.phase + " (s)",
+                   TextTable::fmt(entry.seconds, 4)});
+    table.add_row({"profile " + entry.phase + " calls",
+                   TextTable::fmt_int(static_cast<long long>(entry.calls))});
+  }
   return table;
 }
 
@@ -126,6 +165,7 @@ std::string RunReport::to_csv() const { return to_table().to_csv(); }
 RunReport place(const RunSpec& spec,
                 std::span<const tx::Transaction> transactions,
                 std::span<const std::uint32_t> warm_parts) {
+  ProfileScope profile(spec.profile);
   PlacementPipeline pipeline = make_pipeline(
       spec.method, spec.num_shards, transactions, spec.seed);
   workload::SpanTxSource source(transactions);
@@ -133,6 +173,7 @@ RunReport place(const RunSpec& spec,
       run_placement(spec, source, pipeline, warm_parts);
 
   RunReport report;
+  report.profile = profile.finish();
   report.method = std::string(pipeline.method_name());
   report.num_shards = spec.num_shards;
   report.total = outcome.total;
@@ -143,12 +184,14 @@ RunReport place(const RunSpec& spec,
 
 RunReport place(const RunSpec& spec, workload::TxSource& source,
                 std::uint64_t expected_txs) {
+  ProfileScope profile(spec.profile);
   PlacementPipeline pipeline =
       make_pipeline(spec.method, spec.num_shards, {}, spec.seed, {},
                     source.size_hint().value_or(expected_txs));
   const StreamOutcome outcome = run_placement(spec, source, pipeline);
 
   RunReport report;
+  report.profile = profile.finish();
   report.method = std::string(pipeline.method_name());
   report.num_shards = spec.num_shards;
   report.total = outcome.total;
@@ -159,12 +202,14 @@ RunReport place(const RunSpec& spec, workload::TxSource& source,
 
 RunReport simulate(const RunSpec& spec,
                    std::span<const tx::Transaction> transactions) {
+  ProfileScope profile(spec.profile);
   PlacementPipeline pipeline = make_pipeline(
       spec.method, spec.num_shards, transactions, spec.seed);
   workload::SpanTxSource source(transactions);
   sim::SimResult result = run_engine(spec, source, pipeline);
 
   RunReport report;
+  report.profile = profile.finish();
   report.method = result.placer_name;
   report.num_shards = spec.num_shards;
   // Simulation runs report the protocol-level cross-TX metric (denominator =
@@ -179,12 +224,14 @@ RunReport simulate(const RunSpec& spec,
 
 RunReport simulate(const RunSpec& spec, workload::TxSource& source,
                    std::uint64_t expected_txs) {
+  ProfileScope profile(spec.profile);
   PlacementPipeline pipeline =
       make_pipeline(spec.method, spec.num_shards, {}, spec.seed, {},
                     source.size_hint().value_or(expected_txs));
   sim::SimResult result = run_engine(spec, source, pipeline);
 
   RunReport report;
+  report.profile = profile.finish();
   report.method = result.placer_name;
   report.num_shards = spec.num_shards;
   report.total = result.total_txs;

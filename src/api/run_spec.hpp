@@ -82,8 +82,24 @@ struct RunSpec {
   /// being hand-wired into a driver binary.
   std::vector<sim::SimObserver*> observers;
 
+  /// Collect wall-clock engine-phase timings (obs::PhaseProfiler) for this
+  /// run into RunReport::profile — the parallel engine's phase-A/phase-B
+  /// split, the batch front-end's prepare/score/commit stages. The CLI's
+  /// --profile. Wall-clock only: results, goldens and traces are untouched.
+  bool profile = false;
+
   /// The full SimConfig this spec describes.
   sim::SimConfig sim_config() const;
+};
+
+/// One wall-clock profile row of a RunReport (RunSpec::profile runs only):
+/// an engine phase, its accumulated seconds, and how many scoped sections
+/// contributed. Mirrors obs::PhaseEntry without making this header depend
+/// on src/obs.
+struct ProfileEntry {
+  std::string phase;        ///< e.g. "sim.parallel.phase_b"
+  double seconds = 0.0;     ///< accumulated wall-clock seconds
+  std::uint64_t calls = 0;  ///< scoped sections accumulated
 };
 
 /// Unified result of a run: placement statistics always, simulation metrics
@@ -99,6 +115,9 @@ struct RunReport {
   std::vector<std::uint64_t> shard_sizes;  ///< final per-shard sizes
   /// Simulation metrics, present when the run went through the simulator.
   std::optional<sim::SimResult> sim;
+  /// Wall-clock engine-phase timings; non-empty only for RunSpec::profile
+  /// runs whose engines hit instrumented phases. Never part of goldens.
+  std::vector<ProfileEntry> profile;
 
   /// cross / total (0 when nothing was counted).
   double cross_fraction() const noexcept {

@@ -13,6 +13,10 @@ void IntHistogram::add(std::uint64_t value, std::uint64_t count) {
   total_ += count;
 }
 
+void IntHistogram::merge(const IntHistogram& other) {
+  for (const auto& [value, count] : other.counts_) add(value, count);
+}
+
 std::uint64_t IntHistogram::count_of(std::uint64_t value) const noexcept {
   const auto it = counts_.find(value);
   return it == counts_.end() ? 0 : it->second;
@@ -52,6 +56,13 @@ std::vector<std::pair<std::uint64_t, double>> IntHistogram::cumulative() const {
 void SampleStats::add(double value) {
   samples_.push_back(value);
   sum_ += value;
+  sorted_valid_ = false;
+}
+
+void SampleStats::merge(const SampleStats& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sum_ += other.sum_;
   sorted_valid_ = false;
 }
 

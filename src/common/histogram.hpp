@@ -16,6 +16,9 @@ class IntHistogram {
  public:
   void add(std::uint64_t value, std::uint64_t count = 1);
 
+  /// Folds another histogram in (per-value counts add).
+  void merge(const IntHistogram& other);
+
   std::uint64_t count_of(std::uint64_t value) const noexcept;
   std::uint64_t total() const noexcept { return total_; }
   std::uint64_t max_value() const noexcept;
@@ -49,6 +52,17 @@ class SampleStats {
 
   /// Quantile in [0, 1] by nearest-rank on the sorted samples.
   double quantile(double q) const;
+
+  /// Exact median (nearest-rank).
+  double p50() const { return quantile(0.50); }
+  /// Exact 99th percentile (nearest-rank).
+  double p99() const { return quantile(0.99); }
+  /// Exact 99.9th percentile (nearest-rank) — tail latency reporting.
+  double p999() const { return quantile(0.999); }
+
+  /// Folds another sample store in; quantiles over the merged store are
+  /// exact over the union (obs::Histogram's merge path).
+  void merge(const SampleStats& other);
 
   /// Empirical CDF evaluated at the given thresholds:
   /// returns P[X <= t] for each t.

@@ -1,0 +1,135 @@
+#include "obs/chrome_export.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace optchain::obs {
+namespace {
+
+// Track layout: one synthetic "process" per record family keeps Perfetto's
+// timeline grouped — async tx spans under pid 1, per-shard tracks (blocks,
+// queue counters) under pid 2.
+constexpr int kTxPid = 1;
+constexpr int kShardPid = 2;
+
+std::string fmt(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+/// Simulated seconds → trace-event microseconds.
+std::string ts(double time_s) { return fmt(time_s * 1e6); }
+
+}  // namespace
+
+std::uint64_t write_chrome_trace(OtraceReader& reader, std::ostream& out) {
+  std::uint64_t events = 0;
+  out << "{\"traceEvents\":[\n";
+  const auto emit = [&](const std::string& event) {
+    if (events > 0) out << ",\n";
+    out << event;
+    ++events;
+  };
+  emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+       std::to_string(kTxPid) +
+       ",\"args\":{\"name\":\"transaction lifecycle\"}}");
+  emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+       std::to_string(kShardPid) + ",\"args\":{\"name\":\"shards\"}}");
+
+  TraceRecord record;
+  while (reader.next(record)) {
+    switch (record.type) {
+      case TraceRecordType::kIssue:
+        emit("{\"cat\":\"tx\",\"name\":\"tx\",\"ph\":\"b\",\"id\":" +
+             std::to_string(record.tx) + ",\"pid\":" + std::to_string(kTxPid) +
+             ",\"tid\":0,\"ts\":" + ts(record.time) +
+             ",\"args\":{\"cross\":" + (record.cross ? "1" : "0") + "}}");
+        break;
+      case TraceRecordType::kCommit:
+        emit("{\"cat\":\"tx\",\"name\":\"tx\",\"ph\":\"e\",\"id\":" +
+             std::to_string(record.tx) + ",\"pid\":" + std::to_string(kTxPid) +
+             ",\"tid\":0,\"ts\":" + ts(record.time) +
+             ",\"args\":{\"outcome\":\"commit\",\"latency_us\":" +
+             fmt(record.latency_s * 1e6) + "}}");
+        break;
+      case TraceRecordType::kAbort:
+        emit("{\"cat\":\"tx\",\"name\":\"tx\",\"ph\":\"e\",\"id\":" +
+             std::to_string(record.tx) + ",\"pid\":" + std::to_string(kTxPid) +
+             ",\"tid\":0,\"ts\":" + ts(record.time) +
+             ",\"args\":{\"outcome\":\"abort\"}}");
+        break;
+      case TraceRecordType::kBlock:
+        emit("{\"cat\":\"shard\",\"name\":\"block\",\"ph\":\"i\",\"s\":\"t\","
+             "\"pid\":" +
+             std::to_string(kShardPid) +
+             ",\"tid\":" + std::to_string(record.shard) +
+             ",\"ts\":" + ts(record.time) + "}");
+        break;
+      case TraceRecordType::kQueueSample: {
+        std::string args;
+        for (std::size_t s = 0; s < record.queues.size(); ++s) {
+          if (!args.empty()) args += ",";
+          args += "\"s" + std::to_string(s) +
+                  "\":" + std::to_string(record.queues[s]);
+        }
+        emit("{\"name\":\"queue\",\"ph\":\"C\",\"pid\":" +
+             std::to_string(kShardPid) + ",\"tid\":0,\"ts\":" +
+             ts(record.time) + ",\"args\":{" + args + "}}");
+        break;
+      }
+      case TraceRecordType::kLinkSample: {
+        std::string args;
+        for (const TraceRecord::Link& link : record.links) {
+          if (!args.empty()) args += ",";
+          args += "\"e" + std::to_string(link.endpoint) +
+                  "\":" + fmt(link.backlog_s);
+        }
+        emit("{\"name\":\"link_backlog_s\",\"ph\":\"C\",\"pid\":" +
+             std::to_string(kShardPid) + ",\"tid\":0,\"ts\":" +
+             ts(record.time) + ",\"args\":{" + args + "}}");
+        break;
+      }
+      case TraceRecordType::kShardChange:
+        emit("{\"cat\":\"churn\",\"name\":\"" +
+             std::string(record.joined ? "shard join" : "shard retire") +
+             "\",\"ph\":\"i\",\"s\":\"g\",\"pid\":" +
+             std::to_string(kShardPid) +
+             ",\"tid\":" + std::to_string(record.shard) +
+             ",\"ts\":" + ts(record.time) +
+             ",\"args\":{\"migrated_txs\":" +
+             std::to_string(record.migrated_txs) + ",\"migrated_utxos\":" +
+             std::to_string(record.migrated_utxos) + "}}");
+        break;
+      case TraceRecordType::kRepartition:
+        emit("{\"cat\":\"repartition\",\"name\":\"repartition\",\"ph\":\"i\","
+             "\"s\":\"g\",\"pid\":" +
+             std::to_string(kShardPid) + ",\"tid\":0,\"ts\":" +
+             ts(record.time) + ",\"args\":{\"migrated_txs\":" +
+             std::to_string(record.migrated_txs) + ",\"migrated_utxos\":" +
+             std::to_string(record.migrated_utxos) + ",\"deferred_txs\":" +
+             std::to_string(record.deferred_txs) + "}}");
+        break;
+    }
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return events;
+}
+
+std::uint64_t export_chrome_trace(const std::string& otrace_path,
+                                  const std::string& json_path) {
+  OtraceReader reader(otrace_path);
+  std::ofstream out(json_path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("chrome export: cannot open " + json_path);
+  }
+  const std::uint64_t events = write_chrome_trace(reader, out);
+  out.close();
+  if (!out) {
+    throw std::runtime_error("chrome export: write failed: " + json_path);
+  }
+  return events;
+}
+
+}  // namespace optchain::obs

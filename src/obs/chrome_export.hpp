@@ -1,0 +1,35 @@
+// Chrome trace-event JSON export for .otrace run traces (src/obs).
+//
+// Renders a recorded run as the Trace Event Format JSON object that
+// chrome://tracing and ui.perfetto.dev load directly:
+//
+//  - per-transaction lifecycle spans as async begin/end events
+//    (issue → commit/abort, latency and cross-shard flag in args),
+//  - per-shard block commits as instant events on one track per shard,
+//  - queue and fabric-backlog samples as counter tracks,
+//  - churn and re-partition events as global instant events.
+//
+// Timestamps are simulated microseconds (ts = sim seconds × 1e6). The
+// export is a pure function of the trace bytes — %.17g number formatting,
+// no wall clock, no locale — so exporting the same .otrace twice yields the
+// same JSON byte-for-byte.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "obs/otrace_reader.hpp"
+
+namespace optchain::obs {
+
+/// Streams the Chrome trace-event JSON for every remaining record of
+/// `reader` into `out`. Returns the number of trace events written.
+std::uint64_t write_chrome_trace(OtraceReader& reader, std::ostream& out);
+
+/// Convenience wrapper: opens `otrace_path`, writes the JSON to
+/// `json_path`. Throws std::runtime_error on I/O failure or a corrupt
+/// trace. Returns the number of trace events written.
+std::uint64_t export_chrome_trace(const std::string& otrace_path,
+                                  const std::string& json_path);
+
+}  // namespace optchain::obs

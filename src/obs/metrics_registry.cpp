@@ -1,0 +1,117 @@
+#include "obs/metrics_registry.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace optchain::obs {
+namespace {
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*; the registry's dotted
+/// names map dots (and any other separator) to underscores.
+std::string prometheus_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+std::string fmt_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
+
+void Histogram::observe(double value) {
+  ++buckets_[bucket_of(value)];
+  samples_.add(value);
+}
+
+std::size_t Histogram::bucket_of(double value) noexcept {
+  if (!(value >= 1.0)) return 0;  // sub-unit, zero, negative and NaN
+  const int exponent = std::ilogb(value);
+  const std::size_t bucket = static_cast<std::size_t>(exponent) + 1;
+  return bucket < kBuckets ? bucket : kBuckets - 1;
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (std::size_t b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+  samples_.merge(other.samples_);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricsRegistry::write_json(JsonWriter& json,
+                                 const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  json.begin_object(key);
+  for (const auto& [name, counter] : counters_) {
+    json.field(name, counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    json.field(name, gauge->value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    json.begin_object(name)
+        .field("count", histogram->count())
+        .field("mean", histogram->mean())
+        .field("p50", histogram->p50())
+        .field("p99", histogram->p99())
+        .field("p999", histogram->p999())
+        .field("max", histogram->max())
+        .end_object();
+  }
+  json.end_object();
+}
+
+std::string MetricsRegistry::prometheus_text() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    const std::string metric = prometheus_name(name);
+    out += "# TYPE " + metric + " counter\n";
+    out += metric + " " + std::to_string(counter->value()) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string metric = prometheus_name(name);
+    out += "# TYPE " + metric + " gauge\n";
+    out += metric + " " + fmt_double(gauge->value()) + "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const std::string metric = prometheus_name(name);
+    out += "# TYPE " + metric + " summary\n";
+    out += metric + "{quantile=\"0.5\"} " + fmt_double(histogram->p50()) + "\n";
+    out +=
+        metric + "{quantile=\"0.99\"} " + fmt_double(histogram->p99()) + "\n";
+    out +=
+        metric + "{quantile=\"0.999\"} " + fmt_double(histogram->p999()) + "\n";
+    out += metric + "_sum " + fmt_double(histogram->sum()) + "\n";
+    out += metric + "_count " + std::to_string(histogram->count()) + "\n";
+  }
+  return out;
+}
+
+}  // namespace optchain::obs

@@ -1,0 +1,133 @@
+// Unified named-metrics registry (src/obs).
+//
+// Replaces the ad-hoc tallies scattered across the serve daemon and the
+// bench binaries with one named-instrument surface: Counter (monotonic),
+// Gauge (last value) and Histogram (mergeable log-bucket counts plus exact
+// p50/p99/p999 via common/histogram's SampleStats). A registry snapshot
+// exports as ordered JSON (common/json_writer) or Prometheus text
+// exposition, so the same numbers feed BENCH_*.json and periodic snapshots
+// — one source of truth instead of per-binary percentile helpers.
+//
+// Metric objects are created on first lookup and have stable addresses for
+// the registry's lifetime; lookups are mutex-protected, the instruments
+// themselves are single-writer (the owning loop increments, snapshots read).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/json_writer.hpp"
+
+namespace optchain::obs {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  /// Adds `n` (default 1).
+  void inc(std::uint64_t n = 1) noexcept { value_ += n; }
+  /// Current count.
+  std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-value instrument (rates, sizes, fractions).
+class Gauge {
+ public:
+  /// Replaces the value.
+  void set(double value) noexcept { value_ = value; }
+  /// Current value.
+  double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Distribution instrument: power-of-two log-bucket counts (bounded,
+/// mergeable — the Prometheus-style bucket view) backed by a SampleStats
+/// sample store for exact mean/min/max and exact p50/p99/p999.
+class Histogram {
+ public:
+  /// Number of log2 buckets: bucket b counts samples in [2^(b-1), 2^b),
+  /// bucket 0 counts samples < 1 (values are bucketed on their magnitude).
+  static constexpr std::size_t kBuckets = 64;
+
+  /// Records one sample (any finite value; negatives land in bucket 0).
+  void observe(double value);
+
+  /// Samples recorded.
+  std::uint64_t count() const noexcept { return samples_.count(); }
+  /// Sum of samples.
+  double sum() const noexcept { return samples_.sum(); }
+  /// Arithmetic mean (0 when empty).
+  double mean() const noexcept { return samples_.mean(); }
+  /// Smallest sample (0 when empty).
+  double min() const noexcept { return samples_.min(); }
+  /// Largest sample (0 when empty).
+  double max() const noexcept { return samples_.max(); }
+  /// Exact nearest-rank quantile (common/histogram semantics); 0 when empty.
+  double quantile(double q) const {
+    return samples_.count() == 0 ? 0.0 : samples_.quantile(q);
+  }
+  /// Exact median.
+  double p50() const { return quantile(0.50); }
+  /// Exact 99th percentile.
+  double p99() const { return quantile(0.99); }
+  /// Exact 99.9th percentile.
+  double p999() const { return quantile(0.999); }
+
+  /// The log2 bucket counts (index = bucket, see kBuckets).
+  const std::vector<std::uint64_t>& buckets() const noexcept {
+    return buckets_;
+  }
+  /// The exact sample store (merge target, CDF queries).
+  const SampleStats& samples() const noexcept { return samples_; }
+
+  /// Folds another histogram in: bucket counts add, sample stores merge —
+  /// quantiles of the merged histogram are exact over the union.
+  void merge(const Histogram& other);
+
+ private:
+  static std::size_t bucket_of(double value) noexcept;
+
+  std::vector<std::uint64_t> buckets_ = std::vector<std::uint64_t>(kBuckets, 0);
+  SampleStats samples_;
+};
+
+/// Named Counter/Gauge/Histogram registry with ordered snapshot export.
+/// Names are conventionally dotted lowercase ("serve.batch_latency_us");
+/// iteration (and therefore every export) is in lexicographic name order,
+/// so snapshots are deterministic given deterministic inputs.
+class MetricsRegistry {
+ public:
+  /// The counter named `name`, created zero-valued on first use.
+  Counter& counter(const std::string& name);
+  /// The gauge named `name`, created zero-valued on first use.
+  Gauge& gauge(const std::string& name);
+  /// The histogram named `name`, created empty on first use.
+  Histogram& histogram(const std::string& name);
+
+  /// Writes one flat JSON object per instrument family into `json` under
+  /// `key`: counters as integers, gauges as doubles, histograms as
+  /// {count, mean, p50, p99, p999, max} sub-objects.
+  void write_json(JsonWriter& json, const std::string& key) const;
+
+  /// Prometheus text exposition (one `# TYPE` line per metric; histograms
+  /// emit _count/_sum plus quantile-labeled gauge lines). Metric names have
+  /// dots mapped to underscores per Prometheus naming rules.
+  std::string prometheus_text() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace optchain::obs

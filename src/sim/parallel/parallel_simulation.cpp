@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "obs/phase_profiler.hpp"
 #include "sim/shard_spawn.hpp"
 #include "workload/dynamic_profile.hpp"
 
@@ -214,8 +215,16 @@ SimResult ParallelSimulation::run(workload::TxSource& source,
     window_end = std::min(window_end, next_repartition_time_);
     OPTCHAIN_ASSERT(window_end > t_min);
 
-    run_worker_phase(window_end);  // phase A: workers execute [t_min, E)
-    replay_window(window_end);     // phase B: merged deterministic replay
+    {
+      // phase A: workers execute [t_min, E)
+      obs::ScopedPhase timer(obs::Phase::kSimPhaseA);
+      run_worker_phase(window_end);
+    }
+    {
+      // phase B: merged deterministic replay (the serial fraction)
+      obs::ScopedPhase timer(obs::Phase::kSimPhaseB);
+      replay_window(window_end);
+    }
   }
 
   stop_workers();

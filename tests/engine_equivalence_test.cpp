@@ -11,11 +11,15 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <random>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "api/run_spec.hpp"
+#include "obs/run_tracer.hpp"
 #include "sim/fabric/fabric.hpp"
 #include "sim/shard_churn.hpp"
 #include "workload/bitcoin_like_generator.hpp"
@@ -163,11 +167,20 @@ void expect_equivalent(const sim::SimResult& sequential,
   }
 }
 
+/// A whole file as raw bytes (trace comparison).
+std::string slurp(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  std::ostringstream out;
+  out << file.rdbuf();
+  return out.str();
+}
+
 TEST(EngineEquivalenceTest, RandomizedSpecsAreBitIdentical) {
   // Fixed master seed: the same kCases operating points every run, in every
   // environment. Bump the seed deliberately (never ambiently) to explore a
   // fresh region of the space.
   std::mt19937_64 rng(0x0C7C4A1A2026ull);
+  const std::string trace_dir = ::testing::TempDir();
   for (int index = 0; index < kCases; ++index) {
     const DrawnCase drawn = draw(rng);
     SCOPED_TRACE("case " + std::to_string(index) + ": " + drawn.describe());
@@ -176,17 +189,39 @@ TEST(EngineEquivalenceTest, RandomizedSpecsAreBitIdentical) {
     const std::vector<tx::Transaction> txs =
         generator.generate(drawn.stream_length);
 
+    // Every run carries an obs::RunTracer, so each case also pins
+    // determinism rule 9: the captured .otrace must be byte-identical
+    // across engines, not just the SimResult.
+    const std::string seq_trace =
+        trace_dir + "/equiv_seq_" + std::to_string(index) + ".otrace";
+    const std::string par_trace =
+        trace_dir + "/equiv_par_" + std::to_string(index) + ".otrace";
+
     api::RunSpec spec = spec_of(drawn, rng);
+    obs::RunTracer seq_tracer(seq_trace);
+    spec.observers = {&seq_tracer};
     spec.sim_jobs = 0;
     const api::RunReport sequential = api::simulate(spec, txs);
+    seq_tracer.finish();
+
+    obs::RunTracer par_tracer(par_trace);
+    spec.observers = {&par_tracer};
     spec.sim_jobs = drawn.jobs;
     const api::RunReport parallel = api::simulate(spec, txs);
+    par_tracer.finish();
 
     ASSERT_TRUE(sequential.sim.has_value());
     ASSERT_TRUE(parallel.sim.has_value());
     expect_equivalent(*sequential.sim, *parallel.sim);
     EXPECT_EQ(parallel.shard_sizes, sequential.shard_sizes);
     EXPECT_EQ(parallel.cross, sequential.cross);
+
+    EXPECT_EQ(par_tracer.total(), seq_tracer.total());
+    EXPECT_GT(seq_tracer.total(), 0u);
+    EXPECT_EQ(slurp(par_trace), slurp(seq_trace))
+        << "rule 9 violation: .otrace bytes differ across engines";
+    std::filesystem::remove(seq_trace);
+    std::filesystem::remove(par_trace);
   }
 }
 

@@ -16,6 +16,8 @@
 //                      [--jitter=SECS]
 //                      [--repartition_interval=SECS] [--repartition_budget=N]
 //                      [--repartition_window=N] [--csv=out.csv]
+//                      [--sim_jobs=N] [--place_jobs=N] [--batch=N]
+//                      [--profile] [--trace_out=run.otrace]
 //
 // Streams are OPTX trace containers (src/trace): `generate` writes the
 // chunk-indexed v2 format, and every consumer replays through the streaming
@@ -41,6 +43,17 @@
 // --repartition_window= snapshots only the most recent N transactions of
 // the TaN (0 = the whole graph).
 //
+// --sim_jobs=N selects the conservative parallel engine (0 = sequential),
+// --place_jobs=N / --batch=N the micro-batched placement front-end — both
+// bit-identical speed knobs. --profile adds wall-clock engine-phase rows
+// (obs::PhaseProfiler: the parallel engine's phase-A/phase-B split, the
+// batch front-end's prepare/score/commit) to the report. --trace_out=PATH
+// attaches an obs::RunTracer and writes the run's full lifecycle telemetry
+// as an .otrace container (per-tx issue→commit spans, blocks, queue/link
+// samples, churn/re-partition events) — export to Perfetto with
+// `optchain-obs export`; the bytes are identical at any --sim_jobs
+// (determinism rule 9).
+//
 // --method accepts any PlacerRegistry name (case-insensitive): OptChain,
 // T2S, Greedy, OmniLedger (alias: Random), LeastLoaded, Static, Metis.
 // Stream-dependent methods (Metis, Static without --static parts) need the
@@ -49,6 +62,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -59,6 +73,7 @@
 #include "common/table.hpp"
 #include "graph/dag.hpp"
 #include "metis/kway_partitioner.hpp"
+#include "obs/run_tracer.hpp"
 #include "trace/trace_import.hpp"
 #include "trace/trace_source.hpp"
 #include "workload/tan_builder.hpp"
@@ -146,6 +161,15 @@ api::RunSpec spec_from_flags(const Flags& flags) {
   spec.repartition.window =
       static_cast<std::uint64_t>(flags.get_int("repartition_window", 0));
   spec.repartition.validate();
+  // Execution knobs: both are speed knobs, never semantics knobs — results
+  // are bit-identical at any value.
+  spec.sim_jobs = static_cast<std::uint32_t>(flags.get_int("sim_jobs", 0));
+  spec.place_jobs = static_cast<std::uint32_t>(flags.get_int("place_jobs", 0));
+  spec.place_batch = static_cast<std::uint32_t>(
+      flags.get_int("batch", spec.place_batch));
+  // Wall-clock engine-phase profiling (obs::PhaseProfiler) — extra `profile`
+  // rows in the report, results untouched.
+  spec.profile = flags.get_bool("profile", false);
   return spec;
 }
 
@@ -255,13 +279,26 @@ int cmd_partition(const Flags& flags) {
 
 int cmd_simulate(const Flags& flags) {
   trace::TraceTxSource source = open_stream(flags);
-  const api::RunSpec spec = spec_from_flags(flags);
+  api::RunSpec spec = spec_from_flags(flags);
+  // --trace_out=PATH captures the run's lifecycle telemetry as an .otrace
+  // container (inspect with optchain-obs summarize/export/diff).
+  std::unique_ptr<obs::RunTracer> tracer;
+  const std::string trace_out = flags.get_string("trace_out", "");
+  if (!trace_out.empty()) {
+    tracer = std::make_unique<obs::RunTracer>(trace_out);
+    spec.observers.push_back(tracer.get());
+  }
   api::RunReport report;
   if (needs_materialized_stream(spec.method)) {
     const std::vector<tx::Transaction> txs = workload::materialize(source);
     report = api::simulate(spec, txs);
   } else {
     report = api::simulate(spec, source);
+  }
+  if (tracer != nullptr) {
+    const std::uint64_t records = tracer->finish();
+    std::printf("wrote %s (%llu trace records)\n", trace_out.c_str(),
+                static_cast<unsigned long long>(records));
   }
   print_and_maybe_save(report, flags);
   return 0;

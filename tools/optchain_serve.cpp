@@ -26,8 +26,13 @@
 //   --batch=N          transactions per micro-batch (default 512)
 //   --duration=SECS    serving time budget; 0 = until signal (default 5)
 //   --stream           re-decode the trace from disk on every pass
+//   --snapshot=SECS    emit a Prometheus-text metrics snapshot every SECS
+//                      seconds while serving (0 = off, default 0)
 //   --out=PATH         JSON report path (default BENCH_serve.json)
-#include <algorithm>
+//
+// All counters, rates and latency percentiles flow through one
+// obs::MetricsRegistry — the final BENCH_serve.json and the periodic
+// --snapshot exposition read the same instruments.
 #include <chrono>
 #include <csignal>
 #include <cstdint>
@@ -40,6 +45,7 @@
 #include "api/placement_pipeline.hpp"
 #include "common/flags.hpp"
 #include "common/json_writer.hpp"
+#include "obs/metrics_registry.hpp"
 #include "trace/trace_source.hpp"
 #include "workload/tx_source.hpp"
 
@@ -48,13 +54,6 @@ namespace {
 volatile std::sig_atomic_t g_stop = 0;
 
 void handle_signal(int) { g_stop = 1; }
-
-double percentile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const auto rank = static_cast<std::size_t>(
-      q * static_cast<double>(sorted.size() - 1) + 0.5);
-  return sorted[std::min(rank, sorted.size() - 1)];
-}
 
 }  // namespace
 
@@ -68,7 +67,7 @@ int main(int argc, char** argv) {
                    "usage: optchain-serve --trace=PATH [--duration=SECS] "
                    "[--place_jobs=N] [--batch=N] [--method=NAME] "
                    "[--shards=K] [--begin=N] [--end=N] [--stream] "
-                   "[--out=PATH]\n");
+                   "[--snapshot=SECS] [--out=PATH]\n");
       return 2;
     }
     const auto begin = static_cast<std::uint64_t>(flags.get_int("begin", 0));
@@ -86,6 +85,7 @@ int main(int argc, char** argv) {
         static_cast<std::uint32_t>(flags.get_int("batch", 512));
     const double duration_s = flags.get_double("duration", 5.0);
     const bool stream_from_disk = flags.get_bool("stream", false);
+    const double snapshot_s = flags.get_double("snapshot", 0.0);
     const std::string out_path =
         flags.get_string("out", "BENCH_serve.json");
 
@@ -117,12 +117,25 @@ int main(int argc, char** argv) {
         duration_s <= 0.0 ? "until-signal"
                           : (std::to_string(duration_s) + "s").c_str());
 
-    std::uint64_t passes = 0;
-    std::uint64_t total_txs = 0;
+    // Every number the daemon reports lives in this registry; the pass loop
+    // writes, the snapshot emitter and the final JSON read.
+    optchain::obs::MetricsRegistry registry;
+    optchain::obs::Counter& passes_counter =
+        registry.counter("serve.passes");
+    optchain::obs::Counter& txs_counter =
+        registry.counter("serve.txs_placed");
+    optchain::obs::Histogram& batch_latency =
+        registry.histogram("serve.batch_latency_us");
+    optchain::obs::Gauge& cross_gauge =
+        registry.gauge("serve.cross_fraction");
+    optchain::obs::Gauge& sustained_gauge =
+        registry.gauge("serve.sustained_tx_per_s");
+    registry.gauge("serve.window_txs")
+        .set(static_cast<double>(window_txs));
+
     double placement_seconds = 0.0;
-    double last_cross_fraction = 0.0;
-    std::vector<double> latencies_us;
     const clock::time_point serve_start = clock::now();
+    clock::time_point last_snapshot = serve_start;
     while (g_stop == 0) {
       if (duration_s > 0.0 &&
           std::chrono::duration<double>(clock::now() - serve_start).count() >=
@@ -135,7 +148,7 @@ int main(int argc, char** argv) {
       const clock::time_point pass_start = clock::now();
       optchain::api::StreamOutcome outcome;
       if (stream_from_disk) {
-        if (passes > 0) trace_source.rewind();
+        if (passes_counter.value() > 0) trace_source.rewind();
         outcome = batched.place_stream(trace_source);
       } else {
         optchain::workload::SpanTxSource source(window);
@@ -144,35 +157,42 @@ int main(int argc, char** argv) {
       const double pass_s =
           std::chrono::duration<double>(clock::now() - pass_start).count();
       placement_seconds += pass_s;
-      total_txs += window_txs;
-      last_cross_fraction = outcome.fraction();
-      const auto batch_lat = batched.batch_latencies_us();
-      latencies_us.insert(latencies_us.end(), batch_lat.begin(),
-                          batch_lat.end());
-      ++passes;
+      txs_counter.inc(window_txs);
+      cross_gauge.set(outcome.fraction());
+      for (const double us : batched.batch_latencies_us()) {
+        batch_latency.observe(us);
+      }
+      passes_counter.inc();
+      sustained_gauge.set(static_cast<double>(txs_counter.value()) /
+                          placement_seconds);
       std::printf("  pass %llu: %.0f tx/s (%.3fs, cross %.2f%%)\n",
-                  static_cast<unsigned long long>(passes),
+                  static_cast<unsigned long long>(passes_counter.value()),
                   static_cast<double>(window_txs) / pass_s, pass_s,
-                  100.0 * last_cross_fraction);
+                  100.0 * cross_gauge.value());
       std::fflush(stdout);
+      if (snapshot_s > 0.0 &&
+          std::chrono::duration<double>(clock::now() - last_snapshot)
+                  .count() >= snapshot_s) {
+        last_snapshot = clock::now();
+        std::printf("--- metrics snapshot ---\n%s--- end snapshot ---\n",
+                    registry.prometheus_text().c_str());
+        std::fflush(stdout);
+      }
     }
+    const std::uint64_t passes = passes_counter.value();
     if (passes == 0) {
       std::fprintf(stderr,
                    "optchain-serve: no pass completed inside the budget\n");
       return 1;
     }
 
-    const double sustained_tps =
-        static_cast<double>(total_txs) / placement_seconds;
-    std::sort(latencies_us.begin(), latencies_us.end());
-    const double p50 = percentile(latencies_us, 0.50);
-    const double p99 = percentile(latencies_us, 0.99);
+    const double sustained_tps = sustained_gauge.value();
     std::printf(
         "sustained %.0f tx/s over %llu passes (%llu txs, %.2fs placement); "
         "batch latency p50 %.1f us, p99 %.1f us\n",
         sustained_tps, static_cast<unsigned long long>(passes),
-        static_cast<unsigned long long>(total_txs), placement_seconds, p50,
-        p99);
+        static_cast<unsigned long long>(txs_counter.value()),
+        placement_seconds, batch_latency.p50(), batch_latency.p99());
 
     optchain::JsonWriter json;
     json.field("tool", "optchain-serve")
@@ -184,15 +204,15 @@ int main(int argc, char** argv) {
         .field("stream_from_disk", stream_from_disk)
         .field("window_txs", window_txs)
         .field("passes", passes)
-        .field("total_txs", total_txs)
+        .field("total_txs", txs_counter.value())
         .field("placement_seconds", placement_seconds)
         .field("sustained_tx_per_s", sustained_tps)
-        .field("cross_fraction", last_cross_fraction)
-        .field("batches", static_cast<std::uint64_t>(latencies_us.size()))
-        .field("batch_p50_us", p50)
-        .field("batch_p99_us", p99)
-        .field("batch_max_us",
-               latencies_us.empty() ? 0.0 : latencies_us.back());
+        .field("cross_fraction", cross_gauge.value())
+        .field("batches", batch_latency.count())
+        .field("batch_p50_us", batch_latency.p50())
+        .field("batch_p99_us", batch_latency.p99())
+        .field("batch_max_us", batch_latency.max());
+    registry.write_json(json, "metrics");
     json.save(out_path);
     std::printf("wrote %s\n", out_path.c_str());
     return 0;
